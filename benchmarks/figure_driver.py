@@ -1,0 +1,219 @@
+"""Shared machinery for the per-figure benchmark modules.
+
+Each of the paper's evaluation figures is regenerated as a plain-text table
+written to ``benchmarks/results/<experiment>.txt`` (and echoed to stdout).
+pytest-benchmark measures representative single-query operations on top of
+the same artifacts, so ``pytest benchmarks/ --benchmark-only`` both times
+the methods and regenerates every figure/table.
+
+The experiment scales are reduced relative to the paper (see DESIGN.md and
+EXPERIMENTS.md): dataset sizes default to a few thousand points so the full
+suite finishes on a laptop.  Whoever wants the full-scale run can raise the
+module-level size constants — nothing else changes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import SFT, TPL, MRkNNCoP, RdNN
+from repro.core import RDT, suggest_scale
+from repro.evaluation import (
+    GroundTruth,
+    TradeoffCurve,
+    format_table,
+    render_curves,
+    run_method,
+    run_tradeoff,
+    sample_query_indices,
+)
+from repro.indexes import LinearScanIndex, RdNNTreeIndex, RStarTreeIndex
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Parameter sweeps (trimmed relative to the paper's denser grids).
+T_GRID = (2.0, 4.0, 6.0, 9.0)
+ALPHA_GRID = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def record(name: str, text: str) -> pathlib.Path:
+    """Write one experiment's rendered output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+@dataclass
+class FigureArtifacts:
+    """Everything a figure module needs for reporting and benchmarking."""
+
+    name: str
+    data: np.ndarray
+    truth: GroundTruth
+    queries: np.ndarray
+    index: LinearScanIndex
+    rdt: RDT
+    rdt_plus: RDT
+    sft: SFT
+    curves: dict[int, list[TradeoffCurve]] = field(default_factory=dict)
+    exact_rows: dict[int, list[tuple]] = field(default_factory=dict)
+    estimator_rows: dict[int, list[tuple]] = field(default_factory=dict)
+    precompute_rows: list[tuple] = field(default_factory=list)
+
+
+def run_figure_experiment(
+    name: str,
+    data: np.ndarray,
+    ks: tuple[int, ...] = (10, 50, 100),
+    n_queries: int = 8,
+    include_tpl_for_k: tuple[int, ...] = (),
+    include_exact: bool = True,
+    t_grid: tuple[float, ...] = T_GRID,
+    alpha_grid: tuple[float, ...] = ALPHA_GRID,
+) -> FigureArtifacts:
+    """The Figures 3-6 protocol on one dataset.
+
+    For every ``k``: tradeoff curves for RDT / RDT+ / SFT, fixed points for
+    the estimator-configured RDT+ variants, and (optionally) the exact
+    competitors with their preprocessing costs.
+    """
+    truth = GroundTruth(data)
+    queries = sample_query_indices(len(data), n_queries, seed=42)
+    index = LinearScanIndex(data)
+    art = FigureArtifacts(
+        name=name,
+        data=data,
+        truth=truth,
+        queries=queries,
+        index=index,
+        rdt=RDT(index),
+        rdt_plus=RDT(index, variant="rdt+"),
+        sft=SFT(index),
+    )
+
+    estimator_ts = {
+        method: suggest_scale(data, method=method, seed=0)
+        for method in ("mle", "gp", "takens")
+    }
+
+    for k in ks:
+        art.curves[k] = [
+            run_tradeoff(
+                "RDT",
+                lambda t: (lambda qi: art.rdt.query(query_index=qi, k=k, t=t)),
+                t_grid,
+                queries,
+                truth,
+                k,
+            ),
+            run_tradeoff(
+                "RDT+",
+                lambda t: (lambda qi: art.rdt_plus.query(query_index=qi, k=k, t=t)),
+                t_grid,
+                queries,
+                truth,
+                k,
+            ),
+            run_tradeoff(
+                "SFT",
+                lambda a: (
+                    lambda qi: art.sft.query(query_index=qi, k=k, alpha=a)
+                ),
+                alpha_grid,
+                queries,
+                truth,
+                k,
+            ),
+        ]
+        art.estimator_rows[k] = []
+        for method, t_value in estimator_ts.items():
+            run = run_method(
+                f"RDT+({method.upper()})",
+                lambda qi: art.rdt_plus.query(query_index=qi, k=k, t=t_value),
+                queries,
+                truth,
+                k,
+                parameter=t_value,
+            )
+            art.estimator_rows[k].append(
+                (run.method, round(t_value, 2), run.mean_recall, run.mean_seconds)
+            )
+
+    if include_exact:
+        _run_exact_competitors(art, ks, include_tpl_for_k)
+    return art
+
+
+def _run_exact_competitors(
+    art: FigureArtifacts, ks: tuple[int, ...], include_tpl_for_k: tuple[int, ...]
+) -> None:
+    data, truth, queries = art.data, art.truth, art.queries
+
+    started = time.perf_counter()
+    cop = MRkNNCoP(data, k_max=max(ks))
+    cop_build = time.perf_counter() - started
+    art.precompute_rows.append(("MRkNNCoP", cop_build))
+
+    started = time.perf_counter()
+    rdnn_trees = {k: RdNNTreeIndex(data, k=k) for k in ks}
+    rdnn_build = time.perf_counter() - started
+    art.precompute_rows.append((f"RdNN-Tree (x{len(ks)} trees)", rdnn_build))
+
+    tpl = None
+    if include_tpl_for_k:
+        started = time.perf_counter()
+        tpl = TPL(RStarTreeIndex(data))
+        art.precompute_rows.append(("TPL (R*-tree)", time.perf_counter() - started))
+    art.precompute_rows.append(("RDT/RDT+/SFT (forward index)", 0.0))
+
+    for k in ks:
+        rows = []
+        run = run_method(
+            "MRkNNCoP",
+            lambda qi: cop.query(query_index=qi, k=k),
+            queries,
+            truth,
+            k,
+        )
+        rows.append(("MRkNNCoP", run.mean_recall, run.mean_seconds))
+        rdnn = RdNN(rdnn_trees[k])
+        run = run_method(
+            "RdNN-Tree", lambda qi: rdnn.query(query_index=qi), queries, truth, k
+        )
+        rows.append(("RdNN-Tree", run.mean_recall, run.mean_seconds))
+        if tpl is not None and k in include_tpl_for_k:
+            run = run_method(
+                "TPL", lambda qi: tpl.query(query_index=qi, k=k), queries, truth, k
+            )
+            rows.append(("TPL", run.mean_recall, run.mean_seconds))
+        art.exact_rows[k] = rows
+
+
+def render_figure(art: FigureArtifacts, title: str) -> str:
+    """Render one figure's full set of panels as text."""
+    blocks = [title]
+    for k, curves in sorted(art.curves.items()):
+        blocks.append(render_curves(f"\n--- k={k}: time-accuracy tradeoff ---", curves))
+        if art.estimator_rows.get(k):
+            blocks.append("\n--- estimator-configured RDT+ ---")
+            blocks.append(
+                format_table(
+                    ["method", "t", "recall", "mean_query_s"],
+                    art.estimator_rows[k],
+                )
+            )
+        if art.exact_rows.get(k):
+            blocks.append("\n--- exact competitors ---")
+            blocks.append(
+                format_table(["method", "recall", "mean_query_s"], art.exact_rows[k])
+            )
+    if art.precompute_rows:
+        blocks.append("\n--- precomputation time (log-scale bar in the paper) ---")
+        blocks.append(format_table(["method", "seconds"], art.precompute_rows))
+    return "\n".join(blocks)

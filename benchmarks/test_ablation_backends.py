@@ -1,0 +1,69 @@
+"""Ablation C — the incremental-NN back-end (Section 7.1's index choice).
+
+The paper found the cover tree superior to sequential scan everywhere
+except MNIST/Imagenet (high representational dimension).  This ablation
+runs identical RDT+ queries over four back-ends on a low-D and a high-D
+stand-in, checking both agreement of the answers (the algorithm is
+back-end-agnostic) and the expected cost crossover.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.core import RDT
+from repro.datasets import load_standin
+from repro.evaluation import GroundTruth, format_table, run_method, sample_query_indices
+from repro.indexes import build_index
+
+BACKENDS = ("linear-scan", "cover-tree", "kd-tree", "vp-tree")
+DATASETS = {"sequoia": 2500, "mnist": 1200}
+K = 10
+T = 6.0
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    blocks = ["Ablation C — RDT+ across incremental-NN back-ends"]
+    results = {}
+    for name, n in DATASETS.items():
+        data = load_standin(name, n=n, seed=0)
+        truth = GroundTruth(data)
+        queries = sample_query_indices(n, 6, seed=12)
+        rows = []
+        for backend in BACKENDS:
+            index = build_index(backend, data)
+            rdt_plus = RDT(index, variant="rdt+")
+            run = run_method(
+                backend,
+                lambda qi: rdt_plus.query(query_index=qi, k=K, t=T),
+                queries,
+                truth,
+                K,
+            )
+            rows.append((backend, run.mean_recall, run.mean_seconds))
+            results[(name, backend)] = run
+        blocks.append(f"\n[{name} (n={n}, D={data.shape[1]})]")
+        blocks.append(format_table(["backend", "recall", "mean_query_s"], rows))
+    record("ablation_backends", "\n".join(blocks))
+    return results
+
+
+def test_backends_agree_on_quality(ablation):
+    """Identical (t, k) gives identical recall regardless of back-end."""
+    for name in DATASETS:
+        recalls = {ablation[(name, b)].mean_recall for b in BACKENDS}
+        assert max(recalls) - min(recalls) < 0.02
+
+
+def test_benchmark_cover_tree_backend(benchmark, ablation):
+    data = load_standin("sequoia", n=DATASETS["sequoia"], seed=0)
+    rdt_plus = RDT(build_index("cover-tree", data), variant="rdt+")
+    benchmark(lambda: rdt_plus.query(query_index=0, k=K, t=T))
+
+
+def test_benchmark_linear_scan_backend(benchmark, ablation):
+    data = load_standin("sequoia", n=DATASETS["sequoia"], seed=0)
+    rdt_plus = RDT(build_index("linear-scan", data), variant="rdt+")
+    benchmark(lambda: rdt_plus.query(query_index=0, k=K, t=T))

@@ -1,0 +1,78 @@
+"""Ablation D — estimator-driven scale selection plus the adaptive variant.
+
+Extends the paper's Section 6/8.1 comparison (RDT+(MLE) vs RDT+(GP) vs
+RDT+(Takens)) with the future-work adaptive-t variant (Section 9),
+reporting recall and query time per configuration on every stand-in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.core import RDT, AdaptiveRDT, suggest_scale
+from repro.datasets import load_standin
+from repro.evaluation import GroundTruth, format_table, run_method, sample_query_indices
+from repro.indexes import LinearScanIndex
+
+DATASETS = {"sequoia": 2500, "fct": 2000, "aloi": 1200, "mnist": 1200}
+K = 10
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    blocks = ["Ablation D — scale-selection strategies (k=10)"]
+    results = {}
+    for name, n in DATASETS.items():
+        data = load_standin(name, n=n, seed=0)
+        truth = GroundTruth(data)
+        queries = sample_query_indices(n, 6, seed=13)
+        index = LinearScanIndex(data)
+        rdt_plus = RDT(index, variant="rdt+")
+        adaptive = AdaptiveRDT(index)
+
+        rows = []
+        for method in ("mle", "gp", "takens"):
+            t = suggest_scale(data, method=method, seed=0)
+            run = run_method(
+                f"RDT+({method})",
+                lambda qi: rdt_plus.query(query_index=qi, k=K, t=t),
+                queries,
+                truth,
+                K,
+            )
+            rows.append((f"RDT+({method})", round(t, 2), run.mean_recall, run.mean_seconds))
+            results[(name, method)] = run
+        run = run_method(
+            "AdaptiveRDT",
+            lambda qi: adaptive.query(query_index=qi, k=K),
+            queries,
+            truth,
+            K,
+        )
+        rows.append(("AdaptiveRDT (per-query t)", float("nan"), run.mean_recall, run.mean_seconds))
+        results[(name, "adaptive")] = run
+        blocks.append(f"\n[{name} (n={n})]")
+        blocks.append(format_table(["configuration", "t", "recall", "mean_query_s"], rows))
+    record("ablation_estimators", "\n".join(blocks))
+    return results
+
+
+def test_estimator_configurations_viable(ablation):
+    """Every estimator-driven configuration reaches useful recall."""
+    for (name, method), run in ablation.items():
+        assert run.mean_recall >= 0.5, (name, method)
+
+
+def test_adaptive_competitive_with_global_estimates(ablation):
+    for name in DATASETS:
+        best_global = max(
+            ablation[(name, m)].mean_recall for m in ("mle", "gp", "takens")
+        )
+        assert ablation[(name, "adaptive")].mean_recall >= best_global - 0.15
+
+
+def test_benchmark_adaptive_query(benchmark, ablation):
+    data = load_standin("fct", n=DATASETS["fct"], seed=0)
+    adaptive = AdaptiveRDT(LinearScanIndex(data))
+    benchmark(lambda: adaptive.query(query_index=0, k=K))

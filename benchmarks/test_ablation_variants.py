@@ -1,0 +1,100 @@
+"""Ablation B — RDT vs RDT+ candidate-set reduction (Section 4.3).
+
+Measures what the exclusion rule actually buys: smaller stored filter sets
+(hence cheaper witness maintenance) at a quantified precision cost, on the
+high-dimensional MNIST stand-in where the paper says the reduction matters
+most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.core import RDT
+from repro.datasets import load_standin
+from repro.evaluation import GroundTruth, format_table, run_method, sample_query_indices
+from repro.indexes import LinearScanIndex
+
+N = 1500
+K = 10
+T_SWEEP = (4.0, 8.0, 12.0)
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    data = load_standin("mnist", n=N, seed=0)
+    truth = GroundTruth(data)
+    queries = sample_query_indices(N, 8, seed=11)
+    index = LinearScanIndex(data)
+    variants = {"RDT": RDT(index), "RDT+": RDT(index, variant="rdt+")}
+
+    rows = []
+    stats = {}
+    for t in T_SWEEP:
+        for label, method in variants.items():
+            run = run_method(
+                label,
+                lambda qi: method.query(query_index=qi, k=K, t=t),
+                queries,
+                truth,
+                K,
+                keep_results=True,
+            )
+            stored = float(
+                np.mean([r.result.stats.num_candidates for r in run.records])
+            )
+            excluded = float(
+                np.mean([r.result.stats.num_excluded for r in run.records])
+            )
+            rows.append(
+                (
+                    t,
+                    label,
+                    run.mean_recall,
+                    run.mean_precision,
+                    stored,
+                    excluded,
+                    run.mean_seconds,
+                )
+            )
+            stats[(t, label)] = {
+                "stored": stored,
+                "recall": run.mean_recall,
+                "precision": run.mean_precision,
+                "seconds": run.mean_seconds,
+            }
+    text = format_table(
+        ["t", "variant", "recall", "precision", "stored |F|", "excluded", "mean_s"],
+        rows,
+    )
+    record("ablation_variants", "Ablation B — RDT vs RDT+ (MNIST stand-in)\n" + text)
+    return stats
+
+
+def test_reduction_shrinks_filter_set(ablation):
+    for t in T_SWEEP:
+        assert ablation[(t, "RDT+")]["stored"] < ablation[(t, "RDT")]["stored"]
+
+
+def test_reduction_keeps_recall(ablation):
+    for t in T_SWEEP:
+        assert ablation[(t, "RDT+")]["recall"] >= ablation[(t, "RDT")]["recall"] - 0.05
+
+
+def test_rdt_precision_is_exact(ablation):
+    for t in T_SWEEP:
+        assert ablation[(t, "RDT")]["precision"] == 1.0
+
+
+def test_benchmark_rdt(benchmark, ablation):
+    data = load_standin("mnist", n=N, seed=0)
+    rdt = RDT(LinearScanIndex(data))
+    benchmark(lambda: rdt.query(query_index=0, k=K, t=8.0))
+
+
+def test_benchmark_rdt_plus(benchmark, ablation):
+    data = load_standin("mnist", n=N, seed=0)
+    rdt_plus = RDT(LinearScanIndex(data), variant="rdt+")
+    benchmark(lambda: rdt_plus.query(query_index=0, k=K, t=8.0))

@@ -1,0 +1,89 @@
+"""Ablation A — the witness mechanism on/off.
+
+Section 8.2 attributes RDT's advantage over SFT to the constant-overhead
+lazy reject rule.  This ablation makes the claim directly testable: plain
+RDT with witnesses disabled must verify every candidate with a forward-kNN
+query, and the verification count (and wall time, once candidate sets are
+non-trivial) separates the two configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.core import RDT
+from repro.datasets import load_standin
+from repro.evaluation import GroundTruth, format_table, run_method, sample_query_indices
+from repro.indexes import LinearScanIndex
+
+N = 2000
+K = 10
+T_SWEEP = (4.0, 8.0, 12.0)
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    data = load_standin("fct", n=N, seed=0)
+    truth = GroundTruth(data)
+    queries = sample_query_indices(N, 8, seed=10)
+    index = LinearScanIndex(data)
+    with_witnesses = RDT(index)
+    without = RDT(index, use_witnesses=False)
+
+    rows = []
+    stats = {}
+    for t in T_SWEEP:
+        for label, method in (("witnesses", with_witnesses), ("no-witnesses", without)):
+            run = run_method(
+                label,
+                lambda qi: method.query(query_index=qi, k=K, t=t),
+                queries,
+                truth,
+                K,
+                keep_results=True,
+            )
+            verified = float(
+                np.mean([r.result.stats.num_verified for r in run.records])
+            )
+            candidates = float(
+                np.mean([r.result.stats.num_candidates for r in run.records])
+            )
+            rows.append(
+                (t, label, run.mean_recall, candidates, verified, run.mean_seconds)
+            )
+            stats[(t, label)] = (verified, run.mean_recall, run.mean_seconds)
+    text = format_table(
+        ["t", "config", "recall", "candidates", "verified", "mean_query_s"], rows
+    )
+    record("ablation_witness", "Ablation A — witness mechanism\n" + text)
+    return stats
+
+
+def test_witnesses_suppress_verifications(ablation):
+    for t in T_SWEEP:
+        with_v, with_recall, _ = ablation[(t, "witnesses")]
+        without_v, without_recall, _ = ablation[(t, "no-witnesses")]
+        assert with_v < 0.3 * without_v
+        # The answer itself is identical for plain RDT.
+        assert with_recall == pytest.approx(without_recall)
+
+
+def test_witnesses_pay_off_at_large_t(ablation):
+    """At large t (big candidate sets) the lazy rules win wall-clock."""
+    _, _, with_s = ablation[(T_SWEEP[-1], "witnesses")]
+    _, _, without_s = ablation[(T_SWEEP[-1], "no-witnesses")]
+    assert with_s < without_s
+
+
+def test_benchmark_with_witnesses(benchmark, ablation):
+    data = load_standin("fct", n=N, seed=0)
+    rdt = RDT(LinearScanIndex(data))
+    benchmark(lambda: rdt.query(query_index=0, k=K, t=8.0))
+
+
+def test_benchmark_without_witnesses(benchmark, ablation):
+    data = load_standin("fct", n=N, seed=0)
+    rdt = RDT(LinearScanIndex(data), use_witnesses=False)
+    benchmark(lambda: rdt.query(query_index=0, k=K, t=8.0))

@@ -1,0 +1,49 @@
+"""Figure 3 — Sequoia: recall vs query time for k in {10, 50, 100}.
+
+Paper panel contents: tradeoff curves for RDT/RDT+ (sweeping t) and SFT
+(sweeping alpha), fixed points for the estimator-configured RDT+ variants,
+exact competitors' query times, and the log-scale precomputation
+comparison.  Sequoia is the small 2-D set where the exact methods are
+strongest and the heuristics win only as recall approaches 100%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figure_driver import record, render_figure, run_figure_experiment
+from repro.datasets import load_standin
+
+N = 4000
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    data = load_standin("sequoia", n=N, seed=0)
+    art = run_figure_experiment(
+        "fig3_sequoia",
+        data,
+        ks=(10, 50, 100),
+        include_tpl_for_k=(10,),
+    )
+    record("fig3_sequoia", render_figure(art, f"Figure 3 — Sequoia stand-in (n={N})"))
+    return art
+
+
+def test_fig3_regenerated(fig3):
+    for k, curves in fig3.curves.items():
+        for curve in curves:
+            assert curve.recalls()[-1] >= curve.recalls()[0] - 0.05
+    # Exact methods must be exact.
+    for rows in fig3.exact_rows.values():
+        assert all(row[1] == 1.0 for row in rows)
+
+
+def test_benchmark_rdt_plus_query(benchmark, fig3):
+    qi = int(fig3.queries[0])
+    benchmark(lambda: fig3.rdt_plus.query(query_index=qi, k=10, t=6.0))
+
+
+def test_benchmark_sft_query(benchmark, fig3):
+    qi = int(fig3.queries[0])
+    benchmark(lambda: fig3.sft.query(query_index=qi, k=10, alpha=8.0))

@@ -1,0 +1,44 @@
+"""Figure 4 — ALOI: recall vs query time for k in {10, 50, 100}.
+
+The high-representational-dimension (641-D), low-intrinsic-dimension
+regime: R-tree-family competitors lose their pruning power, while RDT's
+dimensional test keeps the search shallow.  TPL is omitted (as the paper
+notes, it is not competitive at this dimensionality).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figure_driver import record, render_figure, run_figure_experiment
+from repro.datasets import load_standin
+
+N = 1600
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    data = load_standin("aloi", n=N, seed=0)
+    art = run_figure_experiment("fig4_aloi", data, ks=(10, 50, 100))
+    record("fig4_aloi", render_figure(art, f"Figure 4 — ALOI stand-in (n={N}, D=641)"))
+    return art
+
+
+def test_fig4_regenerated(fig4):
+    # RDT's curve reaches high recall at the top of the t sweep.
+    for k, curves in fig4.curves.items():
+        rdt_curve = curves[0]
+        assert rdt_curve.recalls()[-1] >= 0.95
+    for rows in fig4.exact_rows.values():
+        assert all(row[1] == 1.0 for row in rows)
+
+
+def test_benchmark_rdt_plus_query(benchmark, fig4):
+    qi = int(fig4.queries[0])
+    benchmark(lambda: fig4.rdt_plus.query(query_index=qi, k=10, t=6.0))
+
+
+def test_benchmark_mrknncop_style_verification(benchmark, fig4):
+    """The refinement kNN query — the unit the filter phase tries to avoid."""
+    qi = int(fig4.queries[0])
+    benchmark(lambda: fig4.index.knn_distance(fig4.data[qi], 10, exclude_index=qi))

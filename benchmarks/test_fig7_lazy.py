@@ -1,0 +1,79 @@
+"""Figure 7 — proportions of lazy accepts / lazy rejects / verifications.
+
+Paper: for k=10 and t swept over [2, 14], the fraction of candidates
+treated by each mechanism, with the achieved recall overlaid.  The
+reproduced shape: verification dominates at small t (few candidates, few
+witnesses), lazy rejection takes over as t grows, and lazy accepts stay a
+small-but-significant slice — which is why RDT beats SFT once candidate
+sets are large (Section 8.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.core import RDT
+from repro.datasets import load_standin
+from repro.evaluation import GroundTruth, format_table, sample_query_indices
+from repro.evaluation.metrics import recall as recall_of
+from repro.indexes import LinearScanIndex
+
+SIZES = {"sequoia": 2500, "fct": 2000, "aloi": 1200, "mnist": 1200}
+T_SWEEP = (2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0)
+K = 10
+N_QUERIES = 8
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    blocks = ["Figure 7 — candidate treatment proportions, k=10"]
+    tables = {}
+    for name, n in SIZES.items():
+        data = load_standin(name, n=n, seed=0)
+        truth = GroundTruth(data)
+        queries = sample_query_indices(n, N_QUERIES, seed=7)
+        rdt_plus = RDT(LinearScanIndex(data), variant="rdt+")
+        rows = []
+        for t in T_SWEEP:
+            proportions = {"accept": [], "reject": [], "verify": []}
+            recalls = []
+            for qi in queries:
+                result = rdt_plus.query(query_index=int(qi), k=K, t=t)
+                for key, value in result.stats.proportions().items():
+                    proportions[key].append(value)
+                recalls.append(recall_of(truth.answer(int(qi), K), result.ids))
+            rows.append(
+                (
+                    t,
+                    float(np.mean(proportions["verify"])),
+                    float(np.mean(proportions["accept"])),
+                    float(np.mean(proportions["reject"])),
+                    float(np.mean(recalls)),
+                )
+            )
+        tables[name] = rows
+        blocks.append(f"\n[{name} (k={K})]")
+        blocks.append(
+            format_table(["t", "verify", "accept", "reject", "recall"], rows)
+        )
+    record("fig7_lazy_proportions", "\n".join(blocks))
+    return tables
+
+
+def test_fig7_regenerated(fig7):
+    for name, rows in fig7.items():
+        # Proportions partition the candidates at every t.
+        for t, verify, accept, reject, recall in rows:
+            assert verify + accept + reject == pytest.approx(1.0)
+        # Rejection dominates once the search expands (large t).
+        assert rows[-1][3] > 0.5, name
+        # Recall at the top of the sweep approaches 1.
+        assert rows[-1][4] >= 0.95, name
+
+
+def test_benchmark_instrumented_query(benchmark, fig7):
+    data = load_standin("fct", n=SIZES["fct"], seed=0)
+    rdt_plus = RDT(LinearScanIndex(data), variant="rdt+")
+    benchmark(lambda: rdt_plus.query(query_index=0, k=K, t=8.0))

@@ -1,0 +1,45 @@
+"""Outlier detection with reverse-kNN counts (ODIN-style).
+
+One of the paper's motivating applications (Section 1, refs [18, 27, 37]):
+a point that appears in few other points' k-nearest neighborhoods has low
+"influence" — reverse-neighbor counts are an outlier score.  This example
+scores a contaminated dataset with RDT-powered RkNN counts and checks that
+the planted outliers surface at the bottom of the ranking.
+
+Run:  python examples/outlier_detection.py
+"""
+
+import numpy as np
+
+from repro import CoverTreeIndex
+from repro.datasets import gaussian_mixture
+from repro.mining import odin_scores
+from repro.utils.rng import ensure_rng
+
+
+def main() -> None:
+    rng = ensure_rng(7)
+    inliers = gaussian_mixture(1500, dim=6, n_clusters=4, separation=6.0, seed=7)
+    # Plant outliers well outside the cluster envelope.
+    directions = rng.normal(size=(25, 6))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    outliers = directions * rng.uniform(30.0, 60.0, size=(25, 1))
+    data = np.vstack([inliers, outliers])
+    outlier_ids = set(range(len(inliers), len(data)))
+
+    scores = odin_scores(CoverTreeIndex(data), k=10, t=6.0)
+    # Low in-degree = low influence = outlier.  Scores tie heavily at the
+    # bottom (many counts of 0/1), so rank-based evaluation uses the bottom
+    # decile rather than an exact cutoff.
+    decile = np.argsort(scores)[: len(data) // 10]
+    hits = len(set(decile.tolist()) & outlier_ids)
+    print(f"planted outliers: {len(outlier_ids)}, bottom decile: {len(decile)}")
+    print(f"planted outliers found in bottom decile: {hits}/{len(outlier_ids)}")
+    print(f"mean RkNN count, inliers : {scores[: len(inliers)].mean():.2f}")
+    print(f"mean RkNN count, outliers: {scores[len(inliers):].mean():.2f}")
+    if hits < 0.8 * len(outlier_ids):
+        raise SystemExit("outlier recovery unexpectedly poor")
+
+
+if __name__ == "__main__":
+    main()

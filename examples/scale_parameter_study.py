@@ -1,0 +1,61 @@
+"""How to choose the scale parameter t — a practical walkthrough.
+
+Reproduces the paper's Section 6 workflow on one dataset: estimate the
+intrinsic dimensionality three ways, run RDT+ at each suggested t plus a
+sweep of manual values, and print the time/recall landscape so the
+tradeoff (and the MaxGED exactness threshold) is visible in one table.
+
+Run:  python examples/scale_parameter_study.py
+"""
+
+import numpy as np
+
+from repro import RDT, LinearScanIndex, NaiveRkNN, suggest_scale
+from repro.datasets import load_standin
+from repro.evaluation import format_table
+from repro.lid import theorem1_scale
+
+
+def main() -> None:
+    data = load_standin("fct", n=1500, seed=1)
+    k = 10
+    naive = NaiveRkNN(data, k=k)
+    queries = list(range(0, 1500, 150))
+    truth = {qi: set(naive.query(query_index=qi).tolist()) for qi in queries}
+
+    rdt_plus = RDT(LinearScanIndex(data), variant="rdt+")
+
+    def evaluate(t: float) -> tuple[float, float]:
+        recalls, times = [], []
+        for qi in queries:
+            result = rdt_plus.query(query_index=qi, k=k, t=t)
+            got = set(result.ids.tolist())
+            recalls.append(
+                len(got & truth[qi]) / max(1, len(truth[qi]))
+            )
+            times.append(result.stats.total_seconds)
+        return float(np.mean(recalls)), float(np.mean(times))
+
+    rows = []
+    for t in (1.0, 2.0, 4.0, 8.0, 16.0):
+        recall, seconds = evaluate(t)
+        rows.append((f"manual t={t}", t, recall, seconds))
+    for method in ("mle", "gp", "takens"):
+        t = suggest_scale(data, method=method, seed=0)
+        recall, seconds = evaluate(t)
+        rows.append((f"estimator {method}", round(t, 2), recall, seconds))
+
+    t_star = theorem1_scale(data, k=k)
+    rows.append(("MaxGED (Theorem 1 bound)", round(t_star, 1), *evaluate(t_star)))
+
+    print(format_table(["configuration", "t", "recall", "mean_query_s"], rows))
+    print(
+        "\nNote how the exactness threshold (MaxGED) is orders of magnitude\n"
+        "above the estimator suggestions, yet the estimators already reach\n"
+        "~full recall — the paper's Section 6 argument for estimating ID\n"
+        "directly instead of bounding it."
+    )
+
+
+if __name__ == "__main__":
+    main()

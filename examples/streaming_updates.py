@@ -1,0 +1,65 @@
+"""Dynamic data: tracking reverse neighborhoods under inserts and deletes.
+
+The paper's Section 1 motivates RkNN for data warehouses and streams:
+when a record arrives or expires, the points *influenced* by the change are
+exactly the reverse neighbors of the changed location.  Because RDT keeps
+no per-dataset state beyond the forward index (Section 4), updates cost
+only an index insert/remove — no kNN tables to rebuild, unlike the
+RdNN-tree / MRkNNCoP family.
+
+This example maintains a sliding window over a drifting stream and, for
+each batch of arrivals, reports which resident points gained the new
+arrivals as reverse neighbors.
+
+Run:  python examples/streaming_updates.py
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro import RDT, CoverTreeIndex
+from repro.utils.rng import ensure_rng
+
+WINDOW = 600
+BATCH = 50
+ROUNDS = 6
+K = 8
+
+
+def main() -> None:
+    rng = ensure_rng(11)
+    center = np.zeros(4)
+
+    initial = rng.normal(size=(WINDOW, 4))
+    index = CoverTreeIndex(initial)
+    window: deque[int] = deque(range(WINDOW))
+    rdt_plus = RDT(index, variant="rdt+")
+
+    print(f"sliding window of {WINDOW} points, batches of {BATCH}, k={K}")
+    for round_no in range(ROUNDS):
+        center += rng.normal(scale=0.4, size=4)  # concept drift
+        influenced: set[int] = set()
+        for _ in range(BATCH):
+            point = center + rng.normal(size=4)
+            new_id = index.insert(point)
+            window.append(new_id)
+            # Who is influenced by this arrival?  Its reverse neighbors.
+            result = rdt_plus.query(query_index=new_id, k=K, t=6.0)
+            influenced.update(result.ids.tolist())
+            expired = window.popleft()
+            index.remove(expired)
+        influenced &= set(window)
+        print(
+            f"round {round_no}: window={index.size}, "
+            f"{len(influenced)} resident points had their {K}-NN "
+            f"neighborhood changed by arrivals"
+        )
+    if index.size != WINDOW:
+        raise SystemExit("window size drifted — insert/remove mismatch")
+    print("\nwindow maintained with pure index updates; no precomputed "
+          "kNN tables were ever rebuilt.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment this reproduction targets has setuptools but no
+``wheel`` package, so PEP 660 editable installs (which must build a wheel)
+fail.  Keeping a classic ``setup.py`` lets ``pip install -e .`` fall back to
+the legacy develop path, which needs no wheel building.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""repro — Dimensional Testing for Reverse k-Nearest Neighbor Search.
+
+A production-quality reproduction of Casanova et al., "Dimensional Testing
+for Reverse k-Nearest Neighbor Search", PVLDB 10(7), 2017.
+
+The top-level namespace re-exports the public API:
+
+* :class:`~repro.core.RDT` — the paper's algorithm (RDT and RDT+ variants);
+* the index substrates (:mod:`repro.indexes`);
+* the competing methods (:mod:`repro.baselines`);
+* intrinsic-dimensionality estimators (:mod:`repro.lid`);
+* dataset generators and paper stand-ins (:mod:`repro.datasets`);
+* the evaluation harness (:mod:`repro.evaluation`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import RDT, CoverTreeIndex
+
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(2000, 16))
+    index = CoverTreeIndex(data)
+    rdt = RDT(index, variant="rdt+")
+    result = rdt.query(query_index=7, k=10, t=8.0)
+    print(result.ids, result.stats.num_candidates)
+"""
+
+from repro.distances import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    get_metric,
+)
+from repro.indexes import (
+    BallTreeIndex,
+    CoverTreeIndex,
+    Index,
+    IndexCapabilityError,
+    KDTreeIndex,
+    LinearScanIndex,
+    MTreeIndex,
+    RdNNTreeIndex,
+    RStarTreeIndex,
+    VPTreeIndex,
+    build_index,
+    bulk_knn,
+    bulk_knn_distances,
+)
+from repro.core import RDT, QueryStats, RkNNResult, suggest_scale
+from repro.baselines import SFT, TPL, MRkNNCoP, NaiveRkNN, RdNN, rknn_brute_force
+from repro.lid import (
+    estimate_id,
+    estimate_id_gp,
+    estimate_id_mle,
+    estimate_id_takens,
+    ged,
+    max_ged,
+)
+from repro.datasets import load_standin
+from repro.evaluation import GroundTruth, run_method, run_tradeoff
+from repro.mining import (
+    hubness_counts,
+    hubness_skewness,
+    influence_set,
+    knn_digraph,
+    odin_outliers,
+    odin_scores,
+    rknn_self_join,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # distances
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "get_metric",
+    # indexes
+    "Index",
+    "IndexCapabilityError",
+    "LinearScanIndex",
+    "KDTreeIndex",
+    "CoverTreeIndex",
+    "VPTreeIndex",
+    "BallTreeIndex",
+    "MTreeIndex",
+    "RStarTreeIndex",
+    "RdNNTreeIndex",
+    "build_index",
+    "bulk_knn",
+    "bulk_knn_distances",
+    # core algorithm
+    "RDT",
+    "RkNNResult",
+    "QueryStats",
+    "suggest_scale",
+    # baselines
+    "NaiveRkNN",
+    "rknn_brute_force",
+    "SFT",
+    "MRkNNCoP",
+    "RdNN",
+    "TPL",
+    # intrinsic dimensionality
+    "estimate_id",
+    "estimate_id_mle",
+    "estimate_id_gp",
+    "estimate_id_takens",
+    "ged",
+    "max_ged",
+    # datasets & evaluation
+    "load_standin",
+    "GroundTruth",
+    "run_method",
+    "run_tradeoff",
+    # mining applications
+    "rknn_self_join",
+    "odin_scores",
+    "odin_outliers",
+    "influence_set",
+    "hubness_counts",
+    "hubness_skewness",
+    "knn_digraph",
+]

@@ -1,0 +1,24 @@
+"""Competing RkNN methods from the paper's experimental study (Section 7.1).
+
+* :class:`NaiveRkNN` — brute force; defines the reference semantics;
+* :class:`SFT` — approximate, alpha-scaled forward-kNN candidates [40];
+* :class:`MRkNNCoP` — exact, precomputed log-log kNN-distance bounds [3];
+* :class:`RdNN` — exact, kNN-distance-augmented R*-tree, fixed k [51];
+* :class:`TPL` — exact, bisector pruning over an R*-tree [43].
+"""
+
+from repro.baselines.mrknncop import MRkNNCoP, fit_log_bounds
+from repro.baselines.naive import NaiveRkNN, rknn_brute_force
+from repro.baselines.rdnn import RdNN
+from repro.baselines.sft import SFT
+from repro.baselines.tpl import TPL
+
+__all__ = [
+    "NaiveRkNN",
+    "rknn_brute_force",
+    "SFT",
+    "MRkNNCoP",
+    "fit_log_bounds",
+    "RdNN",
+    "TPL",
+]

@@ -1,0 +1,66 @@
+"""Exact brute-force reverse-kNN — the library's reference semantics.
+
+Every algorithm in the repository is tested and evaluated against this
+definition (DESIGN.md "Semantics and conventions"):
+
+    RkNN_k(q) = { x in S \\ {q} :  d(x, q) <= d_k(x) },
+
+where ``d_k(x)`` is the k-th nearest neighbor distance of ``x`` computed
+over ``S \\ {x}``, and the comparison is the tolerant ``dist_le`` so that
+boundary members (points whose k-th neighbor *is* the query) are classified
+identically regardless of which vectorized kernel produced each side.
+
+Two call styles are provided: :class:`NaiveRkNN` precomputes the full
+kNN-distance table once and answers any number of queries in O(n) each
+(what the evaluation harness uses to build ground truth), while
+:func:`rknn_brute_force` answers a single query from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.indexes.bulk_knn import bulk_knn_distances
+from repro.utils.tolerance import DIST_ATOL, DIST_RTOL
+from repro.utils.validation import as_dataset, as_query_point, check_k
+
+__all__ = ["NaiveRkNN", "rknn_brute_force"]
+
+
+class NaiveRkNN:
+    """Exact RkNN answering backed by a precomputed kNN-distance table."""
+
+    def __init__(self, data, k: int, metric: str | Metric | None = None) -> None:
+        self.points = as_dataset(data)
+        n = self.points.shape[0]
+        self.k = check_k(k, n=n - 1, name="k")
+        self.metric = get_metric(metric)
+        #: k-th NN distance of every point over ``S \\ {x}``
+        self.knn_distances = bulk_knn_distances(self.points, self.k, metric=self.metric)
+
+    def query(self, query=None, *, query_index: int | None = None) -> np.ndarray:
+        """Exact reverse k-nearest neighbors, ascending point ids."""
+        if (query is None) == (query_index is None):
+            raise ValueError("provide exactly one of `query` or `query_index`")
+        if query_index is not None:
+            query = self.points[query_index]
+        query = as_query_point(query, dim=self.points.shape[1])
+        dists = self.metric.to_point(self.points, query)
+        slack = DIST_RTOL * np.abs(self.knn_distances) + DIST_ATOL
+        members = dists <= self.knn_distances + slack
+        if query_index is not None:
+            members[query_index] = False
+        return np.flatnonzero(members).astype(np.intp)
+
+
+def rknn_brute_force(
+    data,
+    k: int,
+    query=None,
+    *,
+    query_index: int | None = None,
+    metric: str | Metric | None = None,
+) -> np.ndarray:
+    """One-shot exact RkNN query (builds the distance table and discards it)."""
+    return NaiveRkNN(data, k, metric=metric).query(query, query_index=query_index)

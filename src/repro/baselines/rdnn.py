@@ -1,0 +1,65 @@
+"""Query-method wrapper around the RdNN-tree (Yang & Lin, ICDE 2001).
+
+The index itself lives in :mod:`repro.indexes.rdnn_tree`; this wrapper
+gives it the same ``query(...) -> RkNNResult`` surface as every other
+method in :mod:`repro.baselines`, so the evaluation harness can drive all
+competitors uniformly.  Queries are exact but the tree answers only the
+single ``k`` it was precomputed for — asking for another ``k`` raises,
+reproducing the inflexibility the paper holds against the method (a new
+tree must be built per ``k``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import QueryStats, RkNNResult
+from repro.indexes.rdnn_tree import RdNNTreeIndex
+from repro.utils.validation import check_k
+
+__all__ = ["RdNN"]
+
+
+class RdNN:
+    """Exact fixed-k RkNN via the kNN-distance-augmented R*-tree."""
+
+    def __init__(self, index: RdNNTreeIndex) -> None:
+        if not isinstance(index, RdNNTreeIndex):
+            raise TypeError(
+                f"RdNN requires an RdNNTreeIndex, got {type(index).__name__}"
+            )
+        self.index = index
+
+    def query(
+        self, query=None, *, query_index: int | None = None, k: int | None = None
+    ) -> RkNNResult:
+        """Exact RkNN for the tree's fixed ``k``.
+
+        ``k`` may be passed for interface uniformity but must match the
+        precomputed value.
+        """
+        if k is None:
+            k = self.index.k
+        k = check_k(k)
+        if k != self.index.k:
+            raise ValueError(
+                f"this RdNN-tree was precomputed for k={self.index.k}; "
+                f"answering k={k} requires building a new tree "
+                "(the method's per-k precomputation cost)"
+            )
+        if (query is None) == (query_index is None):
+            raise ValueError("provide exactly one of `query` or `query_index`")
+        if query_index is not None:
+            query = self.index.get_point(query_index)
+
+        metric = self.index.metric
+        calls_before = metric.num_calls
+        stats = QueryStats()
+        started = time.perf_counter()
+        ids = self.index.rknn(query, exclude_index=query_index)
+        stats.filter_seconds = time.perf_counter() - started
+        stats.num_candidates = int(ids.shape[0])
+        stats.num_distance_calls = metric.num_calls - calls_before
+        return RkNNResult(ids=np.asarray(ids, dtype=np.intp), k=k, t=float(k), stats=stats)

@@ -1,0 +1,107 @@
+"""SFT — the approximate RkNN heuristic of Singh, Ferhatosmanoglu and Tosun
+(CIKM 2003), the paper's main approximate competitor.
+
+Query processing has three steps:
+
+1. **Candidate extraction** — the ``alpha * k`` nearest neighbors of the
+   query form the candidate set (``alpha >= 1`` is the accuracy knob, the
+   x-axis of the SFT curves in Figures 3–6).
+2. **Local filtering** — pairwise distances *within* the candidate set
+   eliminate candidates that already have ``k`` closer candidates than the
+   query (a restricted form of RDT's witness rule; the restriction to the
+   candidate set is why SFT needs no extra index passes here).
+3. **Count range queries** — each survivor ``x`` is verified by counting
+   the database points inside the ball of radius ``d(x, q)`` around ``x``;
+   the candidate is reported iff at most ``k`` points beside itself lie
+   within.
+
+Recall is bounded by the candidate pool: any reverse neighbor whose forward
+rank exceeds ``alpha * k`` is unreachable — the paper's Section 2.2 points
+out that the relationship between ``alpha`` and recall is not well
+understood, which is precisely what RDT's distance-adaptive termination
+fixes.  False positives never survive step 3, so precision is always 1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import QueryStats, RkNNResult
+from repro.indexes.base import Index
+from repro.utils.tolerance import inflate
+from repro.utils.validation import as_query_point, check_k
+
+__all__ = ["SFT"]
+
+
+class SFT:
+    """Approximate RkNN via alpha-scaled forward-kNN candidate sets."""
+
+    def __init__(self, index: Index) -> None:
+        self.index = index
+
+    def query(
+        self,
+        query=None,
+        *,
+        query_index: int | None = None,
+        k: int,
+        alpha: float = 4.0,
+    ) -> RkNNResult:
+        """Answer one RkNN query with candidate pool size ``ceil(alpha * k)``."""
+        k = check_k(k)
+        if alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        if (query is None) == (query_index is None):
+            raise ValueError("provide exactly one of `query` or `query_index`")
+        if query_index is not None:
+            query_point = self.index.get_point(query_index)
+        else:
+            query_point = as_query_point(query, dim=self.index.dim)
+
+        metric = self.index.metric
+        calls_before = metric.num_calls
+        stats = QueryStats()
+        started = time.perf_counter()
+
+        pool_size = min(int(np.ceil(alpha * k)), self.index.size)
+        ids, dists = self.index.knn(query_point, pool_size, exclude_index=query_index)
+        stats.num_retrieved = int(ids.shape[0])
+        stats.num_candidates = int(ids.shape[0])
+        if ids.shape[0] == 0:
+            stats.filter_seconds = time.perf_counter() - started
+            return RkNNResult(ids=np.empty(0, dtype=np.intp), k=k, t=float(alpha))
+
+        # Step 2: mutual filtering inside the candidate pool.
+        pool = self.index.points[ids]
+        inner = metric.pairwise(pool)
+        closer = inner < dists[None, :]  # closer[i, j]: cand_i closer to cand_j than q
+        closer[np.arange(len(ids)), np.arange(len(ids))] = False
+        witness_counts = closer.sum(axis=0)
+        survivors = np.flatnonzero(witness_counts < k)
+        stats.num_lazy_rejects = int(len(ids) - survivors.shape[0])
+        stats.filter_seconds = time.perf_counter() - started
+
+        # Step 3: count range queries against the full database.
+        started = time.perf_counter()
+        result: list[int] = []
+        for pos in survivors:
+            candidate_id = int(ids[pos])
+            radius = inflate(float(dists[pos]))
+            count = self.index.range_count(pool[pos], radius)
+            stats.num_verified += 1
+            # The count includes the candidate itself; membership requires at
+            # most k *other* points (query included) within the ball.
+            if count - 1 <= k:
+                result.append(candidate_id)
+                stats.num_verified_hits += 1
+        stats.refine_seconds = time.perf_counter() - started
+        stats.num_distance_calls = metric.num_calls - calls_before
+        return RkNNResult(
+            ids=np.asarray(sorted(result), dtype=np.intp),
+            k=k,
+            t=float(alpha),
+            stats=stats,
+        )

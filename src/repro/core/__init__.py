@@ -1,0 +1,22 @@
+"""The paper's primary contribution: RDT / RDT+ and their supporting parts."""
+
+from repro.core.adaptive import AdaptiveRDT
+from repro.core.bichromatic import BichromaticRDT, bichromatic_brute_force
+from repro.core.rdt import RDT, VARIANTS
+from repro.core.result import QueryStats, RkNNResult
+from repro.core.scale import suggest_scale
+from repro.core.termination import DimensionalTest
+from repro.core.witness import CandidateStore
+
+__all__ = [
+    "RDT",
+    "VARIANTS",
+    "AdaptiveRDT",
+    "BichromaticRDT",
+    "bichromatic_brute_force",
+    "RkNNResult",
+    "QueryStats",
+    "DimensionalTest",
+    "CandidateStore",
+    "suggest_scale",
+]

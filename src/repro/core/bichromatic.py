@@ -1,0 +1,208 @@
+"""Bichromatic reverse-kNN (paper Section 1's service/client setting).
+
+In the bichromatic problem the data is split into two types — think
+*services* (the queried type) and *clients*.  A query at a prospective
+service location ``q`` asks for the clients that would have ``q`` among
+their ``k`` nearest services:
+
+    BRkNN_k(q) = { x in C :  d(x, q) <= d_k(x; S) },
+
+with ``C`` the client set, ``S`` the service set, and ``d_k(x; S)`` the
+k-th NN distance of ``x`` over ``S``.
+
+The dimensional-testing machinery ports with one structural change: the
+expanding search runs over *both* colors behind a single nondecreasing
+frontier.  Clients become candidates; services become witnesses.  A client
+is lazily rejected once ``k`` services are strictly closer to it than the
+query, and lazily accepted once the service frontier passes twice its query
+distance with fewer than ``k`` witnesses — both rules are exact here (the
+query is not a member of either set, so no self-counting subtleties
+remain).  The termination bound ``omega`` is computed from *service* ranks:
+Theorem 1's ball-counting argument concerns the set in which neighborhoods
+are ranked, and bounds the query distance of any undiscovered member
+client.  The Lemma 1 rank cap does not transfer across colors (a member
+client's position in the client stream is unconstrained by service
+geometry), so termination is by ``omega`` or exhaustion only: large ``t``
+degenerates to an exact full scan.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import QueryStats, RkNNResult
+from repro.core.termination import DimensionalTest
+from repro.distances import Metric
+from repro.indexes.base import Index
+from repro.utils.tolerance import dist_le
+from repro.utils.validation import as_query_point, check_k, check_scale_parameter
+
+__all__ = ["BichromaticRDT", "bichromatic_brute_force"]
+
+
+def bichromatic_brute_force(clients, services, query, k: int, metric=None) -> np.ndarray:
+    """Exact bichromatic RkNN by definition (reference for tests)."""
+    from repro.distances import get_metric
+    from repro.utils.tolerance import DIST_ATOL, DIST_RTOL
+    from repro.utils.validation import as_dataset
+
+    clients = as_dataset(clients, name="clients")
+    services = as_dataset(services, name="services")
+    metric = get_metric(metric)
+    query = as_query_point(query, dim=clients.shape[1])
+    k = check_k(k, n=services.shape[0], name="k")
+    to_services = metric.pairwise(clients, services)
+    if k < services.shape[0]:
+        kth = np.partition(to_services, k - 1, axis=1)[:, k - 1]
+    else:
+        kth = to_services.max(axis=1)
+    to_query = metric.to_point(clients, query)
+    slack = DIST_RTOL * np.abs(kth) + DIST_ATOL
+    return np.flatnonzero(to_query <= kth + slack).astype(np.intp)
+
+
+class _BichromaticStore:
+    """Client candidates witnessed by services, behind a shared frontier."""
+
+    def __init__(self, dim: int, metric: Metric, k: int) -> None:
+        self._metric = metric
+        self._k = k
+        self.client_ids: list[int] = []
+        self.client_points: list[np.ndarray] = []
+        self.client_qdists: list[float] = []
+        self.witnesses: list[int] = []
+        self.decided: list[bool] = []
+        self.accepted: list[bool] = []
+        self.service_points: list[np.ndarray] = []
+        self.service_qdists: list[float] = []
+
+    def add_client(self, point_id: int, point: np.ndarray, qdist: float) -> None:
+        """A new candidate: seed its witness count from seen services."""
+        count = 0
+        if self.service_points:
+            dists = self._metric.to_point(np.asarray(self.service_points), point)
+            count = int(np.count_nonzero(dists < qdist))
+        self.client_ids.append(point_id)
+        self.client_points.append(point)
+        self.client_qdists.append(qdist)
+        self.witnesses.append(count)
+        self.decided.append(False)
+        self.accepted.append(False)
+
+    def add_service(self, point: np.ndarray, qdist: float) -> None:
+        """A new witness: update counts and take newly final decisions."""
+        self.service_points.append(point)
+        self.service_qdists.append(qdist)
+        if not self.client_ids:
+            return
+        pts = np.asarray(self.client_points)
+        qd = np.asarray(self.client_qdists)
+        dists = self._metric.to_point(pts, point)
+        closer = dists < qd
+        for slot in np.flatnonzero(closer):
+            self.witnesses[slot] += 1
+        # Clients whose service ball the frontier has fully covered.
+        for slot in range(len(self.client_ids)):
+            if not self.decided[slot] and 2.0 * qd[slot] <= qdist:
+                self.decided[slot] = True
+                if self.witnesses[slot] < self._k:
+                    self.accepted[slot] = True
+
+    def masks(self) -> tuple[np.ndarray, np.ndarray]:
+        accepted = np.asarray(self.accepted, dtype=bool)
+        witnesses = np.asarray(self.witnesses)
+        needs_verification = ~accepted & (witnesses < self._k)
+        return accepted, needs_verification
+
+
+class BichromaticRDT:
+    """Dimensional-testing BRkNN over two incremental-NN indexes."""
+
+    def __init__(self, client_index: Index, service_index: Index) -> None:
+        if client_index.dim != service_index.dim:
+            raise ValueError(
+                "client and service indexes must share a dimension, got "
+                f"{client_index.dim} and {service_index.dim}"
+            )
+        self.clients = client_index
+        self.services = service_index
+
+    def query(self, query, *, k: int, t: float) -> RkNNResult:
+        """Clients that would rank ``q`` among their k nearest services."""
+        k = check_k(k, n=self.services.size, name="k")
+        t = check_scale_parameter(t)
+        query_point = as_query_point(query, dim=self.clients.dim)
+        metric = self.clients.metric
+        calls_before = metric.num_calls
+
+        stats = QueryStats()
+        started = time.perf_counter()
+        store = _BichromaticStore(self.clients.dim, metric, k)
+        test = DimensionalTest(k, t, self.services.size, conservative=True)
+
+        client_iter = self.clients.iter_neighbors(query_point)
+        service_iter = self.services.iter_neighbors(query_point)
+        next_client = next(client_iter, None)
+        next_service = next(service_iter, None)
+        service_rank = 0
+        while next_client is not None or next_service is not None:
+            take_client = next_service is None or (
+                next_client is not None and next_client[1] <= next_service[1]
+            )
+            if take_client:
+                point_id, dist = next_client
+                if dist > test.omega:
+                    # No undiscovered member can lie beyond omega; stop
+                    # admitting candidates (services may still be useful, but
+                    # every pending candidate can go to verification instead).
+                    test.terminated_by = "omega"
+                    break
+                store.add_client(point_id, self.clients.get_point(point_id), dist)
+                next_client = next(client_iter, None)
+            else:
+                point_id, dist = next_service
+                if dist > test.omega and (
+                    next_client is None or next_client[1] > test.omega
+                ):
+                    test.terminated_by = "omega"
+                    break
+                service_rank += 1
+                store.add_service(self.services.get_point(point_id), dist)
+                test.observe(service_rank, dist)
+                next_service = next(service_iter, None)
+        else:
+            test.mark_exhausted()
+
+        stats.num_retrieved = service_rank
+        stats.num_candidates = len(store.client_ids)
+        stats.filter_seconds = time.perf_counter() - started
+
+        # Refinement: verify undecided clients against the service set.
+        started = time.perf_counter()
+        accepted, needs_verification = store.masks()
+        ids = np.asarray(store.client_ids, dtype=np.intp)
+        qdists = np.asarray(store.client_qdists)
+        final = accepted.copy()
+        for slot in np.flatnonzero(needs_verification):
+            kth = self.services.knn_distance(store.client_points[slot], k)
+            stats.num_verified += 1
+            if dist_le(float(qdists[slot]), kth):
+                final[slot] = True
+                stats.num_verified_hits += 1
+        stats.num_lazy_accepts = int(np.count_nonzero(accepted))
+        stats.num_lazy_rejects = int(
+            np.count_nonzero(~accepted & ~needs_verification)
+        )
+        stats.refine_seconds = time.perf_counter() - started
+        stats.num_distance_calls = metric.num_calls - calls_before
+        stats.omega = test.omega
+        stats.terminated_by = test.terminated_by or "unknown"
+        return RkNNResult(
+            ids=np.sort(ids[final]).astype(np.intp),
+            k=k,
+            t=t,
+            lazy_accepted_ids=np.sort(ids[accepted]).astype(np.intp),
+            stats=stats,
+        )

@@ -1,0 +1,237 @@
+"""RDT — Reverse k-nearest neighbor queries by Dimensional Testing.
+
+This is the paper's Algorithm 1, in two variants:
+
+* **RDT**: every point retrieved by the expanding forward search enters the
+  filter set and participates in witness counting;
+* **RDT+** (Section 4.3): a retrieved point that collects ``k`` witnesses
+  within its own first cycle is excluded from the filter set, trading a
+  possible loss of precision for much cheaper witness maintenance on large
+  candidate sets.
+
+A query proceeds in two phases:
+
+**Filter** — an incremental forward search expands from the query ``q``
+through the backing index.  Each retrieved point ``v`` runs one witness
+cycle against the current candidates (see :mod:`repro.core.witness`), then
+the dimensional test (:mod:`repro.core.termination`) decides whether any
+undiscovered reverse neighbor can still exist under the assumption that the
+scale parameter ``t`` upper-bounds the local intrinsic dimensionality.
+Points with identical query distance are drained as one tie group before
+the test runs, so the rank bookkeeping matches the paper's max-rank
+convention ``s = rho_S(q, v)``.
+
+**Refinement** — candidates that were neither lazily accepted nor lazily
+rejected are verified with one forward kNN query each: ``x`` belongs to the
+result iff ``d_k(x) >= d(q, x)`` (self-exclusive kNN distance, boundary
+ties included).  This is the expensive step the witness rules exist to
+avoid; the per-query statistics record exactly how many verifications were
+spent.
+
+Exactness: with ``t`` at least the maximum generalized expansion dimension
+of the data (see :func:`repro.lid.max_ged`), the returned set equals the
+true reverse k-nearest neighbors (Theorem 1); for smaller ``t`` the result
+may miss members whose query distance exceeds the final ``omega`` bound,
+which is exposed in :class:`~repro.core.result.QueryStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.result import QueryStats, RkNNResult
+from repro.core.termination import DimensionalTest
+from repro.core.witness import CandidateStore
+from repro.indexes.base import Index
+from repro.utils.tolerance import dist_le
+from repro.utils.validation import as_query_point, check_k, check_scale_parameter
+
+__all__ = ["RDT", "VARIANTS"]
+
+VARIANTS = ("rdt", "rdt+")
+
+
+def _tie_groups(
+    neighbor_iter: Iterator[tuple[int, float]],
+) -> Iterator[list[tuple[int, float]]]:
+    """Group an ascending neighbor stream by exactly-equal distances."""
+    group: list[tuple[int, float]] = []
+    for point_id, dist in neighbor_iter:
+        if group and dist != group[0][1]:
+            yield group
+            group = []
+        group.append((point_id, dist))
+    if group:
+        yield group
+
+
+class RDT:
+    """Reverse-kNN query processor over any incremental-NN index.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`repro.indexes.Index`.  The algorithm inherits the
+        index's metric; dynamic updates to the index are picked up by
+        subsequent queries automatically (the paper's Section 4 storage
+        argument: RDT itself keeps no per-dataset state).
+    variant:
+        ``"rdt"`` or ``"rdt+"`` (candidate-set reduction).
+    conservative:
+        Use the provably exact termination rank ``k + 1`` (default); False
+        reproduces the paper's literal formula with ``k``.  See
+        :mod:`repro.core.termination`.
+    use_witnesses:
+        Ablation switch (default True).  With False, the witness machinery
+        of Section 4.1 is skipped entirely: every candidate reaching the
+        refinement phase is verified with a forward-kNN query, which is how
+        the paper explains the RDT-over-SFT advantage (Section 8.2).  The
+        result set is unchanged for plain RDT — only the cost moves.
+    """
+
+    def __init__(
+        self,
+        index: Index,
+        variant: str = "rdt",
+        conservative: bool = True,
+        use_witnesses: bool = True,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if variant == "rdt+" and not use_witnesses:
+            raise ValueError(
+                "RDT+ is defined through its witness-based exclusion rule; "
+                "use_witnesses=False only applies to the plain RDT variant"
+            )
+        self.index = index
+        self.variant = variant
+        self.conservative = bool(conservative)
+        self.use_witnesses = bool(use_witnesses)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query=None,
+        *,
+        query_index: int | None = None,
+        k: int,
+        t: float,
+    ) -> RkNNResult:
+        """Answer one reverse k-nearest neighbor query.
+
+        Exactly one of ``query`` (a raw point, not necessarily a dataset
+        member) or ``query_index`` (id of an indexed point; the point is
+        excluded from its own answer, as in the paper's experiments) must
+        be given.  ``t`` is the scale parameter trading accuracy for time;
+        see :mod:`repro.core.scale` for data-driven choices.
+        """
+        k = check_k(k)
+        t = check_scale_parameter(t)
+        if (query is None) == (query_index is None):
+            raise ValueError("provide exactly one of `query` or `query_index`")
+        if query_index is not None:
+            query_point = self.index.get_point(query_index)
+        else:
+            query_point = as_query_point(query, dim=self.index.dim)
+
+        metric = self.index.metric
+        calls_before = metric.num_calls
+        stats = QueryStats()
+
+        store, test = self._filter_phase(query_point, query_index, k, t, stats)
+        result_ids, lazy_ids = self._refinement_phase(store, k, stats)
+
+        stats.num_distance_calls = metric.num_calls - calls_before
+        stats.omega = test.omega
+        stats.terminated_by = test.terminated_by or "unknown"
+        return RkNNResult(
+            ids=result_ids, k=k, t=t, lazy_accepted_ids=lazy_ids, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: expanding search with dimensional testing
+    # ------------------------------------------------------------------
+    def _filter_phase(
+        self,
+        query_point: np.ndarray,
+        query_index: int | None,
+        k: int,
+        t: float,
+        stats: QueryStats,
+    ) -> tuple[CandidateStore, DimensionalTest]:
+        started = time.perf_counter()
+        n = self.index.size
+        test = DimensionalTest(k, t, n, conservative=self.conservative)
+        store = CandidateStore(self.index.dim, self.index.metric, k)
+        exclude_if_rejected = self.variant == "rdt+"
+
+        rank = 0
+        for group in _tie_groups(self.index.iter_neighbors(query_point)):
+            # Max-rank tie convention: every member of the group takes the
+            # rank of the group's last element.
+            rank += len(group)
+            frontier = group[0][1]
+            for point_id, dist in group:
+                if point_id == query_index:
+                    # The query point counts toward ranks (ball cardinalities
+                    # are physical counts) but is never its own candidate.
+                    continue
+                if self.use_witnesses:
+                    store.process_retrieved(
+                        point_id,
+                        self.index.get_point(point_id),
+                        dist,
+                        exclude_if_rejected=exclude_if_rejected,
+                    )
+                else:
+                    store.append_candidate(
+                        point_id, self.index.get_point(point_id), dist
+                    )
+            test.observe(rank, frontier)
+            if test.should_terminate(rank, frontier):
+                break
+        else:
+            test.mark_exhausted()
+
+        stats.num_retrieved = rank
+        stats.num_candidates = store.size
+        stats.num_excluded = store.num_excluded
+        stats.filter_seconds = time.perf_counter() - started
+        return store, test
+
+    # ------------------------------------------------------------------
+    # Phase 2: verification of undecided candidates
+    # ------------------------------------------------------------------
+    def _refinement_phase(
+        self, store: CandidateStore, k: int, stats: QueryStats
+    ) -> tuple[np.ndarray, np.ndarray]:
+        started = time.perf_counter()
+        accepted_mask = store.accepted.copy()
+        needs_verification = np.flatnonzero(store.needs_verification)
+        ids = store.ids
+        points = store.points
+        query_dists = store.query_dists
+
+        for slot in needs_verification:
+            point_id = int(ids[slot])
+            kth_dist = self.index.knn_distance(
+                points[slot], k, exclude_index=point_id
+            )
+            stats.num_verified += 1
+            if dist_le(float(query_dists[slot]), kth_dist):
+                accepted_mask[slot] = True
+                stats.num_verified_hits += 1
+
+        lazy_ids = np.sort(ids[store.accepted])
+        result_ids = np.sort(ids[accepted_mask])
+        stats.num_lazy_accepts = int(np.count_nonzero(store.accepted))
+        stats.num_lazy_rejects = (
+            int(np.count_nonzero(store.lazy_rejected)) + store.num_excluded
+        )
+        stats.refine_seconds = time.perf_counter() - started
+        return result_ids.astype(np.intp), lazy_ids.astype(np.intp)

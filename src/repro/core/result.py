@@ -1,0 +1,93 @@
+"""Query result and statistics containers.
+
+The statistics mirror what the paper reports: Figure 7 plots the proportion
+of candidates handled by lazy acceptance, lazy rejection and explicit
+verification; Figures 3–6 and 8 need wall-clock query time; and the
+theoretical analysis (Theorem 1) speaks about the final ``omega`` bound and
+the number of objects discovered before termination, both of which are
+exposed here so the property-based tests can check the guarantee directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QueryStats", "RkNNResult"]
+
+
+@dataclass
+class QueryStats:
+    """Instrumentation for a single reverse-kNN query."""
+
+    #: objects retrieved by the expanding search (``s`` at termination)
+    num_retrieved: int = 0
+    #: candidates stored in the filter set ``F``
+    num_candidates: int = 0
+    #: candidates RDT+ refused to store (first-cycle exclusions)
+    num_excluded: int = 0
+    #: candidates accepted by Assertion 2 (no verification query needed)
+    num_lazy_accepts: int = 0
+    #: candidates rejected by Assertion 1 (``W >= k``), including exclusions
+    num_lazy_rejects: int = 0
+    #: candidates that required an explicit forward-kNN verification
+    num_verified: int = 0
+    #: verified candidates that turned out to be true reverse neighbors
+    num_verified_hits: int = 0
+    #: final value of the omega termination bound (may be +inf)
+    omega: float = float("inf")
+    #: which condition stopped the filter phase: omega / rank-cap / exhausted
+    terminated_by: str = "unknown"
+    #: scalar distance computations charged to this query
+    num_distance_calls: int = 0
+    #: wall-clock seconds spent in the filter phase
+    filter_seconds: float = 0.0
+    #: wall-clock seconds spent in the refinement phase
+    refine_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end query time."""
+        return self.filter_seconds + self.refine_seconds
+
+    @property
+    def num_generated(self) -> int:
+        """All candidates the filter phase touched (stored + excluded)."""
+        return self.num_candidates + self.num_excluded
+
+    def proportions(self) -> dict[str, float]:
+        """Fractions of generated candidates per treatment (Figure 7)."""
+        total = max(1, self.num_generated)
+        return {
+            "accept": self.num_lazy_accepts / total,
+            "reject": self.num_lazy_rejects / total,
+            "verify": self.num_verified / total,
+        }
+
+
+@dataclass
+class RkNNResult:
+    """The answer to one reverse-kNN query."""
+
+    #: reverse k-nearest neighbors, ascending point ids
+    ids: np.ndarray
+    #: neighborhood size the query was asked for
+    k: int
+    #: scale parameter used by the dimensional test
+    t: float
+    #: ids accepted lazily — guaranteed members found without verification
+    lazy_accepted_ids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp)
+    )
+    #: per-query instrumentation
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    def __contains__(self, point_id: int) -> bool:
+        return bool(np.isin(point_id, self.ids))
+
+    def __iter__(self):
+        return iter(self.ids.tolist())

@@ -1,0 +1,74 @@
+"""The dimensional test terminating RDT's expanding search (Sections 4.1, 5).
+
+The filter phase walks outward from the query in nondecreasing distance
+order.  After each retrieved point it refreshes an upper bound ``omega`` on
+the distance at which an undiscovered reverse neighbor could still exist:
+
+    omega = min over visited ranks s of   d_s(q) / ((s / k')^(1/t) - 1),
+
+and stops as soon as the frontier distance exceeds ``omega``, or the rank
+reaches the Lemma-1 cap ``min(n, floor(2^t * k'))``.  If ``t`` is at least
+the maximum generalized expansion dimension of the data, Theorem 1 shows no
+reverse neighbor is ever missed.
+
+``k'`` is the *termination rank*: the paper's pseudocode uses ``k' = k``
+under its self-inclusive ball counts.  This library counts neighborhoods
+self-exclusively (DESIGN.md), under which the theorem's chain of
+inequalities requires ``k' = k + 1``; the ``conservative`` flag (default
+True) selects that provably exact variant, while False reproduces the
+paper's literal formula (negligibly earlier termination).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_k, check_scale_parameter
+
+__all__ = ["DimensionalTest"]
+
+
+class DimensionalTest:
+    """Tracks ``omega`` and the rank cap for one RDT query."""
+
+    def __init__(self, k: int, t: float, n: int, conservative: bool = True) -> None:
+        self.k = check_k(k)
+        self.t = check_scale_parameter(t)
+        self.termination_rank = self.k + 1 if conservative else self.k
+        self.omega = math.inf
+        # floor(2^t * k') overflows fast; anything past n is "never by rank".
+        if self.t * math.log2(max(2, self.termination_rank)) > 120 or self.t > 60:
+            self.rank_cap = n
+        else:
+            self.rank_cap = min(n, int(math.floor(2.0**self.t * self.termination_rank)))
+        self.terminated_by: str | None = None
+
+    def observe(self, rank: int, frontier_dist: float) -> None:
+        """Update ``omega`` after retrieving a point of rank ``rank``.
+
+        Matches Algorithm 1 lines 21–23: the update applies once the rank
+        exceeds the termination rank and the frontier has left the query
+        point itself (``d > 0`` — duplicates of the query carry no
+        expansion information and would divide by zero).
+        """
+        if rank > self.termination_rank and frontier_dist > 0.0:
+            ratio = (rank / self.termination_rank) ** (1.0 / self.t) - 1.0
+            if ratio > 0.0:
+                bound = frontier_dist / ratio
+                if bound < self.omega:
+                    self.omega = bound
+
+    def should_terminate(self, rank: int, frontier_dist: float) -> bool:
+        """Algorithm 1 line 24: stop on the omega test or the rank cap."""
+        if frontier_dist > self.omega:
+            self.terminated_by = "omega"
+            return True
+        if rank >= self.rank_cap:
+            self.terminated_by = "rank-cap"
+            return True
+        return False
+
+    def mark_exhausted(self) -> None:
+        """Record that the index ran out of points before either test fired."""
+        if self.terminated_by is None:
+            self.terminated_by = "exhausted"

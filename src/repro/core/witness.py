@@ -1,0 +1,194 @@
+"""Witness-counter machinery for the RDT filter phase (paper Section 4.1).
+
+A point ``y`` discovered by the expanding search is a *witness* of a
+candidate ``x`` when ``d(y, x) < d(q, x)`` — evidence that ``y`` sits inside
+the ball around ``x`` whose boundary passes through the query.  Witness
+counts drive the paper's two shortcut rules:
+
+* **Lazy reject** (Assertion 1): ``W(x) >= k`` proves that at least ``k``
+  points lie strictly closer to ``x`` than ``q`` does, so together with
+  ``q`` itself more than ``k`` points occupy the ball — ``x`` cannot be a
+  reverse k-nearest neighbor.
+
+* **Lazy accept** (Assertion 2): once the search frontier passes
+  ``2 * d(q, x)``, the ball around ``x`` of radius ``d(q, x)`` has been
+  fully enumerated; if fewer than ``k`` witnesses appeared, ``q`` is inside
+  ``x``'s k-nearest neighborhood and ``x`` is accepted without a
+  verification query.
+
+Under the library's self-exclusive neighborhood convention (DESIGN.md) both
+rules are exact up to distance ties; note the printed pseudocode in the
+paper swaps the two witness-increment branches relative to the prose
+definition — this implementation follows the prose.
+
+The store keeps all per-candidate state in flat, capacity-doubling numpy
+arrays so that the O(|F|) work per retrieved point runs at vector speed
+(the paper's O(|F|^2) total witness cost, but with a tiny constant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import Metric
+
+__all__ = ["CandidateStore"]
+
+_INITIAL_CAPACITY = 64
+
+
+class CandidateStore:
+    """Growable arrays holding the filter set ``F`` and its witness state."""
+
+    def __init__(self, dim: int, metric: Metric, k: int) -> None:
+        self._metric = metric
+        self._k = k
+        self._dim = dim
+        capacity = _INITIAL_CAPACITY
+        self._ids = np.empty(capacity, dtype=np.intp)
+        self._points = np.empty((capacity, dim), dtype=np.float64)
+        self._query_dists = np.empty(capacity, dtype=np.float64)
+        self._witnesses = np.zeros(capacity, dtype=np.int64)
+        #: accept/reject decision has been taken for the candidate
+        self._decided = np.zeros(capacity, dtype=bool)
+        #: candidate was lazily accepted (subset of decided)
+        self._accepted = np.zeros(capacity, dtype=bool)
+        self.size = 0
+        #: number of candidates RDT+ refused to store (first-cycle exclusions)
+        self.num_excluded = 0
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self) -> None:
+        if self.size < self._ids.shape[0]:
+            return
+        new_capacity = self._ids.shape[0] * 2
+        self._ids = np.resize(self._ids, new_capacity)
+        points = np.empty((new_capacity, self._dim), dtype=np.float64)
+        points[: self.size] = self._points[: self.size]
+        self._points = points
+        self._query_dists = np.resize(self._query_dists, new_capacity)
+        for name in ("_witnesses", "_decided", "_accepted"):
+            old = getattr(self, name)
+            grown = np.zeros(new_capacity, dtype=old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    # ------------------------------------------------------------------
+    # Filter-phase update (one retrieved point)
+    # ------------------------------------------------------------------
+    def process_retrieved(
+        self,
+        point_id: int,
+        point: np.ndarray,
+        query_dist: float,
+        *,
+        exclude_if_rejected: bool,
+    ) -> bool:
+        """Run one witness cycle for a newly retrieved point ``v``.
+
+        Performs, vectorized over the current candidate set:
+
+        1. count how many stored candidates witness ``v`` (``W(v)``);
+        2. increment ``W(x)`` for every candidate ``x`` witnessed by ``v``;
+        3. take lazy accept/reject decisions for candidates whose ball has
+           just been completely explored (``d(q, v) >= 2 d(q, x)``);
+        4. append ``v`` to the store — unless ``exclude_if_rejected`` is set
+           (the RDT+ rule) and ``v`` already collected ``k`` witnesses in
+           this first cycle.
+
+        Returns True if ``v`` was inserted into the filter set.
+        """
+        m = self.size
+        if m > 0:
+            dists = self._metric.to_point(self._points[:m], point)
+            witnesses_of_v = int(np.count_nonzero(dists < query_dist))
+            # v witnesses every stored candidate it sits strictly inside of.
+            np.add(
+                self._witnesses[:m],
+                dists < self._query_dists[:m],
+                out=self._witnesses[:m],
+            )
+            # Candidates whose ball the frontier has fully covered get their
+            # final lazy decision now; witness counts of decided candidates
+            # keep growing but can no longer change the outcome.
+            newly_complete = ~self._decided[:m] & (
+                2.0 * self._query_dists[:m] <= query_dist
+            )
+            if newly_complete.any():
+                self._accepted[:m] |= newly_complete & (self._witnesses[:m] < self._k)
+                self._decided[:m] |= newly_complete
+        else:
+            witnesses_of_v = 0
+
+        if exclude_if_rejected and witnesses_of_v >= self._k:
+            # RDT+ (paper Section 4.3): a point rejected within its first
+            # witness cycle is unlikely to help reject others; leaving it out
+            # of F saves witness maintenance at the risk of optimistic lazy
+            # accepts later (F-based witness counts become undercounts).
+            self.num_excluded += 1
+            return False
+
+        self._ensure_capacity()
+        slot = self.size
+        self._ids[slot] = point_id
+        self._points[slot] = point
+        self._query_dists[slot] = query_dist
+        self._witnesses[slot] = witnesses_of_v
+        self._decided[slot] = False
+        self._accepted[slot] = False
+        self.size = slot + 1
+        return True
+
+    def append_candidate(
+        self, point_id: int, point: np.ndarray, query_dist: float
+    ) -> None:
+        """Store a candidate without any witness bookkeeping.
+
+        Used by the witness-ablation mode (``RDT(use_witnesses=False)``):
+        every candidate stays undecided and must be verified explicitly.
+        """
+        self._ensure_capacity()
+        slot = self.size
+        self._ids[slot] = point_id
+        self._points[slot] = point
+        self._query_dists[slot] = query_dist
+        self._witnesses[slot] = 0
+        self._decided[slot] = False
+        self._accepted[slot] = False
+        self.size = slot + 1
+
+    # ------------------------------------------------------------------
+    # Read access for the refinement phase
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> np.ndarray:
+        return self._ids[: self.size]
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._points[: self.size]
+
+    @property
+    def query_dists(self) -> np.ndarray:
+        return self._query_dists[: self.size]
+
+    @property
+    def witnesses(self) -> np.ndarray:
+        return self._witnesses[: self.size]
+
+    @property
+    def accepted(self) -> np.ndarray:
+        """Candidates lazily accepted by Assertion 2."""
+        return self._accepted[: self.size]
+
+    @property
+    def lazy_rejected(self) -> np.ndarray:
+        """Candidates ruled out by Assertion 1 (``W >= k`` and not accepted)."""
+        return ~self._accepted[: self.size] & (self._witnesses[: self.size] >= self._k)
+
+    @property
+    def needs_verification(self) -> np.ndarray:
+        """Candidates that survived filtering undecided: ``W < k``, not accepted."""
+        return ~self._accepted[: self.size] & (self._witnesses[: self.size] < self._k)

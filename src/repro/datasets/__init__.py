@@ -1,0 +1,37 @@
+"""Dataset generators and stand-ins for the paper's evaluation corpora."""
+
+from repro.datasets.standins import (
+    DATASET_SPECS,
+    DatasetSpec,
+    aloi_standin,
+    fct_standin,
+    imagenet_standin,
+    load_standin,
+    mnist_standin,
+    sequoia_standin,
+)
+from repro.datasets.synthetic import (
+    clustered_manifolds,
+    embedded_manifold,
+    gaussian_blob,
+    gaussian_mixture,
+    swiss_roll,
+    uniform_hypercube,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "load_standin",
+    "sequoia_standin",
+    "aloi_standin",
+    "fct_standin",
+    "mnist_standin",
+    "imagenet_standin",
+    "uniform_hypercube",
+    "gaussian_blob",
+    "gaussian_mixture",
+    "embedded_manifold",
+    "swiss_roll",
+    "clustered_manifolds",
+]

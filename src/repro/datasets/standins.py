@@ -1,0 +1,276 @@
+"""Synthetic stand-ins for the paper's evaluation corpora.
+
+The paper evaluates on five datasets that cannot be redistributed (or, for
+Imagenet features, recomputed without a GPU stack): Sequoia, ALOI, Forest
+Cover Type, MNIST and Imagenet-fc.  Following the reproduction's
+substitution rule, each is replaced by a generator matched on the three
+quantities the algorithms actually react to — cardinality ``n``,
+representational dimension ``D``, and intrinsic dimensionality (the
+paper's Table 1) — plus the qualitative density structure (clusteredness,
+imbalance, heavy tails) discussed in Section 8.
+
+Default sizes are scaled down so the full benchmark suite runs on a laptop
+in minutes; pass ``n=None`` to get the paper-scale cardinality.  The
+``DATASET_SPECS`` registry records the paper-side numbers so reports can
+print them next to the measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import embedded_manifold, gaussian_mixture
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "load_standin",
+    "sequoia_standin",
+    "aloi_standin",
+    "fct_standin",
+    "mnist_standin",
+    "imagenet_standin",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Paper-side facts about one evaluation dataset (Table 1 and §7)."""
+
+    name: str
+    paper_n: int
+    paper_dim: int
+    paper_id_mle: float
+    paper_id_gp: float
+    paper_id_takens: float
+    default_n: int
+    default_dim: int
+
+
+DATASET_SPECS = {
+    "sequoia": DatasetSpec("sequoia", 62_174, 2, 1.84, 1.79, 1.78, 8000, 2),
+    "aloi": DatasetSpec("aloi", 110_250, 641, 7.71, 1.98, 2.16, 4000, 641),
+    "fct": DatasetSpec("fct", 581_012, 53, 3.54, 3.87, 3.65, 8000, 53),
+    "mnist": DatasetSpec("mnist", 70_000, 784, 12.15, 4.39, 4.68, 4000, 784),
+    "imagenet": DatasetSpec("imagenet", 1_281_167, 4096, float("nan"),
+                            float("nan"), float("nan"), 6000, 256),
+}
+
+
+def sequoia_standin(n: int | None = None, seed=0) -> np.ndarray:
+    """California points of interest: 2-D, ID ~ 1.8.
+
+    Locations concentrate along a one-dimensional coastline/highway spine
+    with town-like clusters and a sparse rural background — a noisy curve
+    (ID -> 1) plus 2-D blobs pulls the mixture's ID to the paper's ~1.8.
+    """
+    spec = DATASET_SPECS["sequoia"]
+    n = check_positive_int(n if n is not None else spec.default_n, name="n")
+    rng = ensure_rng(seed)
+    n_spine = int(0.45 * n)
+    n_towns = int(0.40 * n)
+    n_rural = n - n_spine - n_towns
+    # Coastline: a smooth parametric curve with lateral jitter.
+    u = rng.uniform(size=n_spine)
+    spine = np.stack(
+        [u + 0.05 * np.sin(9.0 * u), 0.3 * np.sin(2.5 * u) + 0.6 * u], axis=1
+    )
+    spine += rng.normal(scale=0.004, size=spine.shape)
+    # Towns: tight 2-D blobs seeded near the spine.
+    centers = spine[rng.choice(n_spine, size=25)]
+    towns = centers[rng.choice(25, size=n_towns)] + rng.normal(
+        scale=0.012, size=(n_towns, 2)
+    )
+    rural = rng.uniform(low=-0.1, high=1.1, size=(n_rural, 2))
+    points = np.vstack([spine, towns, rural])
+    return points[rng.permutation(points.shape[0])]
+
+
+def _clusters_on_global_manifold(
+    n: int,
+    dim: int,
+    n_clusters: int,
+    global_dim: int,
+    local_dim: int,
+    center_scale: float,
+    patch_scale: float,
+    noise: float,
+    seed,
+) -> np.ndarray:
+    """Clusters whose centers themselves lie on a low-dim global manifold.
+
+    Image corpora exhibit two scales of structure: within an object/class
+    only a few degrees of freedom vary (``local_dim``), while the classes
+    are arranged along a low-dimensional global layout (``global_dim``).
+    Both the MLE neighborhoods and the correlation-integral fit range then
+    see dimensionalities far below the representational dimension — the
+    geometry behind the paper's Table 1.
+    """
+    rng = ensure_rng(seed)
+    centers = embedded_manifold(
+        max(n_clusters, 2),
+        dim,
+        global_dim,
+        noise=0.0,
+        latent_scale=center_scale,
+        seed=rng,
+    )
+    sizes = np.full(n_clusters, n // n_clusters)
+    sizes[: n % n_clusters] += 1
+    parts = []
+    for cluster, size in enumerate(sizes):
+        if size == 0:
+            continue
+        patch = embedded_manifold(
+            int(size),
+            dim,
+            local_dim,
+            noise=noise,
+            latent_scale=patch_scale,
+            seed=rng,
+        )
+        parts.append(centers[cluster] + patch)
+    points = np.vstack(parts)
+    return points[rng.permutation(points.shape[0])]
+
+
+def aloi_standin(n: int | None = None, dim: int | None = None, seed=0) -> np.ndarray:
+    """Amsterdam Library of Object Images: 641-D features, very low ID.
+
+    One manifold patch per photographed object (a few pose/illumination
+    degrees of freedom each), the objects arranged along a low-dimensional
+    global layout.  Measured ID lands in the paper's "low" band (Table 1
+    reports 2.0–7.7 across estimators); the cluster count scales with
+    ``n`` so the MLE's 100-NN neighborhoods stay inside a single patch, as
+    they do at the paper's full 110k scale.
+    """
+    spec = DATASET_SPECS["aloi"]
+    n = check_positive_int(n if n is not None else spec.default_n, name="n")
+    dim = check_positive_int(dim if dim is not None else spec.default_dim, name="dim")
+    n_clusters = max(3, n // 400)
+    return _clusters_on_global_manifold(
+        n,
+        dim,
+        n_clusters,
+        global_dim=2,
+        local_dim=4,
+        center_scale=2.0,
+        patch_scale=0.5,
+        noise=0.01,
+        seed=seed,
+    )
+
+
+def fct_standin(n: int | None = None, dim: int | None = None, seed=0) -> np.ndarray:
+    """Forest Cover Type: 53 standardized cartographic features, ID ~ 3.5.
+
+    A handful of correlated latent factors (elevation, slope, soil class)
+    drive all attributes; cluster sizes are strongly imbalanced (two cover
+    types dominate the real data).  Standardized to z-scores like the
+    paper's preprocessing.
+    """
+    spec = DATASET_SPECS["fct"]
+    n = check_positive_int(n if n is not None else spec.default_n, name="n")
+    dim = check_positive_int(dim if dim is not None else spec.default_dim, name="dim")
+    rng = ensure_rng(seed)
+    weights = np.array([0.37, 0.30, 0.12, 0.08, 0.06, 0.04, 0.03])
+    base = gaussian_mixture(
+        n,
+        dim=4,
+        n_clusters=7,
+        separation=3.0,
+        spread=1.0,
+        weights=weights,
+        seed=rng,
+    )
+    mixing = rng.normal(size=(4, dim)) / 2.0
+    points = base @ mixing + rng.normal(scale=0.02, size=(n, dim))
+    points -= points.mean(axis=0)
+    std = points.std(axis=0)
+    std[std == 0.0] = 1.0
+    return points / std
+
+
+def mnist_standin(n: int | None = None, dim: int | None = None, seed=0) -> np.ndarray:
+    """MNIST digits: 784-D pixels, the highest-ID dataset of the study.
+
+    Ten digit clusters, each a latent-dimension-12 nonlinear patch, the
+    cluster centers on a 3-D global layout.  Measured ID lands in the
+    paper's "high" band (Table 1 reports 4.4–12.2 across estimators), well
+    above the Sequoia/FCT/ALOI stand-ins — the ordering that drives the
+    paper's cross-dataset conclusions.
+    """
+    spec = DATASET_SPECS["mnist"]
+    n = check_positive_int(n if n is not None else spec.default_n, name="n")
+    dim = check_positive_int(dim if dim is not None else spec.default_dim, name="dim")
+    return _clusters_on_global_manifold(
+        n,
+        dim,
+        n_clusters=10,  # one cluster per digit
+        global_dim=3,
+        local_dim=12,
+        center_scale=1.5,
+        patch_scale=0.8,
+        noise=0.03,
+        seed=seed,
+    )
+
+
+def imagenet_standin(n: int | None = None, dim: int | None = None, seed=0) -> np.ndarray:
+    """Imagenet fc-features: very high-D, heavy-tailed, many categories.
+
+    Deep-feature geometry: a moderate latent dimension (~20), heavy-tailed
+    latent magnitudes (Student-t), and many category clusters.  The default
+    ambient dimension is scaled from 4096 to 256 so the scalability
+    benchmarks stay laptop-sized; pass ``dim=4096`` for paper-scale
+    geometry (memory permitting).
+    """
+    spec = DATASET_SPECS["imagenet"]
+    n = check_positive_int(n if n is not None else spec.default_n, name="n")
+    dim = check_positive_int(dim if dim is not None else spec.default_dim, name="dim")
+    rng = ensure_rng(seed)
+    n_clusters = max(8, n // 500)
+    sizes = np.full(n_clusters, n // n_clusters)
+    sizes[: n % n_clusters] += 1
+    parts = []
+    for size in sizes:
+        if size == 0:
+            continue
+        center = rng.normal(scale=3.0, size=dim)
+        patch = embedded_manifold(
+            int(size),
+            ambient_dim=dim,
+            intrinsic_dim=20,
+            noise=0.02,
+            nonlinear=True,
+            latent_scale=0.5,
+            heavy_tailed=True,
+            seed=rng,
+        )
+        parts.append(center + patch)
+    points = np.vstack(parts)
+    return points[rng.permutation(points.shape[0])]
+
+
+_LOADERS = {
+    "sequoia": sequoia_standin,
+    "aloi": aloi_standin,
+    "fct": fct_standin,
+    "mnist": mnist_standin,
+    "imagenet": imagenet_standin,
+}
+
+
+def load_standin(name: str, n: int | None = None, seed=0, **kwargs) -> np.ndarray:
+    """Load a paper-dataset stand-in by name (see ``DATASET_SPECS``)."""
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; known: {sorted(_LOADERS)}"
+        ) from None
+    return loader(n=n, seed=seed, **kwargs)

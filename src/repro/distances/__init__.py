@@ -1,0 +1,24 @@
+"""Distance metrics for the RDT reproduction.
+
+The RDT analysis (paper Section 5) holds for arbitrary metrics; everything in
+this library is parameterized over the :class:`~repro.distances.Metric`
+abstraction defined here.
+"""
+
+from repro.distances.metrics import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    get_metric,
+)
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "get_metric",
+]

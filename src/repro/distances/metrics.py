@@ -1,0 +1,227 @@
+"""Metric abstractions used by every index and algorithm in the library.
+
+The analysis of RDT (paper Section 5) holds for any distance measure
+satisfying the triangle inequality, so the library routes every distance
+computation through a :class:`Metric` instance instead of hard-coding the
+Euclidean distance.  All kernels are vectorized numpy; none of them allocate
+more than one temporary of the output shape.
+
+Every metric implements three primitives:
+
+``distance(x, y)``
+    Distance between two single points (1-D arrays).
+
+``to_point(X, y)``
+    Distances from every row of the matrix ``X`` to the point ``y``.
+
+``pairwise(X, Y=None)``
+    Full distance matrix between the rows of ``X`` and the rows of ``Y``
+    (or of ``X`` with itself when ``Y`` is omitted).
+
+Distance evaluations performed through a metric are counted in
+:attr:`Metric.num_calls` (one "call" per scalar distance produced), which the
+evaluation harness uses as a machine-independent cost measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "get_metric",
+]
+
+
+class Metric:
+    """Base class for distance metrics.
+
+    Subclasses implement :meth:`_dist_matrix`; the public entry points handle
+    input coercion and the distance-call accounting shared by all metrics.
+    """
+
+    #: Human-readable identifier, e.g. ``"euclidean"``.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.num_calls: int = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def distance(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Return the distance between two points.
+
+        Routed through :meth:`to_point` so that single-pair distances are
+        produced by the same kernel as batched query-side distances — the
+        tolerance policy in :mod:`repro.utils.tolerance` relies on decision
+        boundaries never mixing kernels gratuitously.
+        """
+        y = np.asarray(y, dtype=np.float64)
+        return float(self.to_point(np.asarray(x, dtype=np.float64)[None, :], y)[0])
+
+    def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return distances from each row of ``X`` to the point ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        self.num_calls += X.shape[0]
+        return self._dist_matrix(X, y[None, :])[:, 0]
+
+    def pairwise(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        """Return the distance matrix between rows of ``X`` and rows of ``Y``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if Y is None:
+            Y = X
+        else:
+            Y = np.asarray(Y, dtype=np.float64)
+            if Y.ndim == 1:
+                Y = Y[None, :]
+        self.num_calls += X.shape[0] * Y.shape[0]
+        return self._dist_matrix(X, Y)
+
+    def reset_counter(self) -> None:
+        """Reset the distance-call counter to zero."""
+        self.num_calls = 0
+
+    # ------------------------------------------------------------------
+    # Subclass hook
+    # ------------------------------------------------------------------
+    def _dist_matrix(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class EuclideanMetric(Metric):
+    """The Euclidean (L2) distance, the paper's experimental metric."""
+
+    name = "euclidean"
+
+    def _dist_matrix(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against negative
+        # round-off before the square root.
+        xx = np.einsum("ij,ij->i", X, X)
+        yy = np.einsum("ij,ij->i", Y, Y)
+        sq = xx[:, None] + yy[None, :] - 2.0 * (X @ Y.T)
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq, out=sq)
+
+    def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # Direct subtraction is both faster and more accurate than the
+        # dot-product expansion for the single-point case.
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        self.num_calls += X.shape[0]
+        diff = X - y[None, :]
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+class ManhattanMetric(Metric):
+    """The Manhattan (L1) distance."""
+
+    name = "manhattan"
+
+    def _dist_matrix(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return np.abs(X[:, None, :] - Y[None, :, :]).sum(axis=2)
+
+    def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        self.num_calls += X.shape[0]
+        return np.abs(X - y[None, :]).sum(axis=1)
+
+
+class ChebyshevMetric(Metric):
+    """The Chebyshev (L-infinity) distance."""
+
+    name = "chebyshev"
+
+    def _dist_matrix(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return np.abs(X[:, None, :] - Y[None, :, :]).max(axis=2)
+
+    def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        self.num_calls += X.shape[0]
+        return np.abs(X - y[None, :]).max(axis=1)
+
+
+class MinkowskiMetric(Metric):
+    """The Minkowski L-p distance for ``p >= 1`` (a metric only in that range)."""
+
+    name = "minkowski"
+
+    def __init__(self, p: float = 2.0) -> None:
+        super().__init__()
+        if p < 1.0:
+            raise ValueError(f"Minkowski distance requires p >= 1, got p={p}")
+        self.p = float(p)
+
+    def _dist_matrix(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        diff = np.abs(X[:, None, :] - Y[None, :, :])
+        return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
+
+    def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        self.num_calls += X.shape[0]
+        diff = np.abs(X - y[None, :])
+        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MinkowskiMetric(p={self.p})"
+
+
+_REGISTRY = {
+    "euclidean": EuclideanMetric,
+    "l2": EuclideanMetric,
+    "manhattan": ManhattanMetric,
+    "l1": ManhattanMetric,
+    "cityblock": ManhattanMetric,
+    "chebyshev": ChebyshevMetric,
+    "linf": ChebyshevMetric,
+}
+
+
+def get_metric(metric: str | Metric | None = None, **kwargs) -> Metric:
+    """Resolve a metric name (or pass through an instance) to a :class:`Metric`.
+
+    Parameters
+    ----------
+    metric:
+        Either an existing :class:`Metric` instance (returned as-is), a
+        registered name such as ``"euclidean"`` / ``"manhattan"`` /
+        ``"chebyshev"`` / ``"minkowski"``, or ``None`` for the default
+        Euclidean metric.
+    kwargs:
+        Extra constructor arguments, e.g. ``p=3`` for ``"minkowski"``.
+    """
+    if metric is None:
+        return EuclideanMetric()
+    if isinstance(metric, Metric):
+        return metric
+    key = metric.lower()
+    if key == "minkowski":
+        return MinkowskiMetric(**kwargs)
+    if key in _REGISTRY:
+        return _REGISTRY[key](**kwargs)
+    raise ValueError(
+        f"Unknown metric {metric!r}; known: {sorted(set(_REGISTRY))} + ['minkowski']"
+    )

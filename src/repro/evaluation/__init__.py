@@ -1,0 +1,37 @@
+"""Evaluation harness: ground truth, metrics, tradeoff sweeps, reporting."""
+
+from repro.evaluation.ground_truth import GroundTruth, sample_query_indices
+from repro.evaluation.metrics import f1_score, precision, recall, set_metrics
+from repro.evaluation.precompute import (
+    PrecomputeReport,
+    measure_precompute,
+    queries_per_budget,
+)
+from repro.evaluation.reporting import format_table, render_curves, render_kv_section
+from repro.evaluation.runner import (
+    MethodRun,
+    QueryRecord,
+    TradeoffCurve,
+    run_method,
+    run_tradeoff,
+)
+
+__all__ = [
+    "GroundTruth",
+    "sample_query_indices",
+    "recall",
+    "precision",
+    "f1_score",
+    "set_metrics",
+    "MethodRun",
+    "QueryRecord",
+    "TradeoffCurve",
+    "run_method",
+    "run_tradeoff",
+    "format_table",
+    "render_curves",
+    "render_kv_section",
+    "PrecomputeReport",
+    "measure_precompute",
+    "queries_per_budget",
+]

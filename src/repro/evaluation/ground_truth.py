@@ -1,0 +1,57 @@
+"""Ground-truth construction and query sampling for the experiments.
+
+Reproduces the paper's Section 7.1 protocol: 100 query points drawn
+uniformly at random from the dataset, with exact reverse-kNN answers
+computed by brute force (:class:`repro.baselines.NaiveRkNN`).  Per-``k``
+truth tables are cached because every tradeoff sweep re-evaluates the same
+queries at many parameter settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.naive import NaiveRkNN
+from repro.distances import Metric, get_metric
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_dataset, check_k, check_positive_int
+
+__all__ = ["GroundTruth", "sample_query_indices"]
+
+
+def sample_query_indices(n: int, n_queries: int = 100, seed=0) -> np.ndarray:
+    """Uniform random query sample, without replacement when possible."""
+    check_positive_int(n, name="n")
+    check_positive_int(n_queries, name="n_queries")
+    rng = ensure_rng(seed)
+    if n_queries >= n:
+        return np.arange(n, dtype=np.intp)
+    return np.sort(rng.choice(n, size=n_queries, replace=False)).astype(np.intp)
+
+
+class GroundTruth:
+    """Cached exact RkNN answers for one dataset."""
+
+    def __init__(self, data, metric: str | Metric | None = None) -> None:
+        self.points = as_dataset(data)
+        self.metric = get_metric(metric)
+        self._solvers: dict[int, NaiveRkNN] = {}
+        self._answers: dict[tuple[int, int], np.ndarray] = {}
+
+    def solver(self, k: int) -> NaiveRkNN:
+        """The brute-force solver for ``k`` (building its kNN table once)."""
+        k = check_k(k, n=self.points.shape[0] - 1)
+        if k not in self._solvers:
+            self._solvers[k] = NaiveRkNN(self.points, k, metric=self.metric)
+        return self._solvers[k]
+
+    def answer(self, query_index: int, k: int) -> np.ndarray:
+        """Exact RkNN ids for a member query, cached."""
+        key = (int(query_index), int(k))
+        if key not in self._answers:
+            self._answers[key] = self.solver(k).query(query_index=query_index)
+        return self._answers[key]
+
+    def answers(self, query_indices, k: int) -> dict[int, np.ndarray]:
+        """Exact RkNN ids for a batch of member queries."""
+        return {int(qi): self.answer(int(qi), k) for qi in query_indices}

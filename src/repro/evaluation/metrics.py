@@ -1,0 +1,53 @@
+"""Result-quality metrics for reverse-kNN evaluation.
+
+The paper reports *recall* (fraction of true reverse neighbors returned) as
+its quality axis; precision is reported here as well because RDT+'s
+candidate-reduction rule is the one mechanism in the library that can
+produce false positives (Section 4.3's "risk of a drop in precision").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall", "precision", "f1_score", "set_metrics"]
+
+
+def _as_set(ids) -> set[int]:
+    if isinstance(ids, set):
+        return ids
+    return set(np.asarray(ids, dtype=np.intp).tolist())
+
+
+def recall(truth, result) -> float:
+    """|result ∩ truth| / |truth|; 1.0 when the truth set is empty."""
+    truth, result = _as_set(truth), _as_set(result)
+    if not truth:
+        return 1.0
+    return len(result & truth) / len(truth)
+
+
+def precision(truth, result) -> float:
+    """|result ∩ truth| / |result|; 1.0 when the result set is empty."""
+    truth, result = _as_set(truth), _as_set(result)
+    if not result:
+        return 1.0
+    return len(result & truth) / len(result)
+
+
+def f1_score(truth, result) -> float:
+    """Harmonic mean of recall and precision."""
+    r = recall(truth, result)
+    p = precision(truth, result)
+    if r + p == 0.0:
+        return 0.0
+    return 2.0 * r * p / (r + p)
+
+
+def set_metrics(truth, result) -> dict[str, float]:
+    """All three metrics in one pass-friendly dict."""
+    return {
+        "recall": recall(truth, result),
+        "precision": precision(truth, result),
+        "f1": f1_score(truth, result),
+    }

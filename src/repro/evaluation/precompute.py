@@ -1,0 +1,42 @@
+"""Preprocessing-cost accounting (Figures 8 and 9).
+
+The paper's scalability argument is a cost-model comparison: the exact
+competitors spend enormous effort *before the first query* (kNN self-joins,
+per-k tree builds), while RDT's preprocessing is just the forward index.
+These helpers time method construction uniformly and express the gap the
+way Figure 9 does — "how many RDT+ queries could have been answered during
+the time the RdNN-tree spent precomputing?".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["PrecomputeReport", "measure_precompute", "queries_per_budget"]
+
+
+@dataclass
+class PrecomputeReport:
+    """Construction cost of one method on one dataset."""
+
+    method: str
+    seconds: float
+    artifact: object = None
+
+
+def measure_precompute(method: str, build: Callable[[], object]) -> PrecomputeReport:
+    """Time a method's full preprocessing (index builds, kNN tables, fits)."""
+    started = time.perf_counter()
+    artifact = build()
+    return PrecomputeReport(
+        method=method, seconds=time.perf_counter() - started, artifact=artifact
+    )
+
+
+def queries_per_budget(budget_seconds: float, mean_query_seconds: float) -> float:
+    """How many queries fit into a preprocessing budget (Figure 9's y-axis)."""
+    if mean_query_seconds <= 0.0:
+        return float("inf")
+    return budget_seconds / mean_query_seconds

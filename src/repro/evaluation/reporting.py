@@ -1,0 +1,66 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: a figure becomes the table of the series it plots (parameter, recall,
+mean query time per method).  These helpers keep the formatting consistent
+across all benchmark files and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.runner import TradeoffCurve
+
+__all__ = ["format_table", "render_curves", "render_kv_section"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-padded columns."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_curves(title: str, curves: Sequence[TradeoffCurve]) -> str:
+    """Render tradeoff curves the way the paper's figure panels read."""
+    blocks = [title]
+    for curve in curves:
+        rows = [
+            (
+                run.parameter,
+                run.mean_recall,
+                run.mean_precision,
+                run.mean_seconds,
+            )
+            for run in curve.runs
+        ]
+        blocks.append(f"\n[{curve.method}, k={curve.k}]")
+        blocks.append(
+            format_table(["param", "recall", "precision", "mean_query_s"], rows)
+        )
+    return "\n".join(blocks)
+
+
+def render_kv_section(title: str, pairs: Sequence[tuple[str, object]]) -> str:
+    """A labelled key/value block (used for preprocessing-cost reports)."""
+    width = max((len(key) for key, _ in pairs), default=0)
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key.ljust(width)} : {_fmt(value)}")
+    return "\n".join(lines)

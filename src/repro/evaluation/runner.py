@@ -1,0 +1,152 @@
+"""Experiment runner: drive any RkNN method over a query workload.
+
+All methods in this library answer through ``query(query_index=..., k=...)``
+returning an :class:`~repro.core.result.RkNNResult` (or a bare id array for
+the brute-force reference).  The runner times each query, scores it against
+ground truth, and aggregates into a :class:`MethodRun`; a parameter sweep
+produces a :class:`TradeoffCurve` — one point per parameter value — which
+is the exact shape of the paper's Figures 3–6 and 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.result import RkNNResult
+from repro.evaluation.ground_truth import GroundTruth
+from repro.evaluation.metrics import precision, recall
+
+__all__ = ["QueryRecord", "MethodRun", "TradeoffCurve", "run_method", "run_tradeoff"]
+
+
+@dataclass
+class QueryRecord:
+    """Outcome of one query: quality, time, and method-reported stats."""
+
+    query_index: int
+    recall: float
+    precision: float
+    seconds: float
+    result: RkNNResult | None = None
+
+
+@dataclass
+class MethodRun:
+    """Aggregated outcome of one method at one parameter setting."""
+
+    method: str
+    k: int
+    parameter: float
+    records: list[QueryRecord] = field(default_factory=list)
+
+    @property
+    def mean_recall(self) -> float:
+        return float(np.mean([r.recall for r in self.records])) if self.records else 0.0
+
+    @property
+    def mean_precision(self) -> float:
+        return (
+            float(np.mean([r.precision for r in self.records])) if self.records else 1.0
+        )
+
+    @property
+    def mean_seconds(self) -> float:
+        return float(np.mean([r.seconds for r in self.records])) if self.records else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return float(np.sum([r.seconds for r in self.records])) if self.records else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "recall": self.mean_recall,
+            "precision": self.mean_precision,
+            "mean_seconds": self.mean_seconds,
+        }
+
+
+@dataclass
+class TradeoffCurve:
+    """One method's recall-vs-time curve across a parameter sweep."""
+
+    method: str
+    k: int
+    runs: list[MethodRun] = field(default_factory=list)
+
+    def parameters(self) -> list[float]:
+        return [run.parameter for run in self.runs]
+
+    def recalls(self) -> list[float]:
+        return [run.mean_recall for run in self.runs]
+
+    def times(self) -> list[float]:
+        return [run.mean_seconds for run in self.runs]
+
+
+def _result_ids(result) -> np.ndarray:
+    if isinstance(result, RkNNResult):
+        return result.ids
+    return np.asarray(result, dtype=np.intp)
+
+
+def run_method(
+    name: str,
+    query_fn: Callable[[int], RkNNResult],
+    query_indices: Sequence[int],
+    truth: GroundTruth,
+    k: int,
+    parameter: float = float("nan"),
+    keep_results: bool = False,
+) -> MethodRun:
+    """Evaluate ``query_fn`` over the workload against exact ground truth.
+
+    ``query_fn`` maps a query index to an :class:`RkNNResult` (or raw ids).
+    Timing covers only the method call; ground truth is precomputed
+    outside the timed region.
+    """
+    answers = truth.answers(query_indices, k)
+    run = MethodRun(method=name, k=k, parameter=parameter)
+    for query_index in query_indices:
+        started = time.perf_counter()
+        result = query_fn(int(query_index))
+        elapsed = time.perf_counter() - started
+        ids = _result_ids(result)
+        expected = answers[int(query_index)]
+        run.records.append(
+            QueryRecord(
+                query_index=int(query_index),
+                recall=recall(expected, ids),
+                precision=precision(expected, ids),
+                seconds=elapsed,
+                result=result if keep_results and isinstance(result, RkNNResult) else None,
+            )
+        )
+    return run
+
+
+def run_tradeoff(
+    name: str,
+    query_fn_for_parameter: Callable[[float], Callable[[int], RkNNResult]],
+    parameters: Sequence[float],
+    query_indices: Sequence[int],
+    truth: GroundTruth,
+    k: int,
+) -> TradeoffCurve:
+    """Sweep a method's accuracy knob and collect the tradeoff curve.
+
+    ``query_fn_for_parameter(p)`` returns the single-query function for one
+    setting of the knob (``t`` for RDT/RDT+, ``alpha`` for SFT).
+    """
+    curve = TradeoffCurve(method=name, k=k)
+    for parameter in parameters:
+        query_fn = query_fn_for_parameter(float(parameter))
+        curve.runs.append(
+            run_method(
+                name, query_fn, query_indices, truth, k, parameter=float(parameter)
+            )
+        )
+    return curve

@@ -1,0 +1,68 @@
+"""Index substrates: every structure implements the incremental-NN protocol.
+
+The registry (:func:`build_index`) lets the evaluation harness and the
+examples select back-ends by name, mirroring the paper's Section 7.1 where
+the cover tree and a sequential scan serve as interchangeable back-ends.
+"""
+
+from repro.indexes.ball_tree import BallTreeIndex
+from repro.indexes.base import Index, IndexCapabilityError
+from repro.indexes.bulk_knn import bulk_knn, bulk_knn_distances
+from repro.indexes.cover_tree import CoverTreeIndex
+from repro.indexes.kd_tree import KDTreeIndex
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.indexes.m_tree import MTreeIndex
+from repro.indexes.r_star_tree import RStarTreeIndex
+from repro.indexes.rdnn_tree import RdNNTreeIndex
+from repro.indexes.vp_tree import VPTreeIndex
+
+__all__ = [
+    "Index",
+    "IndexCapabilityError",
+    "LinearScanIndex",
+    "KDTreeIndex",
+    "CoverTreeIndex",
+    "VPTreeIndex",
+    "BallTreeIndex",
+    "MTreeIndex",
+    "RStarTreeIndex",
+    "RdNNTreeIndex",
+    "bulk_knn",
+    "bulk_knn_distances",
+    "build_index",
+    "INDEX_REGISTRY",
+]
+
+INDEX_REGISTRY = {
+    "linear-scan": LinearScanIndex,
+    "kd-tree": KDTreeIndex,
+    "cover-tree": CoverTreeIndex,
+    "vp-tree": VPTreeIndex,
+    "ball-tree": BallTreeIndex,
+    "m-tree": MTreeIndex,
+    "r-star-tree": RStarTreeIndex,
+}
+
+
+def build_index(name: str, data, metric=None, **kwargs) -> Index:
+    """Construct a registered index by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``linear-scan``, ``kd-tree``, ``cover-tree``, ``vp-tree``,
+        ``m-tree``, ``r-star-tree``.
+    data:
+        ``(n, dim)`` point matrix.
+    metric:
+        Metric name or :class:`~repro.distances.Metric` instance.
+    kwargs:
+        Forwarded to the index constructor (e.g. ``leaf_size``).
+    """
+    try:
+        cls = INDEX_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown index {name!r}; known: {sorted(INDEX_REGISTRY)}"
+        ) from None
+    return cls(data, metric=metric, **kwargs)

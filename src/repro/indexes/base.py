@@ -1,0 +1,183 @@
+"""The incremental nearest-neighbor index protocol.
+
+Algorithm 1 of the paper requires only "an index structure that can
+efficiently process incremental nearest neighbor queries".  This module
+defines that contract.  Every concrete index in :mod:`repro.indexes`
+implements:
+
+``iter_neighbors(query)``
+    A lazy iterator over ``(point_id, distance)`` pairs in nondecreasing
+    distance order — the *incremental forward search* that drives the RDT
+    filter phase.  Ties may be yielded in any order; RDT's rank bookkeeping
+    drains whole tie groups before applying its termination test.
+
+``knn(query, k, exclude_index=None)``
+    The k nearest neighbors (ids and distances).  ``exclude_index`` removes a
+    single member point from consideration — used to compute the kNN distance
+    of a member point over ``S \\ {x}`` (the library-wide rank convention,
+    see DESIGN.md).
+
+``knn_distance(query, k, exclude_index=None)``
+    Just the k-th nearest neighbor distance.
+
+``range_count(query, radius)`` / ``range_search(query, radius)``
+    Counting and reporting versions of the ball query (SFT's verification
+    step uses the counting version).
+
+Dynamic indexes additionally support ``insert`` / ``remove``; the
+``supports_insert`` / ``supports_remove`` flags advertise the capability.
+
+Point identifiers are dense integers assigned in insertion order and are
+never re-used; removed ids stay allocated but inactive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.utils.validation import as_dataset, as_query_point, check_k
+
+__all__ = ["Index", "IndexCapabilityError"]
+
+
+class IndexCapabilityError(RuntimeError):
+    """Raised when an optional index capability (insert/remove) is missing."""
+
+
+class Index:
+    """Abstract base class for incremental nearest-neighbor indexes."""
+
+    #: Human-readable identifier used by the registry and reports.
+    name: str = "abstract"
+    #: Whether :meth:`insert` is implemented.
+    supports_insert: bool = False
+    #: Whether :meth:`remove` is implemented.
+    supports_remove: bool = False
+
+    def __init__(self, data, metric: str | Metric | None = None) -> None:
+        self._points = as_dataset(data)
+        self.metric = get_metric(metric)
+        self._active = np.ones(self._points.shape[0], dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The raw point matrix, including rows of removed points."""
+        return self._points
+
+    @property
+    def dim(self) -> int:
+        """Representational dimension of the indexed points."""
+        return self._points.shape[1]
+
+    @property
+    def size(self) -> int:
+        """Number of *active* points currently indexed."""
+        return int(self._active.sum())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def is_active(self, index: int) -> bool:
+        """Whether the point id refers to a live (non-removed) point."""
+        return bool(self._active[index])
+
+    def get_point(self, index: int) -> np.ndarray:
+        """Return the coordinates of an active point by id."""
+        if not self._active[index]:
+            raise KeyError(f"point id {index} has been removed")
+        return self._points[index]
+
+    def active_ids(self) -> np.ndarray:
+        """Ids of all active points, ascending."""
+        return np.flatnonzero(self._active)
+
+    # ------------------------------------------------------------------
+    # Query protocol
+    # ------------------------------------------------------------------
+    def iter_neighbors(self, query) -> Iterator[tuple[int, float]]:
+        """Yield ``(point_id, distance)`` pairs in nondecreasing distance order."""
+        raise NotImplementedError
+
+    def knn(
+        self, query, k: int, exclude_index: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, distances)`` of the ``k`` nearest neighbors of ``query``.
+
+        The default implementation drains :meth:`iter_neighbors`; concrete
+        indexes may override it with a bounded search.  If fewer than ``k``
+        active points exist, all of them are returned.
+        """
+        k = check_k(k)
+        query = as_query_point(query, dim=self.dim)
+        ids: list[int] = []
+        dists: list[float] = []
+        for point_id, dist in self.iter_neighbors(query):
+            if exclude_index is not None and point_id == exclude_index:
+                continue
+            ids.append(point_id)
+            dists.append(dist)
+            if len(ids) == k:
+                break
+        return np.asarray(ids, dtype=np.intp), np.asarray(dists, dtype=np.float64)
+
+    def knn_distance(self, query, k: int, exclude_index: int | None = None) -> float:
+        """Return the k-th nearest neighbor distance of ``query``."""
+        _, dists = self.knn(query, k, exclude_index=exclude_index)
+        if dists.shape[0] < k:
+            return float("inf")
+        return float(dists[-1])
+
+    def range_search(self, query, radius: float) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, distances)`` of points within ``radius`` (inclusive)."""
+        query = as_query_point(query, dim=self.dim)
+        ids: list[int] = []
+        dists: list[float] = []
+        for point_id, dist in self.iter_neighbors(query):
+            if dist > radius:
+                break
+            ids.append(point_id)
+            dists.append(dist)
+        return np.asarray(ids, dtype=np.intp), np.asarray(dists, dtype=np.float64)
+
+    def range_count(self, query, radius: float) -> int:
+        """Return the number of points within ``radius`` of ``query`` (inclusive)."""
+        ids, _ = self.range_search(query, radius)
+        return int(ids.shape[0])
+
+    # ------------------------------------------------------------------
+    # Optional dynamic operations
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        """Insert a new point; returns its id.  Optional capability."""
+        raise IndexCapabilityError(f"{type(self).__name__} does not support insert")
+
+    def remove(self, index: int) -> None:
+        """Remove the point with the given id.  Optional capability."""
+        raise IndexCapabilityError(f"{type(self).__name__} does not support remove")
+
+    # ------------------------------------------------------------------
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def _append_point(self, point) -> int:
+        """Append a validated point row; returns the new id."""
+        point = as_query_point(point, dim=self.dim, name="point")
+        self._points = np.vstack([self._points, point[None, :]])
+        self._active = np.append(self._active, True)
+        return self._points.shape[0] - 1
+
+    def _deactivate(self, index: int) -> None:
+        if not self._active[index]:
+            raise KeyError(f"point id {index} has already been removed")
+        self._active[index] = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(n={self.size}, dim={self.dim}, "
+            f"metric={self.metric.name})"
+        )

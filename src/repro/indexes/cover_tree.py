@@ -1,0 +1,216 @@
+"""Cover tree with dynamic insert/remove and incremental NN search.
+
+The paper (Section 7.1) uses the cover tree of Beygelzimer, Kakade and
+Langford as the incremental-kNN back-end for all low/medium-dimensional
+datasets.  This module implements the *simplified* cover tree of Izbicki and
+Shelton (ICML 2015), which maintains only the covering invariant:
+
+    every child ``c`` of a node ``p`` satisfies ``d(p, c) <= covdist(p)``,
+    where ``covdist(p) = 2 ** p.level`` and ``c.level = p.level - 1``.
+
+Each node additionally caches ``maxdist`` — an upper bound on the distance
+from the node's point to any point in its subtree — which yields the
+best-first search bound
+
+    d(q, y) >= d(q, node.point) - node.maxdist        for y in subtree(node).
+
+The incremental search is a single priority queue mixing exact point
+distances and subtree lower bounds; points are emitted when they reach the
+queue front, guaranteeing nondecreasing order (the contract required by
+RDT's filter phase).
+
+Removal detaches the node and re-inserts the points of its orphaned
+subtree — the standard approach for cover trees, adequate because RDT's
+dynamic scenarios (Section 1: warehouses, streams) remove points far less
+often than they query.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.indexes.base import Index
+from repro.utils.priority_queue import MinPriorityQueue
+from repro.utils.validation import as_query_point
+
+__all__ = ["CoverTreeIndex"]
+
+
+class _Node:
+    __slots__ = ("point_id", "level", "children", "maxdist", "parent")
+
+    def __init__(self, point_id: int, level: int, parent: Optional["_Node"] = None):
+        self.point_id = point_id
+        self.level = level
+        self.children: list[_Node] = []
+        self.maxdist = 0.0
+        self.parent = parent
+
+    def covdist(self) -> float:
+        return 2.0**self.level
+
+
+class CoverTreeIndex(Index):
+    """Simplified cover tree (Izbicki & Shelton 2015) over an arbitrary metric."""
+
+    name = "cover-tree"
+    supports_insert = True
+    supports_remove = True
+
+    def __init__(self, data, metric=None) -> None:
+        super().__init__(data, metric)
+        self._root: Optional[_Node] = None
+        self._nodes: dict[int, _Node] = {}
+        for point_id in range(self._points.shape[0]):
+            self._insert_id(point_id)
+
+    # ------------------------------------------------------------------
+    # Construction / maintenance
+    # ------------------------------------------------------------------
+    def _dist_ids(self, a: int, b: int) -> float:
+        return self.metric.distance(self._points[a], self._points[b])
+
+    def _insert_id(self, point_id: int) -> None:
+        if self._root is None:
+            self._root = _Node(point_id, level=0)
+            self._nodes[point_id] = self._root
+            return
+        root = self._root
+        d_root = self._dist_ids(root.point_id, point_id)
+        if d_root > root.covdist():
+            # Raise the root level until its cover ball reaches the new point.
+            # Growing covdist keeps all existing covering invariants valid.
+            if d_root > 0.0:
+                root.level = max(root.level, int(math.ceil(math.log2(d_root))))
+        self._insert_under(root, point_id, d_root)
+
+    def _insert_under(self, node: _Node, point_id: int, d_node: float) -> None:
+        """Insert below ``node``; ``d_node`` is d(node.point, new point)."""
+        while True:
+            node.maxdist = max(node.maxdist, d_node)
+            best_child: Optional[_Node] = None
+            best_dist = math.inf
+            for child in node.children:
+                d_child = self._dist_ids(child.point_id, point_id)
+                if d_child <= child.covdist() and d_child < best_dist:
+                    best_child = child
+                    best_dist = d_child
+            if best_child is None:
+                new_node = _Node(point_id, level=node.level - 1, parent=node)
+                node.children.append(new_node)
+                self._nodes[point_id] = new_node
+                return
+            node, d_node = best_child, best_dist
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def iter_neighbors(self, query) -> Iterator[tuple[int, float]]:
+        query = as_query_point(query, dim=self.dim)
+        if self._root is None:
+            return
+        queue = MinPriorityQueue()
+        d_root = self.metric.distance(query, self._points[self._root.point_id])
+        queue.push(d_root, ("point", self._root.point_id))
+        if self._root.children:
+            queue.push(max(0.0, d_root - self._root.maxdist), ("node", self._root))
+        while queue:
+            key, (kind, payload) = queue.pop()
+            if kind == "point":
+                yield payload, key
+                continue
+            # Expand a subtree: push each child's own point and child subtree.
+            for child in payload.children:
+                d_child = self.metric.distance(query, self._points[child.point_id])
+                queue.push(d_child, ("point", child.point_id))
+                if child.children:
+                    queue.push(max(0.0, d_child - child.maxdist), ("node", child))
+
+    def range_count(self, query, radius: float) -> int:
+        """Count points within ``radius`` using the maxdist pruning bound."""
+        query = as_query_point(query, dim=self.dim)
+        if self._root is None:
+            return 0
+        count = 0
+        d_root = self.metric.distance(query, self._points[self._root.point_id])
+        stack = [(self._root, d_root)]
+        while stack:
+            node, d_node = stack.pop()
+            if d_node <= radius:
+                count += 1
+            if d_node - node.maxdist > radius:
+                continue
+            for child in node.children:
+                d_child = self.metric.distance(query, self._points[child.point_id])
+                stack.append((child, d_child))
+        return count
+
+    # ------------------------------------------------------------------
+    # Dynamic operations
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        point_id = self._append_point(point)
+        self._insert_id(point_id)
+        return point_id
+
+    def remove(self, index: int) -> None:
+        self._deactivate(index)
+        node = self._nodes.pop(index)
+        orphans: list[int] = []
+        self._collect_subtree(node, orphans)
+        orphans.remove(index)
+        if node.parent is None:
+            self._root = None
+        else:
+            node.parent.children.remove(node)
+        for orphan_id in orphans:
+            del self._nodes[orphan_id]
+        for orphan_id in orphans:
+            self._insert_id(orphan_id)
+
+    def _collect_subtree(self, node: _Node, out: list[int]) -> None:
+        out.append(node.point_id)
+        for child in node.children:
+            self._collect_subtree(child, out)
+
+    # ------------------------------------------------------------------
+    # Introspection / invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify covering and maxdist invariants; raises AssertionError."""
+        if self._root is None:
+            assert self.size == 0, "tree empty but active points remain"
+            return
+        seen: set[int] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            assert node.point_id not in seen, "duplicate node for one point id"
+            seen.add(node.point_id)
+            for child in node.children:
+                d = self._dist_ids(node.point_id, child.point_id)
+                assert d <= node.covdist() + 1e-9, (
+                    f"covering violated: d={d} > covdist={node.covdist()}"
+                )
+                # Root raising can leave older children at lower levels than
+                # level-1; the search only relies on maxdist, so we check the
+                # weaker (still sufficient) ordering invariant.
+                assert child.level <= node.level - 1, "child level mismatch"
+                stack.append(child)
+            true_max = self._subtree_maxdist(node)
+            assert node.maxdist >= true_max - 1e-9, (
+                f"maxdist {node.maxdist} below true subtree radius {true_max}"
+            )
+        assert seen == set(int(i) for i in self.active_ids()), (
+            "tree nodes do not match active point ids"
+        )
+
+    def _subtree_maxdist(self, node: _Node) -> float:
+        ids: list[int] = []
+        self._collect_subtree(node, ids)
+        base = self._points[node.point_id]
+        dists = self.metric.to_point(self._points[np.asarray(ids, dtype=np.intp)], base)
+        return float(dists.max())

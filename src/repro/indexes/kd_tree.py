@@ -1,0 +1,179 @@
+"""KD-tree with best-first incremental nearest-neighbor search.
+
+A classic axis-aligned space partitioning tree.  Internal nodes split on the
+widest dimension of their bounding box at the median; leaves hold up to
+``leaf_size`` points.  The incremental search maintains a single priority
+queue mixing *points* (keyed by their exact distance) and *subtrees* (keyed
+by the minimum possible distance to their bounding box); a point is emitted
+only when it reaches the front of the queue, which guarantees nondecreasing
+distance order.
+
+The bounding-box lower bound is computed as ``d(q, clip(q, lo, hi))`` —
+the closest point of an axis-aligned box under any ``L_p`` metric is the
+coordinate-wise clamp of the query, so the same code is exact for Euclidean,
+Manhattan, Chebyshev and general Minkowski metrics.
+
+Inserts are supported (descend to the leaf and append, splitting oversized
+leaves); removals deactivate the point in place.  Neither operation
+rebalances, which mirrors how KD-trees are deployed in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.indexes.base import Index
+from repro.utils.priority_queue import MinPriorityQueue
+from repro.utils.validation import as_query_point, check_k, check_positive_int
+
+__all__ = ["KDTreeIndex"]
+
+
+@dataclass
+class _Node:
+    """One KD-tree node; a leaf iff ``point_ids`` is not None."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    axis: int = -1
+    split: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    point_ids: Optional[list[int]] = field(default=None)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.point_ids is not None
+
+
+class KDTreeIndex(Index):
+    """Axis-aligned KD-tree supporting incremental forward NN search."""
+
+    name = "kd-tree"
+    supports_insert = True
+    supports_remove = True
+
+    def __init__(self, data, metric=None, leaf_size: int = 16) -> None:
+        super().__init__(data, metric)
+        self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
+        ids = np.arange(self._points.shape[0], dtype=np.intp)
+        self._root = self._build(ids)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, ids: np.ndarray) -> _Node:
+        pts = self._points[ids]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        if ids.shape[0] <= self.leaf_size:
+            return _Node(lo=lo, hi=hi, point_ids=[int(i) for i in ids])
+        axis = int(np.argmax(hi - lo))
+        if hi[axis] == lo[axis]:
+            # All points identical along every axis: keep them in one leaf.
+            return _Node(lo=lo, hi=hi, point_ids=[int(i) for i in ids])
+        coords = pts[:, axis]
+        split = float(np.median(coords))
+        left_mask = coords <= split
+        # A median equal to the maximum would send everything left; nudge the
+        # split so both sides are non-empty.
+        if left_mask.all():
+            left_mask = coords < split
+        node = _Node(lo=lo, hi=hi, axis=axis, split=split)
+        node.left = self._build(ids[left_mask])
+        node.right = self._build(ids[~left_mask])
+        return node
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _box_lower_bound(self, query: np.ndarray, node: _Node) -> float:
+        nearest = np.clip(query, node.lo, node.hi)
+        return self.metric.distance(query, nearest)
+
+    def iter_neighbors(self, query) -> Iterator[tuple[int, float]]:
+        query = as_query_point(query, dim=self.dim)
+        queue = MinPriorityQueue()
+        queue.push(self._box_lower_bound(query, self._root), self._root)
+        while queue:
+            key, item = queue.pop()
+            if isinstance(item, _Node):
+                if item.is_leaf:
+                    ids = [i for i in item.point_ids if self._active[i]]
+                    if ids:
+                        dists = self.metric.to_point(
+                            self._points[np.asarray(ids, dtype=np.intp)], query
+                        )
+                        for point_id, dist in zip(ids, dists):
+                            queue.push(float(dist), int(point_id))
+                else:
+                    queue.push(self._box_lower_bound(query, item.left), item.left)
+                    queue.push(self._box_lower_bound(query, item.right), item.right)
+            else:
+                yield item, key
+
+    def knn(
+        self, query, k: int, exclude_index: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        k = check_k(k)
+        ids: list[int] = []
+        dists: list[float] = []
+        for point_id, dist in self.iter_neighbors(query):
+            if point_id == exclude_index:
+                continue
+            ids.append(point_id)
+            dists.append(dist)
+            if len(ids) == k:
+                break
+        return np.asarray(ids, dtype=np.intp), np.asarray(dists, dtype=np.float64)
+
+    def range_count(self, query, radius: float) -> int:
+        """Count points within ``radius`` by pruning whole boxes."""
+        query = as_query_point(query, dim=self.dim)
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if self._box_lower_bound(query, node) > radius:
+                continue
+            if node.is_leaf:
+                ids = [i for i in node.point_ids if self._active[i]]
+                if ids:
+                    dists = self.metric.to_point(
+                        self._points[np.asarray(ids, dtype=np.intp)], query
+                    )
+                    count += int(np.count_nonzero(dists <= radius))
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return count
+
+    # ------------------------------------------------------------------
+    # Dynamic operations
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        point_id = self._append_point(point)
+        point = self._points[point_id]
+        node = self._root
+        # Grow bounding boxes along the descent path.
+        while True:
+            np.minimum(node.lo, point, out=node.lo)
+            np.maximum(node.hi, point, out=node.hi)
+            if node.is_leaf:
+                break
+            node = node.left if point[node.axis] <= node.split else node.right
+        node.point_ids.append(point_id)
+        live = [i for i in node.point_ids if self._active[i]]
+        if len(live) > self.leaf_size:
+            rebuilt = self._build(np.asarray(live, dtype=np.intp))
+            node.lo, node.hi = rebuilt.lo, rebuilt.hi
+            node.axis, node.split = rebuilt.axis, rebuilt.split
+            node.left, node.right = rebuilt.left, rebuilt.right
+            node.point_ids = rebuilt.point_ids
+        return point_id
+
+    def remove(self, index: int) -> None:
+        self._deactivate(index)

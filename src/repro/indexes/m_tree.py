@@ -1,0 +1,295 @@
+"""M-tree: a dynamic, balanced index for general metric spaces.
+
+Implements the structure of Ciaccia, Patella and Zezula (VLDB 1997), which
+the MRkNNCoP baseline builds on.  Every node holds up to ``capacity``
+entries; internal entries are *routing objects* — a center point, a covering
+radius bounding the subtree, and the distance to the parent center — and
+leaf entries are data points with their distance to the parent center.
+
+Insertion descends to the leaf whose routing ball needs the least
+enlargement; overflowing nodes are split with the mM_RAD promotion policy
+(sample candidate promotion pairs, partition by generalized hyperplane,
+minimize the larger covering radius).  Splits propagate upward, growing a
+new root when the old one overflows, so the tree stays balanced.
+
+The incremental search is best-first over the bound
+
+    d(q, y) >= max(0, d(q, center) - radius)        for y under a routing entry,
+
+which is exact for any metric by the triangle inequality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.indexes.base import Index
+from repro.utils.priority_queue import MinPriorityQueue
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_query_point, check_positive_int
+
+__all__ = ["MTreeIndex"]
+
+
+class _Entry:
+    """Routing entry (points at a child node) or leaf entry (a data point)."""
+
+    __slots__ = ("center_id", "radius", "child", "dist_to_parent")
+
+    def __init__(
+        self,
+        center_id: int,
+        radius: float = 0.0,
+        child: Optional["_MNode"] = None,
+    ) -> None:
+        self.center_id = center_id
+        self.radius = radius
+        self.child = child
+        self.dist_to_parent = 0.0
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+
+class _MNode:
+    __slots__ = ("is_leaf", "entries", "parent_entry", "parent_node")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list[_Entry] = []
+        self.parent_entry: Optional[_Entry] = None
+        self.parent_node: Optional["_MNode"] = None
+
+
+class MTreeIndex(Index):
+    """Dynamic M-tree supporting incremental forward NN search."""
+
+    name = "m-tree"
+    supports_insert = True
+    supports_remove = True  # lazy removal: points are masked, not detached
+
+    def __init__(self, data, metric=None, capacity: int = 32, seed=0) -> None:
+        super().__init__(data, metric)
+        self.capacity = check_positive_int(capacity, name="capacity")
+        if self.capacity < 4:
+            raise ValueError(f"capacity must be >= 4, got {capacity}")
+        self._rng = ensure_rng(seed)
+        self._root = _MNode(is_leaf=True)
+        for point_id in range(self._points.shape[0]):
+            self._insert_id(point_id)
+
+    # ------------------------------------------------------------------
+    # Construction / maintenance
+    # ------------------------------------------------------------------
+    def _dist_ids(self, a: int, b: int) -> float:
+        return self.metric.distance(self._points[a], self._points[b])
+
+    def _insert_id(self, point_id: int) -> None:
+        node = self._root
+        # Descend to a leaf, enlarging covering radii along the way.
+        while not node.is_leaf:
+            best: Optional[_Entry] = None
+            best_key = (1, np.inf)  # (needs enlargement?, distance or enlargement)
+            for entry in node.entries:
+                d = self._dist_ids(entry.center_id, point_id)
+                key = (0, d) if d <= entry.radius else (1, d - entry.radius)
+                if key < best_key:
+                    best, best_key = entry, key
+            d_center = self._dist_ids(best.center_id, point_id)
+            if d_center > best.radius:
+                best.radius = d_center
+            node = best.child
+        entry = _Entry(point_id)
+        if node.parent_entry is not None:
+            entry.dist_to_parent = self._dist_ids(
+                node.parent_entry.center_id, point_id
+            )
+        node.entries.append(entry)
+        if len(node.entries) > self.capacity:
+            self._split(node)
+
+    def _split(self, node: _MNode) -> None:
+        entries = node.entries
+        ids = [e.center_id for e in entries]
+        promo_a, promo_b = self._promote(ids)
+        group_a: list[_Entry] = []
+        group_b: list[_Entry] = []
+        for entry in entries:
+            d_a = self._dist_ids(promo_a, entry.center_id)
+            d_b = self._dist_ids(promo_b, entry.center_id)
+            (group_a if d_a <= d_b else group_b).append(entry)
+        # Guard against empty partitions under pathological ties.
+        if not group_a:
+            group_a.append(group_b.pop())
+        if not group_b:
+            group_b.append(group_a.pop())
+
+        node_a = _MNode(is_leaf=node.is_leaf)
+        node_b = _MNode(is_leaf=node.is_leaf)
+        entry_a = self._make_routing_entry(promo_a, group_a, node_a)
+        entry_b = self._make_routing_entry(promo_b, group_b, node_b)
+
+        parent = node.parent_node
+        if parent is None:
+            new_root = _MNode(is_leaf=False)
+            self._adopt(new_root, entry_a)
+            self._adopt(new_root, entry_b)
+            self._root = new_root
+            return
+        parent.entries.remove(node.parent_entry)
+        self._adopt(parent, entry_a)
+        self._adopt(parent, entry_b)
+        if len(parent.entries) > self.capacity:
+            self._split(parent)
+
+    def _promote(self, ids: list[int]) -> tuple[int, int]:
+        """mM_RAD-style promotion: sample pairs, pick the best separation."""
+        n = len(ids)
+        n_samples = min(10, n * (n - 1) // 2)
+        best_pair = (ids[0], ids[1])
+        best_score = -np.inf
+        for _ in range(n_samples):
+            i, j = self._rng.choice(n, size=2, replace=False)
+            a, b = ids[int(i)], ids[int(j)]
+            score = self._dist_ids(a, b)
+            if score > best_score:
+                best_pair, best_score = (a, b), score
+        return best_pair
+
+    def _make_routing_entry(
+        self, center_id: int, group: list[_Entry], child: _MNode
+    ) -> _Entry:
+        child.entries = group
+        radius = 0.0
+        for entry in group:
+            d = self._dist_ids(center_id, entry.center_id)
+            entry.dist_to_parent = d
+            reach = d if entry.is_leaf_entry else d + entry.radius
+            if reach > radius:
+                radius = reach
+            if not entry.is_leaf_entry:
+                entry.child.parent_node = child
+        routing = _Entry(center_id, radius=radius, child=child)
+        child.parent_entry = routing
+        for entry in group:
+            if not entry.is_leaf_entry:
+                entry.child.parent_entry = entry
+        return routing
+
+    def _adopt(self, parent: _MNode, entry: _Entry) -> None:
+        parent.entries.append(entry)
+        entry.child.parent_node = parent
+        entry.child.parent_entry = entry
+        if parent.parent_entry is not None:
+            entry.dist_to_parent = self._dist_ids(
+                parent.parent_entry.center_id, entry.center_id
+            )
+
+    @property
+    def root(self) -> _MNode:
+        """The root node (read-only structural access for analyses built
+        on top of the tree, e.g. MRkNNCoP's aggregated bounds)."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def iter_neighbors(self, query) -> Iterator[tuple[int, float]]:
+        query = as_query_point(query, dim=self.dim)
+        queue = MinPriorityQueue()
+        queue.push(0.0, self._root)
+        while queue:
+            key, item = queue.pop()
+            if isinstance(item, _MNode):
+                for entry in item.entries:
+                    d = self.metric.distance(
+                        query, self._points[entry.center_id]
+                    )
+                    if entry.is_leaf_entry:
+                        if self._active[entry.center_id]:
+                            queue.push(d, int(entry.center_id))
+                    else:
+                        queue.push(max(0.0, d - entry.radius), entry.child)
+            else:
+                yield item, key
+
+    def range_count(self, query, radius: float) -> int:
+        query = as_query_point(query, dim=self.dim)
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                d = self.metric.distance(query, self._points[entry.center_id])
+                if entry.is_leaf_entry:
+                    if d <= radius and self._active[entry.center_id]:
+                        count += 1
+                elif d - entry.radius <= radius:
+                    stack.append(entry.child)
+        return count
+
+    # ------------------------------------------------------------------
+    # Dynamic operations
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        point_id = self._append_point(point)
+        self._insert_id(point_id)
+        return point_id
+
+    def remove(self, index: int) -> None:
+        # Lazy removal: the routing structure keeps the point as a pivot but
+        # queries never report it.  Covering radii remain valid upper bounds.
+        self._deactivate(index)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify covering-radius and parent-distance invariants.
+
+        The M-tree guarantee is that every routing ball covers all *points*
+        stored beneath it (not that child balls nest inside parent balls —
+        insertion does not maintain the stronger property, and the search
+        bound does not need it).
+        """
+        stack: list[tuple[_MNode, Optional[_Entry]]] = [(self._root, None)]
+        reported: set[int] = set()
+        while stack:
+            node, routing = stack.pop()
+            assert len(node.entries) <= self.capacity, "node overflow"
+            for entry in node.entries:
+                if routing is not None:
+                    d = self._dist_ids(routing.center_id, entry.center_id)
+                    assert abs(d - entry.dist_to_parent) <= 1e-9, (
+                        "stale parent distance"
+                    )
+                if entry.is_leaf_entry:
+                    reported.add(entry.center_id)
+                else:
+                    assert entry.child.parent_entry is entry, "broken child link"
+                    subtree_ids = self._collect_points(entry.child)
+                    dists = self.metric.to_point(
+                        self._points[np.asarray(subtree_ids, dtype=np.intp)],
+                        self._points[entry.center_id],
+                    )
+                    assert float(dists.max()) <= entry.radius + 1e-9, (
+                        "covering radius does not cover subtree points"
+                    )
+                    stack.append((entry.child, entry))
+        expected = set(range(self._points.shape[0]))
+        assert reported == expected, "leaf entries do not cover all points"
+
+    def _collect_points(self, node: _MNode) -> list[int]:
+        ids: list[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for entry in current.entries:
+                if entry.is_leaf_entry:
+                    ids.append(entry.center_id)
+                else:
+                    stack.append(entry.child)
+        return ids

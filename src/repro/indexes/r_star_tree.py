@@ -1,0 +1,426 @@
+"""R*-tree with forced reinsertion, plus an STR bulk loader.
+
+The RdNN-Tree baseline [51] and the TPL comparator [43] both live on top of
+an R-tree-family index; the paper's scalability story (Section 8.3) hinges on
+how this structure degrades with dimensionality [47].  This module implements
+the R*-tree of Beckmann et al. (SIGMOD 1990):
+
+* **ChooseSubtree** — minimum overlap enlargement at the leaf level,
+  minimum area enlargement above it;
+* **overflow treatment** — forced reinsertion of the 30% of entries
+  farthest from the node's MBR center, once per level per insertion;
+* **R\\* split** — split axis chosen by minimum margin sum, distribution
+  chosen by minimum overlap (ties by area).
+
+A Sort-Tile-Recursive (STR) bulk loader is provided for building large trees
+quickly in benchmarks; insert-based and bulk-loaded trees answer identical
+queries.
+
+Query-side, the tree offers the library-wide incremental-NN protocol.  The
+lower bound for a box is ``d(q, clip(q, lo, hi))`` — exact for every
+Minkowski metric — so the index composes with the metric abstraction even
+though rectangles are only *efficient* for low-dimensional data (which is
+precisely the effect the paper's experiments demonstrate).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.indexes.base import Index
+from repro.utils.priority_queue import MinPriorityQueue
+from repro.utils.validation import as_query_point, check_positive_int
+
+__all__ = ["RStarTreeIndex"]
+
+
+class _Entry:
+    """An MBR plus either a child node (internal) or a point id (leaf)."""
+
+    __slots__ = ("lo", "hi", "child", "point_id")
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        child: Optional["_RNode"] = None,
+        point_id: int = -1,
+    ) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.child = child
+        self.point_id = point_id
+
+    @property
+    def is_point(self) -> bool:
+        return self.child is None
+
+
+class _RNode:
+    __slots__ = ("is_leaf", "entries", "parent")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list[_Entry] = []
+        self.parent: Optional["_RNode"] = None
+
+
+def _area(lo: np.ndarray, hi: np.ndarray) -> float:
+    return float(np.prod(hi - lo))
+
+
+def _margin(lo: np.ndarray, hi: np.ndarray) -> float:
+    return float((hi - lo).sum())
+
+
+def _union(entries: list[_Entry]) -> tuple[np.ndarray, np.ndarray]:
+    lo = entries[0].lo.copy()
+    hi = entries[0].hi.copy()
+    for entry in entries[1:]:
+        np.minimum(lo, entry.lo, out=lo)
+        np.maximum(hi, entry.hi, out=hi)
+    return lo, hi
+
+
+def _overlap(
+    lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray
+) -> float:
+    inter = np.minimum(hi_a, hi_b) - np.maximum(lo_a, lo_b)
+    if (inter <= 0.0).any():
+        return 0.0
+    return float(np.prod(inter))
+
+
+class RStarTreeIndex(Index):
+    """R*-tree over point data with incremental NN search."""
+
+    name = "r-star-tree"
+    supports_insert = True
+    supports_remove = True
+
+    def __init__(
+        self,
+        data,
+        metric=None,
+        capacity: int = 32,
+        bulk_load: bool = True,
+    ) -> None:
+        super().__init__(data, metric)
+        self.capacity = check_positive_int(capacity, name="capacity")
+        if self.capacity < 4:
+            raise ValueError(f"capacity must be >= 4, got {capacity}")
+        self.min_fill = max(2, int(0.4 * self.capacity))
+        self._reinsert_count = max(1, int(0.3 * self.capacity))
+        self._height = 1
+        self._root = _RNode(is_leaf=True)
+        n = self._points.shape[0]
+        if bulk_load and n > self.capacity:
+            self._root = self._bulk_load(np.arange(n, dtype=np.intp))
+        else:
+            for point_id in range(n):
+                self._insert_entry(self._point_entry(point_id), level=0)
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+    def _point_entry(self, point_id: int) -> _Entry:
+        p = self._points[point_id]
+        return _Entry(p.copy(), p.copy(), point_id=int(point_id))
+
+    def _bulk_load(self, ids: np.ndarray) -> _RNode:
+        entries = [self._point_entry(int(i)) for i in ids]
+        level_nodes = self._pack_level(entries, is_leaf=True)
+        self._height = 1
+        while len(level_nodes) > 1:
+            upper_entries = []
+            for node in level_nodes:
+                lo, hi = _union(node.entries)
+                upper_entries.append(_Entry(lo, hi, child=node))
+            level_nodes = self._pack_level(upper_entries, is_leaf=False)
+            self._height += 1
+        return level_nodes[0]
+
+    def _pack_level(self, entries: list[_Entry], is_leaf: bool) -> list[_RNode]:
+        """Tile entries into nodes of ~capacity size, sorted recursively."""
+        n = len(entries)
+        if n <= self.capacity:
+            node = _RNode(is_leaf)
+            for entry in entries:
+                self._attach(node, entry)
+            return [node]
+        centers = np.array([(e.lo + e.hi) * 0.5 for e in entries])
+        n_nodes = math.ceil(n / self.capacity)
+        order = np.argsort(centers[:, 0], kind="stable")
+        entries = [entries[i] for i in order]
+        centers = centers[order]
+        # Number of vertical slabs ~ sqrt of the node count.
+        n_slabs = max(1, int(math.ceil(math.sqrt(n_nodes))))
+        slab_size = math.ceil(n / n_slabs)
+        nodes: list[_RNode] = []
+        sort_dim = 1 if centers.shape[1] > 1 else 0
+        for start in range(0, n, slab_size):
+            slab = entries[start : start + slab_size]
+            slab_centers = np.array([(e.lo + e.hi) * 0.5 for e in slab])
+            sub_order = np.argsort(slab_centers[:, sort_dim], kind="stable")
+            slab = [slab[i] for i in sub_order]
+            for node_start in range(0, len(slab), self.capacity):
+                node = _RNode(is_leaf)
+                for entry in slab[node_start : node_start + self.capacity]:
+                    self._attach(node, entry)
+                nodes.append(node)
+        return nodes
+
+    def _attach(self, node: _RNode, entry: _Entry) -> None:
+        node.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = node
+
+    # ------------------------------------------------------------------
+    # Insertion (R* algorithm)
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        point_id = self._append_point(point)
+        self._insert_entry(self._point_entry(point_id), level=0)
+        return point_id
+
+    def _insert_entry(self, entry: _Entry, level: int) -> None:
+        # One forced-reinsert pass is allowed per level per insertion.
+        self._reinserted_levels: set[int] = set()
+        self._insert_at_level(entry, level)
+
+    def _insert_at_level(self, entry: _Entry, level: int) -> None:
+        node = self._choose_subtree(entry, level)
+        self._attach(node, entry)
+        if len(node.entries) > self.capacity:
+            self._overflow(node, level)
+
+    def _node_level(self, node: _RNode) -> int:
+        """Level of a node: leaves are level 0."""
+        level = 0
+        current = node
+        while not current.is_leaf:
+            current = current.entries[0].child
+            level += 1
+        return level
+
+    def _choose_subtree(self, entry: _Entry, level: int) -> _RNode:
+        node = self._root
+        depth_remaining = self._node_level(node) - level
+        while depth_remaining > 0:
+            child_is_leaf = depth_remaining == 1 and node.entries[0].child.is_leaf
+            best = None
+            best_key = None
+            for candidate in node.entries:
+                lo = np.minimum(candidate.lo, entry.lo)
+                hi = np.maximum(candidate.hi, entry.hi)
+                enlargement = _area(lo, hi) - _area(candidate.lo, candidate.hi)
+                if child_is_leaf:
+                    # Minimum overlap enlargement among siblings.
+                    overlap_before = sum(
+                        _overlap(candidate.lo, candidate.hi, other.lo, other.hi)
+                        for other in node.entries
+                        if other is not candidate
+                    )
+                    overlap_after = sum(
+                        _overlap(lo, hi, other.lo, other.hi)
+                        for other in node.entries
+                        if other is not candidate
+                    )
+                    key = (
+                        overlap_after - overlap_before,
+                        enlargement,
+                        _area(candidate.lo, candidate.hi),
+                    )
+                else:
+                    key = (enlargement, _area(candidate.lo, candidate.hi), 0.0)
+                if best_key is None or key < best_key:
+                    best, best_key = candidate, key
+            np.minimum(best.lo, entry.lo, out=best.lo)
+            np.maximum(best.hi, entry.hi, out=best.hi)
+            node = best.child
+            depth_remaining -= 1
+        return node
+
+    def _overflow(self, node: _RNode, level: int) -> None:
+        if node is not self._root and level not in self._reinserted_levels:
+            self._reinserted_levels.add(level)
+            self._force_reinsert(node, level)
+        else:
+            self._split_node(node)
+
+    def _force_reinsert(self, node: _RNode, level: int) -> None:
+        lo, hi = _union(node.entries)
+        center = (lo + hi) * 0.5
+        dists = [
+            float(np.linalg.norm((entry.lo + entry.hi) * 0.5 - center))
+            for entry in node.entries
+        ]
+        order = np.argsort(dists)
+        keep = [node.entries[i] for i in order[: -self._reinsert_count]]
+        evicted = [node.entries[i] for i in order[-self._reinsert_count :]]
+        node.entries = keep
+        self._tighten_upward(node)
+        for entry in evicted:
+            self._insert_at_level(entry, level)
+
+    def _split_node(self, node: _RNode) -> None:
+        group_a, group_b = self._rstar_split(node.entries)
+        if node is self._root:
+            new_root = _RNode(is_leaf=False)
+            for group in (group_a, group_b):
+                child = _RNode(is_leaf=node.is_leaf)
+                for entry in group:
+                    self._attach(child, entry)
+                lo, hi = _union(group)
+                self._attach(new_root, _Entry(lo, hi, child=child))
+            self._root = new_root
+            self._height += 1
+            return
+        parent = node.parent
+        # Reuse `node` for group A, create a sibling for group B.
+        node.entries = []
+        for entry in group_a:
+            self._attach(node, entry)
+        sibling = _RNode(is_leaf=node.is_leaf)
+        for entry in group_b:
+            self._attach(sibling, entry)
+        # Update the parent entry of `node` and add one for the sibling.
+        parent_entry = self._find_parent_entry(parent, node)
+        parent_entry.lo, parent_entry.hi = _union(node.entries)
+        lo, hi = _union(sibling.entries)
+        self._attach(parent, _Entry(lo, hi, child=sibling))
+        self._tighten_upward(parent)
+        if len(parent.entries) > self.capacity:
+            self._overflow(parent, self._node_level(parent))
+
+    def _find_parent_entry(self, parent: _RNode, child: _RNode) -> _Entry:
+        for entry in parent.entries:
+            if entry.child is child:
+                return entry
+        raise RuntimeError("corrupt tree: child not found in parent")
+
+    def _tighten_upward(self, node: _RNode) -> None:
+        current = node
+        while current.parent is not None:
+            entry = self._find_parent_entry(current.parent, current)
+            entry.lo, entry.hi = _union(current.entries)
+            current = current.parent
+
+    def _rstar_split(self, entries: list[_Entry]) -> tuple[list[_Entry], list[_Entry]]:
+        dim = self.dim
+        m = self.min_fill
+        best_axis, best_axis_margin = 0, np.inf
+        # Choose split axis: minimum total margin over all distributions.
+        for axis in range(dim):
+            margin_sum = 0.0
+            for sorted_entries in self._axis_sorts(entries, axis):
+                for split_at in range(m, len(entries) - m + 1):
+                    lo_a, hi_a = _union(sorted_entries[:split_at])
+                    lo_b, hi_b = _union(sorted_entries[split_at:])
+                    margin_sum += _margin(lo_a, hi_a) + _margin(lo_b, hi_b)
+            if margin_sum < best_axis_margin:
+                best_axis, best_axis_margin = axis, margin_sum
+        # Choose distribution on that axis: minimum overlap, ties by area.
+        best_split = None
+        best_key = None
+        for sorted_entries in self._axis_sorts(entries, best_axis):
+            for split_at in range(m, len(entries) - m + 1):
+                group_a = sorted_entries[:split_at]
+                group_b = sorted_entries[split_at:]
+                lo_a, hi_a = _union(group_a)
+                lo_b, hi_b = _union(group_b)
+                key = (
+                    _overlap(lo_a, hi_a, lo_b, hi_b),
+                    _area(lo_a, hi_a) + _area(lo_b, hi_b),
+                )
+                if best_key is None or key < best_key:
+                    best_split = (list(group_a), list(group_b))
+                    best_key = key
+        return best_split
+
+    def _axis_sorts(
+        self, entries: list[_Entry], axis: int
+    ) -> Iterator[list[_Entry]]:
+        yield sorted(entries, key=lambda e: (e.lo[axis], e.hi[axis]))
+        yield sorted(entries, key=lambda e: (e.hi[axis], e.lo[axis]))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _box_lower_bound(self, query: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
+        return self.metric.distance(query, np.clip(query, lo, hi))
+
+    def iter_neighbors(self, query) -> Iterator[tuple[int, float]]:
+        query = as_query_point(query, dim=self.dim)
+        queue = MinPriorityQueue()
+        queue.push(0.0, self._root)
+        while queue:
+            key, item = queue.pop()
+            if isinstance(item, _RNode):
+                for entry in item.entries:
+                    if entry.is_point:
+                        if self._active[entry.point_id]:
+                            dist = self.metric.distance(
+                                query, self._points[entry.point_id]
+                            )
+                            queue.push(dist, int(entry.point_id))
+                    else:
+                        bound = self._box_lower_bound(query, entry.lo, entry.hi)
+                        queue.push(bound, entry.child)
+            else:
+                yield item, key
+
+    def range_count(self, query, radius: float) -> int:
+        query = as_query_point(query, dim=self.dim)
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.is_point:
+                    if self._active[entry.point_id]:
+                        if self.metric.distance(
+                            query, self._points[entry.point_id]
+                        ) <= radius:
+                            count += 1
+                elif self._box_lower_bound(query, entry.lo, entry.hi) <= radius:
+                    stack.append(entry.child)
+        return count
+
+    def remove(self, index: int) -> None:
+        # Lazy removal: MBRs stay valid (possibly loose) bounding volumes.
+        self._deactivate(index)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the test suite and the RdNN-tree subclass)
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> _RNode:
+        return self._root
+
+    def check_invariants(self) -> None:
+        """Verify MBR containment and fan-out bounds; raises AssertionError."""
+        reported: set[int] = set()
+        stack: list[tuple[_RNode, Optional[_Entry]]] = [(self._root, None)]
+        while stack:
+            node, routing = stack.pop()
+            assert len(node.entries) <= self.capacity, "node overflow"
+            if node is not self._root:
+                assert len(node.entries) >= 1, "empty non-root node"
+            for entry in node.entries:
+                if routing is not None:
+                    assert (entry.lo >= routing.lo - 1e-12).all(), "MBR breach (lo)"
+                    assert (entry.hi <= routing.hi + 1e-12).all(), "MBR breach (hi)"
+                if entry.is_point:
+                    assert node.is_leaf, "point entry in internal node"
+                    reported.add(entry.point_id)
+                else:
+                    assert not node.is_leaf, "child entry in leaf node"
+                    assert entry.child.parent is node, "broken parent link"
+                    stack.append((entry.child, entry))
+        assert reported == set(range(self._points.shape[0])), (
+            "leaf entries do not cover all points"
+        )

@@ -1,0 +1,121 @@
+"""RdNN-tree: an R*-tree augmented with aggregated kNN distances.
+
+Reproduces the index of Yang and Lin (ICDE 2001), one of the paper's exact
+baselines.  For a fixed neighborhood size ``k`` the tree stores, with every
+point, its (precomputed) kNN distance, and with every node the *maximum*
+kNN distance within its subtree.  A reverse-kNN query then reduces to
+point-in-hypersphere containment:
+
+    x in RkNN(q)  <=>  d(q, x) <= d_k(x),
+
+and a subtree can be pruned whenever ``mindist(q, MBR) > max_dk(subtree)``.
+
+The structure answers exact RkNN queries very quickly, but the paper's
+critique — reproduced by the benchmarks — is the cost model: the entire
+kNN-distance table must be computed up front (O(n^2) here, days of work for
+the paper's Imagenet set), and a separate tree is required for every ``k``.
+The index is therefore static: ``insert``/``remove`` are unsupported,
+exactly the inflexibility the dynamic methods of Section 2.2 react to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.indexes.base import IndexCapabilityError
+from repro.indexes.bulk_knn import bulk_knn_distances
+from repro.indexes.r_star_tree import RStarTreeIndex
+from repro.utils.tolerance import dist_le, inflate
+
+__all__ = ["RdNNTreeIndex"]
+
+
+class RdNNTreeIndex(RStarTreeIndex):
+    """R*-tree + per-subtree max kNN distance, for one fixed ``k``."""
+
+    name = "rdnn-tree"
+    supports_insert = False
+    supports_remove = False
+
+    def __init__(
+        self,
+        data,
+        k: int,
+        metric=None,
+        capacity: int = 32,
+        knn_distances: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(data, metric=metric, capacity=capacity, bulk_load=True)
+        self.k = int(k)
+        if knn_distances is None:
+            knn_distances = bulk_knn_distances(self._points, k, metric=self.metric)
+        else:
+            knn_distances = np.asarray(knn_distances, dtype=np.float64)
+            if knn_distances.shape != (self._points.shape[0],):
+                raise ValueError(
+                    "knn_distances must have one entry per point; got shape "
+                    f"{knn_distances.shape}"
+                )
+        self.knn_distances = knn_distances
+        self._node_max_dk: dict[int, float] = {}
+        self._aggregate(self.root)
+
+    def _aggregate(self, node) -> float:
+        """Bottom-up computation of the max-kNN-distance node annotations."""
+        best = 0.0
+        for entry in node.entries:
+            if entry.is_point:
+                value = float(self.knn_distances[entry.point_id])
+            else:
+                value = self._aggregate(entry.child)
+            if value > best:
+                best = value
+        self._node_max_dk[id(node)] = best
+        return best
+
+    def max_dk(self, node) -> float:
+        """The aggregated max kNN distance for a tree node."""
+        return self._node_max_dk[id(node)]
+
+    # ------------------------------------------------------------------
+    # Reverse kNN query
+    # ------------------------------------------------------------------
+    def rknn(self, query, exclude_index: int | None = None) -> np.ndarray:
+        """Exact reverse kNN of ``query`` for the tree's fixed ``k``.
+
+        Returns ascending point ids.  ``exclude_index`` drops the query
+        point itself when the query is a dataset member.
+        """
+        from repro.utils.validation import as_query_point
+
+        query = as_query_point(query, dim=self.dim)
+        result: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.is_point:
+                    point_id = entry.point_id
+                    if point_id == exclude_index or not self._active[point_id]:
+                        continue
+                    d = self.metric.distance(query, self._points[point_id])
+                    if dist_le(d, float(self.knn_distances[point_id])):
+                        result.append(point_id)
+                else:
+                    bound = self._box_lower_bound(query, entry.lo, entry.hi)
+                    if bound <= inflate(self.max_dk(entry.child)):
+                        stack.append(entry.child)
+        return np.asarray(sorted(result), dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # Static index: dynamic operations refused
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        raise IndexCapabilityError(
+            "RdNNTreeIndex is static: kNN-distance annotations cannot be "
+            "maintained incrementally (this is the inflexibility the paper's "
+            "Section 2 describes)"
+        )
+
+    def remove(self, index: int) -> None:
+        raise IndexCapabilityError("RdNNTreeIndex is static")

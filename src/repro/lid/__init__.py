@@ -1,0 +1,51 @@
+"""Intrinsic-dimensionality estimators (paper Sections 3.2 and 6).
+
+* :func:`estimate_id_mle` — the Hill/MLE estimator of local intrinsic
+  dimensionality, averaged over a sample (linear runtime);
+* :func:`estimate_id_gp` — Grassberger–Procaccia correlation dimension
+  (quadratic runtime);
+* :func:`estimate_id_takens` — Takens correlation-dimension estimator
+  (quadratic runtime);
+* :func:`ged` / :func:`max_ged` — the generalized expansion dimension and
+  its exact dataset maximum, the quantity Theorem 1's guarantee is stated
+  in terms of.
+"""
+
+from repro.lid.ged import ged, max_ged, max_ged_for_query, theorem1_scale
+from repro.lid.gp import correlation_integral, estimate_id_gp, pairwise_sample_distances
+from repro.lid.mle import estimate_id_mle, hill_estimator
+from repro.lid.takens import estimate_id_takens, takens_from_distances
+
+__all__ = [
+    "estimate_id",
+    "ESTIMATORS",
+    "ged",
+    "max_ged",
+    "max_ged_for_query",
+    "theorem1_scale",
+    "estimate_id_gp",
+    "correlation_integral",
+    "pairwise_sample_distances",
+    "estimate_id_mle",
+    "hill_estimator",
+    "estimate_id_takens",
+    "takens_from_distances",
+]
+
+#: Registered dataset-level estimators, keyed as in the paper's plots.
+ESTIMATORS = {
+    "mle": estimate_id_mle,
+    "gp": estimate_id_gp,
+    "takens": estimate_id_takens,
+}
+
+
+def estimate_id(data, method: str = "mle", **kwargs) -> float:
+    """Dispatch to a named estimator (``mle``, ``gp`` or ``takens``)."""
+    try:
+        estimator = ESTIMATORS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown estimator {method!r}; known: {sorted(ESTIMATORS)}"
+        ) from None
+    return estimator(data, **kwargs)

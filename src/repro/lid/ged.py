@@ -1,0 +1,99 @@
+"""Generalized expansion dimension (GED) and its dataset maximum (MaxGED).
+
+Section 3.2 of the paper: two concentric neighborhood balls with radii
+``r1 < r2`` capturing ``k1`` and ``k2`` points witness a dimensional test
+value
+
+    Ged = log(k2 / k1) / log(r2 / r1),
+
+an estimator of the local intrinsic dimensionality at the balls' center.
+``MaxGed(S, k)`` is the maximum test value over all centers ``q`` in ``S``
+and all outer ranks ``s`` in ``(k, |S|]``, with the inner ball anchored at
+the k-nearest-neighbor distance.  Theorem 1 guarantees RDT returns exact
+results whenever the scale parameter ``t`` reaches ``MaxGed(S ∪ {q}, k)``.
+
+Ball cardinalities here are *physical counts* — the center point itself is
+inside its own ball, and distance ties all fall inside (the paper's
+max-rank convention).  The computation is exact and O(n^2 log n); it exists
+for analysis and for the property-based tests of the exactness guarantee,
+not for production use (the paper's Section 6 explains why estimating
+MaxGED in practice is hopeless, and estimates LID instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.utils.validation import as_dataset, check_k
+
+__all__ = ["ged", "max_ged", "max_ged_for_query", "theorem1_scale"]
+
+
+def ged(r1: float, k1: int, r2: float, k2: int) -> float:
+    """Dimensional test value of two concentric balls (r1 < r2)."""
+    if not 0.0 < r1 < r2:
+        raise ValueError(f"radii must satisfy 0 < r1 < r2, got r1={r1}, r2={r2}")
+    if not 0 < k1 <= k2:
+        raise ValueError(f"counts must satisfy 0 < k1 <= k2, got k1={k1}, k2={k2}")
+    return float(np.log(k2 / k1) / np.log(r2 / r1))
+
+
+def _center_max_ged(sorted_dists: np.ndarray, k: int) -> float:
+    """Max GED over outer ranks for one center's ascending distance vector."""
+    n = sorted_dists.shape[0]
+    dk = sorted_dists[k - 1]
+    if dk <= 0.0:
+        # k-fold duplicate of the center: every ratio degenerates.
+        return 0.0
+    # Physical count inside the inner ball (ties included).
+    count_k = int(np.searchsorted(sorted_dists, dk, side="right"))
+    outer = sorted_dists[k:]
+    distinct = outer > dk
+    if not distinct.any():
+        return 0.0
+    radii = outer[distinct]
+    counts = np.searchsorted(sorted_dists, radii, side="right")
+    values = np.log(counts / count_k) / np.log(radii / dk)
+    return float(values.max())
+
+
+def max_ged(data, k: int, metric: str | Metric | None = None) -> float:
+    """Exact ``MaxGed(S, k)`` over every center in the dataset."""
+    points = as_dataset(data)
+    n = points.shape[0]
+    k = check_k(k, n=n, name="k")
+    metric = get_metric(metric)
+    best = 0.0
+    for i in range(n):
+        dists = np.sort(metric.to_point(points, points[i]))
+        value = _center_max_ged(dists, k)
+        if value > best:
+            best = value
+    return best
+
+
+def max_ged_for_query(data, query, k: int, metric: str | Metric | None = None) -> float:
+    """Exact ``MaxGed(S ∪ {q}, k)`` — the Theorem 1 threshold for one query."""
+    points = as_dataset(data)
+    query = np.asarray(query, dtype=np.float64)
+    if query.ndim == 1:
+        query = query[None, :]
+    augmented = np.vstack([points, query])
+    return max_ged(augmented, k, metric=metric)
+
+
+def theorem1_scale(data, k: int, metric: str | Metric | None = None) -> float:
+    """The exactness threshold for :class:`repro.core.RDT` at library-``k``.
+
+    The paper's ball cardinalities count the center point, so its ``k``
+    exceeds this library's self-exclusive ``k`` by one: a reverse neighbor
+    under library semantics occupies an inclusive ball of at most ``k + 1``
+    points.  The Theorem 1 guarantee for ``RDT.query(..., k=k)`` therefore
+    anchors at ``MaxGed(S, k + 1)`` (note the paper's anchor degenerates to
+    0 at inclusive ``k = 1``, where the inner ball radius is the center's
+    self-distance).  See DESIGN.md, "Semantics and conventions".
+    """
+    points = as_dataset(data)
+    k = check_k(k, n=points.shape[0] - 1, name="k")
+    return max_ged(points, k + 1, metric=metric)

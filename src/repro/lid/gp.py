@@ -1,0 +1,93 @@
+"""Grassberger–Procaccia estimator of the correlation dimension.
+
+Section 6 of the paper: the correlation integral
+
+    C(r) = 2 / (N (N-1)) * #{ (i, j) : i < j, d(x_i, x_j) < r }
+
+behaves like ``r^CD`` for small radii, so the correlation dimension CD is
+recovered as the slope of a straight-line fit to ``log C(r)`` versus
+``log r`` over the smallest radii.  The pairwise-distance computation gives
+the estimator its quadratic runtime — the cost column of the paper's
+Table 1, reproduced here by capping the sample size instead of spending
+hours (the cap is configurable for anyone who wants the full quadratic
+experience).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_dataset, check_positive_int
+
+__all__ = ["correlation_integral", "estimate_id_gp", "pairwise_sample_distances"]
+
+
+def pairwise_sample_distances(
+    data,
+    metric: str | Metric | None = None,
+    sample_size: int = 2000,
+    seed=0,
+) -> np.ndarray:
+    """All pairwise distances of a random sample, as a flat (condensed) array."""
+    points = as_dataset(data)
+    metric = get_metric(metric)
+    n = points.shape[0]
+    rng = ensure_rng(seed)
+    if n > sample_size:
+        ids = rng.choice(n, size=sample_size, replace=False)
+        points = points[ids]
+        n = sample_size
+    full = metric.pairwise(points)
+    iu = np.triu_indices(n, k=1)
+    return full[iu]
+
+
+def correlation_integral(pair_dists: np.ndarray, radii: np.ndarray) -> np.ndarray:
+    """Fraction of pairs closer than each radius: ``C(r)`` per radius."""
+    pair_dists = np.asarray(pair_dists, dtype=np.float64)
+    radii = np.asarray(radii, dtype=np.float64)
+    sorted_dists = np.sort(pair_dists)
+    counts = np.searchsorted(sorted_dists, radii, side="left")
+    return counts / max(1, pair_dists.shape[0])
+
+
+def estimate_id_gp(
+    data,
+    metric: str | Metric | None = None,
+    sample_size: int = 2000,
+    n_radii: int = 24,
+    min_pairs: int = 10,
+    seed=0,
+) -> float:
+    """Correlation dimension via a log-log fit over the smallest radii.
+
+    Radii are log-spaced between the radius enclosing ``min_pairs`` pairs
+    (below that, ``log C`` is too noisy to fit) and the median pairwise
+    distance; the fitted slope over the lower half of that range is the
+    estimate.  Returns ``nan`` for degenerate inputs (e.g. all points
+    identical).
+    """
+    check_positive_int(n_radii, name="n_radii")
+    pair_dists = pairwise_sample_distances(
+        data, metric=metric, sample_size=sample_size, seed=seed
+    )
+    positive = pair_dists[pair_dists > 0.0]
+    if positive.size < max(min_pairs * 2, 4):
+        return float("nan")
+    sorted_pos = np.sort(positive)
+    r_low = float(sorted_pos[min(min_pairs, sorted_pos.size - 1)])
+    r_high = float(np.median(sorted_pos))
+    if not 0.0 < r_low < r_high:
+        return float("nan")
+    radii = np.geomspace(r_low, r_high, n_radii)
+    c_values = correlation_integral(positive, radii)
+    valid = c_values > 0.0
+    radii, c_values = radii[valid], c_values[valid]
+    if radii.size < 3:
+        return float("nan")
+    # "Over the smallest values of r": fit the lower half of the range.
+    half = max(3, radii.size // 2)
+    slope, _ = np.polyfit(np.log(radii[:half]), np.log(c_values[:half]), deg=1)
+    return float(slope)

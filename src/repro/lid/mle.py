@@ -1,0 +1,95 @@
+"""Maximum-likelihood (Hill) estimation of local intrinsic dimensionality.
+
+The paper's Section 6 uses the MLE of Amsaleg et al. (KDD 2015) to choose
+the scale parameter ``t`` automatically: for a point with neighbor
+distances ``x_1 .. x_n`` within radius ``w``,
+
+    ID = - ( (1/n) * sum_i ln(x_i / w) )^{-1},
+
+with ``w`` the largest of the neighbor distances.  A dataset-level estimate
+averages the per-point values over a random sample (the paper samples 10%
+of each dataset and uses 100 neighbors per sampled point, which Amsaleg et
+al. report as sufficient for convergence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import Metric, get_metric
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_dataset, check_k, check_probability
+
+__all__ = ["hill_estimator", "estimate_id_mle"]
+
+
+def hill_estimator(distances, w: float | None = None) -> float:
+    """Hill/MLE estimate of LID from one neighborhood's distances.
+
+    ``distances`` are distances from a reference point to its neighbors
+    (order irrelevant); ``w`` is the neighborhood radius, defaulting to the
+    largest distance.  Zero distances (duplicate points) carry no tail
+    information and are dropped.  Returns ``nan`` when the neighborhood is
+    degenerate (fewer than two distinct positive distances).
+    """
+    dists = np.asarray(distances, dtype=np.float64)
+    if dists.ndim != 1:
+        raise ValueError(f"distances must be 1-D, got shape {dists.shape}")
+    if w is None:
+        w = float(dists.max()) if dists.size else 0.0
+    if w <= 0.0:
+        return float("nan")
+    dists = dists[dists > 0.0]
+    if dists.size < 2:
+        return float("nan")
+    log_ratios = np.log(dists / w)
+    mean = float(log_ratios.mean())
+    if mean >= 0.0:
+        # All neighbors on the boundary: no measurable growth rate.
+        return float("nan")
+    return -1.0 / mean
+
+
+def estimate_id_mle(
+    data,
+    k: int = 100,
+    metric: str | Metric | None = None,
+    sample_fraction: float = 0.1,
+    min_sample: int = 50,
+    seed=0,
+) -> float:
+    """Dataset-level intrinsic dimensionality via averaged Hill estimates.
+
+    Parameters follow the paper's experimental setup: ``k`` neighbors per
+    estimate (default 100) over a ``sample_fraction`` random sample of the
+    data (default 10%, but never fewer than ``min_sample`` points when the
+    dataset allows it).  Runtime is ``O(sample * n)`` distance computations
+    — the linear scaling the paper reports for the MLE column of Table 1.
+    """
+    points = as_dataset(data)
+    n = points.shape[0]
+    metric = get_metric(metric)
+    check_probability(sample_fraction, name="sample_fraction")
+    k = check_k(k, name="k")
+    k = min(k, n - 1)
+    if k < 2:
+        raise ValueError("MLE estimation needs at least 2 neighbors per point")
+    rng = ensure_rng(seed)
+
+    sample_size = min(n, max(min_sample, int(round(sample_fraction * n))))
+    sample_ids = rng.choice(n, size=sample_size, replace=False)
+
+    estimates = []
+    for start in range(0, sample_size, 256):
+        block_ids = sample_ids[start : start + 256]
+        block = metric.pairwise(points[block_ids], points)
+        rows = np.arange(block_ids.shape[0])
+        block[rows, block_ids] = np.inf  # self-exclusion
+        knn_dists = np.partition(block, k - 1, axis=1)[:, :k]
+        for row in knn_dists:
+            estimates.append(hill_estimator(row))
+    estimates = np.asarray(estimates, dtype=np.float64)
+    estimates = estimates[np.isfinite(estimates)]
+    if estimates.size == 0:
+        return float("nan")
+    return float(estimates.mean())

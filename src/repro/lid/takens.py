@@ -1,0 +1,62 @@
+"""Takens estimator of the correlation dimension.
+
+Section 6 of the paper: for a threshold radius ``r``, the Takens estimator
+is the reciprocal of the average log-ratio of sub-threshold pairwise
+distances to the threshold,
+
+    CD = - 1 / < ln(d_ij / r) >        over pairs with 0 < d_ij < r.
+
+It shares the Grassberger–Procaccia estimator's quadratic pairwise-distance
+cost (the paper notes their execution times are "extremely close"), but
+replaces the log-log line fit by a closed-form maximum-likelihood value,
+which makes it the more stable of the two on small samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lid.gp import pairwise_sample_distances
+
+__all__ = ["takens_from_distances", "estimate_id_takens"]
+
+
+def takens_from_distances(pair_dists: np.ndarray, r: float) -> float:
+    """Takens estimate from a flat array of pairwise distances."""
+    if r <= 0.0:
+        raise ValueError(f"threshold radius must be positive, got {r}")
+    pair_dists = np.asarray(pair_dists, dtype=np.float64)
+    below = pair_dists[(pair_dists > 0.0) & (pair_dists < r)]
+    if below.size < 2:
+        return float("nan")
+    mean_log = float(np.log(below / r).mean())
+    if mean_log >= 0.0:
+        return float("nan")
+    return -1.0 / mean_log
+
+
+def estimate_id_takens(
+    data,
+    metric=None,
+    sample_size: int = 2000,
+    r_quantile: float = 0.1,
+    seed=0,
+) -> float:
+    """Dataset-level Takens estimate.
+
+    The threshold radius is chosen as the ``r_quantile`` quantile of the
+    sampled pairwise distances (default: the smallest decile — "a supplied
+    small threshold value" in the paper's wording).
+    """
+    if not 0.0 < r_quantile < 1.0:
+        raise ValueError(f"r_quantile must be in (0, 1), got {r_quantile}")
+    pair_dists = pairwise_sample_distances(
+        data, metric=metric, sample_size=sample_size, seed=seed
+    )
+    positive = pair_dists[pair_dists > 0.0]
+    if positive.size < 4:
+        return float("nan")
+    r = float(np.quantile(positive, r_quantile))
+    if r <= 0.0:
+        return float("nan")
+    return takens_from_distances(positive, r)

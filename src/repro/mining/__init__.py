@@ -1,0 +1,23 @@
+"""Data-mining applications of reverse-kNN search (paper Section 1).
+
+* :func:`rknn_self_join` — reverse neighborhoods of every point;
+* :func:`odin_scores` / :func:`odin_outliers` — in-degree outlier detection;
+* :func:`influence_set` — update-propagation for dynamic scenarios;
+* :func:`hubness_counts` / :func:`hubness_skewness` / :func:`knn_digraph`
+  — hubness analysis over the kNN digraph.
+"""
+
+from repro.mining.hubness import hubness_counts, hubness_skewness, knn_digraph
+from repro.mining.join import RkNNJoinResult, rknn_self_join
+from repro.mining.outliers import influence_set, odin_outliers, odin_scores
+
+__all__ = [
+    "RkNNJoinResult",
+    "rknn_self_join",
+    "odin_scores",
+    "odin_outliers",
+    "influence_set",
+    "hubness_counts",
+    "hubness_skewness",
+    "knn_digraph",
+]

@@ -1,0 +1,53 @@
+"""Hubness analysis over the kNN digraph (paper Section 1, ref [46]).
+
+The *hubness* of a point is its in-degree in the k-nearest-neighbor
+digraph — the size of its reverse-kNN set.  High-dimensional data
+concentrates in-degree onto a few hub points, skewing kNN-based mining;
+Tomasev et al. (the paper's ref [46]) compute hubness via RkNN queries,
+which is what this module does.  When networkx is available the digraph
+itself can be materialized for downstream graph analytics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.indexes.base import Index
+from repro.mining.join import rknn_self_join
+
+__all__ = ["hubness_counts", "hubness_skewness", "knn_digraph"]
+
+
+def hubness_counts(index: Index, k: int, t: float, variant: str = "rdt") -> np.ndarray:
+    """In-degree of every point in the kNN digraph, via the RkNN join."""
+    return rknn_self_join(index, k=k, t=t, variant=variant).count_array()
+
+
+def hubness_skewness(index: Index, k: int, t: float) -> float:
+    """Standardized third moment of the in-degree distribution.
+
+    The classic hubness statistic: near 0 in low dimensions, strongly
+    positive when hubs emerge.
+    """
+    counts = hubness_counts(index, k=k, t=t)[index.active_ids()].astype(np.float64)
+    std = counts.std()
+    if std == 0.0:
+        return 0.0
+    centered = counts - counts.mean()
+    return float((centered**3).mean() / std**3)
+
+
+def knn_digraph(index: Index, k: int, t: float, variant: str = "rdt"):
+    """The kNN digraph as a ``networkx.DiGraph`` (edge u -> v: v in kNN(u)).
+
+    Built from the reverse neighborhoods: ``x in RkNN(q)`` means ``q`` is
+    among ``x``'s k nearest, i.e. the edge ``x -> q``.  Requires networkx.
+    """
+    import networkx as nx
+
+    join = rknn_self_join(index, k=k, t=t, variant=variant)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(int(pid) for pid in index.active_ids())
+    for target, sources in join.neighborhoods.items():
+        graph.add_edges_from((int(source), int(target)) for source in sources)
+    return graph

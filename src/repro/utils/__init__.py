@@ -1,0 +1,30 @@
+"""Shared utilities: validation, RNG plumbing, priority queues."""
+
+from repro.utils.priority_queue import KSmallestKeeper, MinPriorityQueue
+from repro.utils.rng import ensure_rng
+from repro.utils.tolerance import DIST_ATOL, DIST_RTOL, dist_le, dist_lt, inflate
+from repro.utils.validation import (
+    as_dataset,
+    as_query_point,
+    check_k,
+    check_positive_int,
+    check_probability,
+    check_scale_parameter,
+)
+
+__all__ = [
+    "MinPriorityQueue",
+    "KSmallestKeeper",
+    "ensure_rng",
+    "DIST_RTOL",
+    "DIST_ATOL",
+    "dist_le",
+    "dist_lt",
+    "inflate",
+    "as_dataset",
+    "as_query_point",
+    "check_k",
+    "check_positive_int",
+    "check_probability",
+    "check_scale_parameter",
+]

@@ -1,0 +1,101 @@
+"""Priority-queue helpers for best-first index traversals.
+
+Two structures are provided:
+
+:class:`MinPriorityQueue`
+    A thin, allocation-friendly wrapper over ``heapq`` with an insertion
+    counter for stable tie-breaking (payloads never need to be comparable).
+
+:class:`KSmallestKeeper`
+    A bounded max-heap that retains the ``k`` smallest keys seen so far —
+    the standard accumulator for k-nearest-neighbor candidates during a
+    tree descent.  ``bound`` exposes the current k-th smallest key, which
+    tree searches use as their pruning radius.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+__all__ = ["MinPriorityQueue", "KSmallestKeeper"]
+
+
+class MinPriorityQueue:
+    """Min-heap keyed by float priority with stable FIFO tie-breaking."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = 0
+
+    def push(self, priority: float, item: Any) -> None:
+        """Insert ``item`` with the given ``priority``."""
+        heapq.heappush(self._heap, (priority, self._counter, item))
+        self._counter += 1
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return ``(priority, item)`` with the smallest priority."""
+        priority, _, item = heapq.heappop(self._heap)
+        return priority, item
+
+    def peek(self) -> tuple[float, Any]:
+        """Return (without removing) the smallest ``(priority, item)``."""
+        priority, _, item = self._heap[0]
+        return priority, item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class KSmallestKeeper:
+    """Retain the ``k`` smallest ``(key, item)`` pairs pushed into it."""
+
+    __slots__ = ("k", "_heap", "_counter")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Max-heap emulated with negated keys.
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = 0
+
+    def push(self, key: float, item: Any) -> bool:
+        """Offer a pair; returns True if it was retained."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-key, self._counter, item))
+            self._counter += 1
+            return True
+        if key < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-key, self._counter, item))
+            self._counter += 1
+            return True
+        return False
+
+    def bound(self) -> float:
+        """Current pruning radius: the k-th smallest key, or +inf if not full."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def is_full(self) -> bool:
+        """True once ``k`` pairs have been retained."""
+        return len(self._heap) >= self.k
+
+    def items_sorted(self) -> list[tuple[float, Any]]:
+        """Return retained ``(key, item)`` pairs in ascending key order."""
+        return sorted(
+            ((-neg_key, item) for neg_key, _, item in self._heap),
+            key=lambda pair: pair[0],
+        )
+
+    def __iter__(self) -> Iterator[tuple[float, Any]]:
+        return iter(self.items_sorted())
+
+    def __len__(self) -> int:
+        return len(self._heap)

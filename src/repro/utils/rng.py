@@ -1,0 +1,30 @@
+"""Random-number-generator plumbing.
+
+All stochastic components (dataset generators, query sampling, vantage point
+selection, ...) accept either an integer seed, an existing
+``numpy.random.Generator``, or ``None``; :func:`ensure_rng` normalizes the
+three cases so results are reproducible whenever a seed is supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``None`` yields a freshly-seeded generator; an integer yields a
+    deterministic generator; an existing generator is passed through.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator; got {type(seed).__name__}"
+    )

@@ -1,0 +1,44 @@
+"""Floating-point tolerance policy for distance comparisons.
+
+Reverse-kNN membership is decided by comparisons such as
+``d(q, x) <= d_k(x)`` in which *mathematically equal* quantities are
+produced by different vectorized kernels (a pairwise dot-product expansion
+during precomputation, a direct difference during the query).  Those two
+computations can disagree in the final ulp, so every membership boundary in
+this library goes through the tolerant comparisons below.
+
+Boundary cases are not rare corner cases here: for every query ``q``, the
+points whose k-th nearest neighbor is exactly ``q`` sit precisely on the
+membership boundary.  The tolerances are far larger than kernel round-off
+(1e-9 relative) yet far smaller than any distance gap in continuous data,
+so tolerant and exact semantics coincide on real datasets while the
+implementation stays deterministic across kernels.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DIST_RTOL", "DIST_ATOL", "dist_le", "dist_lt", "inflate"]
+
+#: Relative tolerance for distance comparisons.
+DIST_RTOL = 1e-9
+#: Absolute tolerance, for comparisons against (near-)zero distances.
+DIST_ATOL = 1e-12
+
+
+def _slack(reference: float) -> float:
+    return DIST_RTOL * abs(reference) + DIST_ATOL
+
+
+def dist_le(a: float, b: float) -> bool:
+    """Tolerant ``a <= b`` for distances: true if ``a <= b + slack``."""
+    return a <= b + _slack(b)
+
+
+def dist_lt(a: float, b: float) -> bool:
+    """Tolerant strict ``a < b``: true only if ``a`` is below ``b - slack``."""
+    return a < b - _slack(b)
+
+
+def inflate(radius: float) -> float:
+    """Radius inflated by the tolerance, for boundary-inclusive range queries."""
+    return radius + _slack(radius)

@@ -1,0 +1,92 @@
+"""Input validation helpers shared across the library.
+
+Centralizing the checks keeps error messages consistent and the calling code
+flat: every public entry point validates its inputs once, up front, and the
+internal machinery can then assume well-formed arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_dataset",
+    "as_query_point",
+    "check_k",
+    "check_scale_parameter",
+    "check_positive_int",
+    "check_probability",
+]
+
+
+def as_dataset(data, *, name: str = "data") -> np.ndarray:
+    """Coerce ``data`` to a 2-D float64 array of shape ``(n, dim)``.
+
+    Raises ``ValueError`` for empty input, wrong dimensionality, or
+    non-finite entries.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one point")
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must have at least one feature dimension")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_query_point(point, *, dim: int, name: str = "query") -> np.ndarray:
+    """Coerce ``point`` to a 1-D float64 array of length ``dim``."""
+    arr = np.asarray(point, dtype=np.float64)
+    if arr.ndim == 2 and arr.shape[0] == 1:
+        arr = arr[0]
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be a single point, got shape {arr.shape}")
+    if arr.shape[0] != dim:
+        raise ValueError(
+            f"{name} has dimension {arr.shape[0]}, but the index holds "
+            f"{dim}-dimensional points"
+        )
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_k(k, *, n: int | None = None, name: str = "k") -> int:
+    """Validate a neighborhood size ``k`` (positive integer, optionally <= n)."""
+    if not isinstance(k, (int, np.integer)) or isinstance(k, bool):
+        raise TypeError(f"{name} must be an integer, got {type(k).__name__}")
+    if k < 1:
+        raise ValueError(f"{name} must be >= 1, got {k}")
+    if n is not None and k > n:
+        raise ValueError(f"{name}={k} exceeds the dataset size n={n}")
+    return int(k)
+
+
+def check_scale_parameter(t, *, name: str = "t") -> float:
+    """Validate the RDT scale parameter ``t`` (strictly positive, finite)."""
+    t = float(t)
+    if not np.isfinite(t) or t <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {t}")
+    return t
+
+
+def check_positive_int(value, *, name: str) -> int:
+    """Validate a strictly positive integer parameter."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_probability(value, *, name: str) -> float:
+    """Validate a probability/fraction in the half-open interval (0, 1]."""
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must lie in (0, 1], got {value}")
+    return value

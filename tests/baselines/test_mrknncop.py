@@ -1,0 +1,117 @@
+"""Tests for the MRkNNCoP baseline (Achtert et al. 2006)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import MRkNNCoP, NaiveRkNN, fit_log_bounds
+from repro.indexes import bulk_knn
+
+
+class TestLogBounds:
+    def test_bounds_enclose_all_samples(self, small_gaussian):
+        _, knn_dists = bulk_knn(small_gaussian, 20)
+        ks = np.arange(1, 21)
+        for row in knn_dists[:50]:
+            a_u, b_u, a_l, b_l = fit_log_bounds(row)
+            upper = np.exp(a_u * np.log(ks) + b_u)
+            lower = np.exp(a_l * np.log(ks) + b_l)
+            assert np.all(upper >= row * (1 - 1e-9))
+            assert np.all(lower <= row * (1 + 1e-9))
+
+    def test_single_k(self):
+        a_u, b_u, a_l, b_l = fit_log_bounds(np.array([2.0]))
+        assert np.exp(b_u) == pytest.approx(2.0)
+        assert np.exp(b_l) == pytest.approx(2.0)
+
+    def test_perfect_power_law_is_tight(self):
+        ks = np.arange(1, 50, dtype=float)
+        dists = 0.3 * ks ** (1 / 4)  # exact fractal model, dimension 4
+        a_u, b_u, a_l, b_l = fit_log_bounds(dists)
+        assert a_u == pytest.approx(1 / 4, rel=1e-6)
+        assert b_u == pytest.approx(b_l, abs=1e-9)
+
+    def test_zero_distances_safe(self):
+        dists = np.array([0.0, 0.0, 1.0, 2.0])
+        a_u, b_u, a_l, b_l = fit_log_bounds(dists)
+        ks = np.arange(1, 5)
+        upper = np.exp(a_u * np.log(ks) + b_u)
+        assert np.all(upper >= dists - 1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), kmax=st.integers(2, 30))
+    def test_property_bounds_valid(self, seed, kmax):
+        rng = np.random.default_rng(seed)
+        dists = np.sort(rng.uniform(0.01, 10.0, size=kmax))
+        a_u, b_u, a_l, b_l = fit_log_bounds(dists)
+        ks = np.arange(1, kmax + 1)
+        upper = np.exp(a_u * np.log(ks) + b_u)
+        lower = np.exp(a_l * np.log(ks) + b_l)
+        assert np.all(upper >= dists * (1 - 1e-9))
+        assert np.all(lower <= dists * (1 + 1e-9))
+
+
+@pytest.fixture(scope="module")
+def cop_small(small_gaussian):
+    return MRkNNCoP(small_gaussian, k_max=30)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 5, 15, 30])
+    def test_matches_naive_all_k(self, small_gaussian, cop_small, k):
+        naive = NaiveRkNN(small_gaussian, k=k)
+        for qi in [0, 99, 200, 299]:
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(cop_small.query(query_index=qi, k=k).ids.tolist())
+            assert got == expected
+
+    def test_clustered_data(self, medium_mixture):
+        cop = MRkNNCoP(medium_mixture[:300], k_max=20)
+        naive = NaiveRkNN(medium_mixture[:300], k=10)
+        for qi in [0, 150, 299]:
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(cop.query(query_index=qi, k=10).ids.tolist())
+            assert got == expected
+
+    def test_external_queries(self, small_gaussian, cop_small, rng):
+        naive = NaiveRkNN(small_gaussian, k=10)
+        q = rng.normal(size=small_gaussian.shape[1])
+        assert set(cop_small.query(q, k=10).ids.tolist()) == set(
+            naive.query(q).tolist()
+        )
+
+    def test_lazy_accepts_are_true_hits(self, small_gaussian, cop_small):
+        naive = NaiveRkNN(small_gaussian, k=10)
+        for qi in [5, 50]:
+            truth = set(naive.query(query_index=qi).tolist())
+            result = cop_small.query(query_index=qi, k=10)
+            assert set(result.lazy_accepted_ids.tolist()) <= truth
+
+
+class TestCostProfile:
+    def test_verification_far_below_candidates(self, cop_small):
+        """The model prunes most points without a kNN query."""
+        result = cop_small.query(query_index=0, k=10)
+        assert result.stats.num_verified < 0.25 * len(cop_small.points)
+
+    def test_preprocessing_time_recorded(self, cop_small):
+        assert cop_small.preprocessing_seconds > 0.0
+        assert cop_small._knn_table_seconds <= cop_small.preprocessing_seconds
+
+
+class TestInterface:
+    def test_k_beyond_kmax_rejected(self, cop_small):
+        with pytest.raises(ValueError, match="exceeds"):
+            cop_small.query(query_index=0, k=31)
+
+    def test_requires_one_query_form(self, cop_small, small_gaussian):
+        with pytest.raises(ValueError, match="exactly one"):
+            cop_small.query(small_gaussian[0], query_index=0, k=5)
+
+    def test_duplicates(self, duplicated_points):
+        cop = MRkNNCoP(duplicated_points, k_max=10)
+        naive = NaiveRkNN(duplicated_points, k=5)
+        expected = set(naive.query(query_index=0).tolist())
+        got = set(cop.query(query_index=0, k=5).ids.tolist())
+        assert got == expected

@@ -1,0 +1,67 @@
+"""Additional MRkNNCoP coverage: custom verify index, aggregation soundness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import MRkNNCoP, NaiveRkNN
+from repro.indexes import CoverTreeIndex
+
+
+class TestVerifyIndexParameter:
+    def test_external_forward_index_for_refinement(self, small_gaussian):
+        cop = MRkNNCoP(small_gaussian, k_max=20)
+        cover = CoverTreeIndex(small_gaussian)
+        naive = NaiveRkNN(small_gaussian, k=10)
+        for qi in [0, 123]:
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(
+                cop.query(query_index=qi, k=10, verify_index=cover).ids.tolist()
+            )
+            assert got == expected
+
+
+class TestAggregatedBounds:
+    def test_node_coefficients_dominate_members(self, small_gaussian):
+        """Every node's (slope, intercept) pair bounds all member lines on
+        z = ln k >= 0 — the condition the subtree pruning relies on."""
+        cop = MRkNNCoP(small_gaussian, k_max=20)
+
+        def collect(node):
+            ids = []
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                for entry in current.entries:
+                    if entry.is_leaf_entry:
+                        ids.append(entry.center_id)
+                    else:
+                        stack.append(entry.child)
+            return ids
+
+        stack = [cop.tree.root]
+        while stack:
+            node = stack.pop()
+            member_ids = collect(node)
+            max_a = cop._node_max_slope[id(node)]
+            max_b = cop._node_max_intercept[id(node)]
+            for k in (1, 5, 20):
+                z = math.log(k)
+                node_bound = math.exp(max_a * z + max_b)
+                for pid in member_ids:
+                    assert node_bound >= cop.upper_bound(pid, k) * (1 - 1e-9)
+            for entry in node.entries:
+                if not entry.is_leaf_entry:
+                    stack.append(entry.child)
+
+    def test_per_object_bounds_bracket_true_distances(self, small_gaussian):
+        from repro.indexes import bulk_knn
+
+        cop = MRkNNCoP(small_gaussian, k_max=20)
+        _, knn_dists = bulk_knn(small_gaussian, 20)
+        for pid in range(0, 300, 50):
+            for k in (1, 7, 20):
+                true = knn_dists[pid, k - 1]
+                assert cop.lower_bound(pid, k) <= true * (1 + 1e-9)
+                assert cop.upper_bound(pid, k) >= true * (1 - 1e-9)

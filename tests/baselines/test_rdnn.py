@@ -1,0 +1,55 @@
+"""Tests for the RdNN-tree query wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRkNN, RdNN
+from repro.indexes import LinearScanIndex, RdNNTreeIndex
+
+
+@pytest.fixture(scope="module")
+def rdnn_small(small_gaussian):
+    return RdNN(RdNNTreeIndex(small_gaussian, k=5))
+
+
+class TestExactness:
+    def test_matches_naive(self, small_gaussian, rdnn_small, naive_k5):
+        for qi in range(0, 300, 43):
+            expected = set(naive_k5.query(query_index=qi).tolist())
+            got = set(rdnn_small.query(query_index=qi).ids.tolist())
+            assert got == expected
+
+    def test_external_queries(self, small_gaussian, rdnn_small, naive_k5, rng):
+        q = rng.normal(size=small_gaussian.shape[1])
+        assert set(rdnn_small.query(q).ids.tolist()) == set(
+            naive_k5.query(q).tolist()
+        )
+
+    def test_clustered_data(self, medium_mixture, naive_k10_mixture):
+        rdnn = RdNN(RdNNTreeIndex(medium_mixture, k=10))
+        for qi in [0, 400, 799]:
+            expected = set(naive_k10_mixture.query(query_index=qi).tolist())
+            got = set(rdnn.query(query_index=qi).ids.tolist())
+            assert got == expected
+
+
+class TestFixedK:
+    def test_defaults_to_tree_k(self, rdnn_small):
+        assert rdnn_small.query(query_index=0).k == 5
+
+    def test_other_k_rejected(self, rdnn_small):
+        with pytest.raises(ValueError, match="precomputed for k=5"):
+            rdnn_small.query(query_index=0, k=10)
+
+    def test_matching_k_accepted(self, rdnn_small):
+        assert rdnn_small.query(query_index=0, k=5).k == 5
+
+
+class TestInterface:
+    def test_requires_rdnn_index(self, small_gaussian):
+        with pytest.raises(TypeError, match="RdNNTreeIndex"):
+            RdNN(LinearScanIndex(small_gaussian))
+
+    def test_requires_one_query_form(self, rdnn_small, small_gaussian):
+        with pytest.raises(ValueError, match="exactly one"):
+            rdnn_small.query(small_gaussian[0], query_index=0)

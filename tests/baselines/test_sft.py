@@ -1,0 +1,91 @@
+"""Tests for the SFT baseline (Singh et al. 2003)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SFT, NaiveRkNN
+from repro.evaluation.metrics import precision, recall
+from repro.indexes import CoverTreeIndex, LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def sft_mixture(medium_mixture):
+    return SFT(LinearScanIndex(medium_mixture))
+
+
+class TestPrecision:
+    def test_never_false_positives(self, sft_mixture, naive_k10_mixture):
+        """Count range queries verify every reported point: precision 1."""
+        for qi in range(0, 800, 100):
+            truth = naive_k10_mixture.query(query_index=qi)
+            for alpha in (1.0, 2.0, 8.0):
+                got = sft_mixture.query(query_index=qi, k=10, alpha=alpha).ids
+                assert precision(truth, got) == 1.0
+
+
+class TestRecall:
+    def test_monotone_in_alpha(self, sft_mixture, naive_k10_mixture):
+        means = []
+        for alpha in (1.0, 4.0, 16.0):
+            values = [
+                recall(
+                    naive_k10_mixture.query(query_index=qi),
+                    sft_mixture.query(query_index=qi, k=10, alpha=alpha).ids,
+                )
+                for qi in range(0, 800, 100)
+            ]
+            means.append(np.mean(values))
+        assert means[0] <= means[1] + 0.05 and means[1] <= means[2] + 0.05
+
+    def test_full_pool_is_exact(self, small_gaussian, naive_k5):
+        """alpha*k >= n degenerates to an exact method."""
+        sft = SFT(LinearScanIndex(small_gaussian))
+        for qi in [0, 123, 299]:
+            truth = set(naive_k5.query(query_index=qi).tolist())
+            got = set(
+                sft.query(query_index=qi, k=5, alpha=len(small_gaussian)).ids.tolist()
+            )
+            assert got == truth
+
+    def test_misses_only_high_forward_rank_members(
+        self, medium_mixture, naive_k10_mixture, sft_mixture
+    ):
+        """SFT's misses are exactly the members outside the alpha*k pool."""
+        qi, alpha, k = 40, 2.0, 10
+        truth = set(naive_k10_mixture.query(query_index=qi).tolist())
+        got = set(sft_mixture.query(query_index=qi, k=k, alpha=alpha).ids.tolist())
+        pool = int(np.ceil(alpha * k))
+        dists = np.linalg.norm(medium_mixture - medium_mixture[qi], axis=1)
+        order = np.argsort(dists)
+        reachable = set(order[: pool + 1].tolist()) - {qi}
+        assert truth & reachable <= got | (truth - reachable)
+        assert truth - reachable == truth - got
+
+
+class TestInterface:
+    def test_alpha_below_one_rejected(self, sft_mixture):
+        with pytest.raises(ValueError, match="alpha"):
+            sft_mixture.query(query_index=0, k=5, alpha=0.5)
+
+    def test_requires_one_query_form(self, sft_mixture, medium_mixture):
+        with pytest.raises(ValueError, match="exactly one"):
+            sft_mixture.query(medium_mixture[0], query_index=0, k=5)
+
+    def test_external_queries(self, medium_mixture, sft_mixture, rng):
+        q = rng.normal(size=medium_mixture.shape[1])
+        result = sft_mixture.query(q, k=5, alpha=8.0)
+        naive = NaiveRkNN(medium_mixture, k=5)
+        assert precision(naive.query(q), result.ids) == 1.0
+
+    def test_stats_populated(self, sft_mixture):
+        result = sft_mixture.query(query_index=0, k=10, alpha=4.0)
+        s = result.stats
+        assert s.num_candidates == 40
+        assert s.num_lazy_rejects + s.num_verified == s.num_candidates
+
+    def test_tree_backend(self, medium_mixture, naive_k10_mixture):
+        sft = SFT(CoverTreeIndex(medium_mixture[:300]))
+        naive = NaiveRkNN(medium_mixture[:300], k=5)
+        truth = naive.query(query_index=10)
+        got = sft.query(query_index=10, k=5, alpha=60.0).ids
+        assert recall(truth, got) == 1.0 and precision(truth, got) == 1.0

@@ -1,0 +1,86 @@
+"""Tests for the TPL baseline (Tao et al. 2004, k-trim flavour)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TPL, NaiveRkNN
+from repro.distances import get_metric
+from repro.indexes import LinearScanIndex, RStarTreeIndex
+
+
+@pytest.fixture(scope="module")
+def tpl_small(small_gaussian):
+    return TPL(RStarTreeIndex(small_gaussian))
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 5, 15])
+    def test_matches_naive(self, small_gaussian, tpl_small, k):
+        naive = NaiveRkNN(small_gaussian, k=k)
+        for qi in [0, 77, 299]:
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(tpl_small.query(query_index=qi, k=k).ids.tolist())
+            assert got == expected
+
+    def test_low_dimensional_data(self, tiny_plane):
+        tpl = TPL(RStarTreeIndex(tiny_plane, capacity=8))
+        naive = NaiveRkNN(tiny_plane, k=3)
+        for qi in range(0, 60, 12):
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(tpl.query(query_index=qi, k=3).ids.tolist())
+            assert got == expected
+
+    def test_external_queries(self, small_gaussian, tpl_small, rng):
+        naive = NaiveRkNN(small_gaussian, k=5)
+        q = rng.normal(size=small_gaussian.shape[1])
+        assert set(tpl_small.query(q, k=5).ids.tolist()) == set(
+            naive.query(q).tolist()
+        )
+
+    def test_duplicates(self, duplicated_points):
+        tpl = TPL(RStarTreeIndex(duplicated_points, capacity=8))
+        naive = NaiveRkNN(duplicated_points, k=4)
+        expected = set(naive.query(query_index=7).tolist())
+        got = set(tpl.query(query_index=7, k=4).ids.tolist())
+        assert got == expected
+
+    def test_non_euclidean_metric_conservative_pruning(self, tiny_plane):
+        metric = get_metric("manhattan")
+        tpl = TPL(RStarTreeIndex(tiny_plane, metric=metric, capacity=8))
+        naive = NaiveRkNN(tiny_plane, k=3, metric="manhattan")
+        for qi in [0, 30, 59]:
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(tpl.query(query_index=qi, k=3).ids.tolist())
+            assert got == expected
+
+
+class TestPruningBehaviour:
+    def test_bisector_pruning_reduces_candidates(self, tiny_plane):
+        """In 2-D the half-space tests must prune most of the dataset."""
+        tpl = TPL(RStarTreeIndex(tiny_plane, capacity=8))
+        result = tpl.query(query_index=5, k=2)
+        assert result.stats.num_candidates < len(tiny_plane) / 2
+
+    def test_trim_size_controls_cost_not_correctness(self, small_gaussian):
+        naive = NaiveRkNN(small_gaussian, k=5)
+        expected = set(naive.query(query_index=11).tolist())
+        for trim in (1, 5, 100):
+            tpl = TPL(RStarTreeIndex(small_gaussian), trim_size=trim)
+            got = set(tpl.query(query_index=11, k=5).ids.tolist())
+            assert got == expected
+
+
+class TestInterface:
+    def test_requires_rstar_index(self, small_gaussian):
+        with pytest.raises(TypeError, match="R\\*-tree"):
+            TPL(LinearScanIndex(small_gaussian))
+
+    def test_requires_one_query_form(self, tpl_small, small_gaussian):
+        with pytest.raises(ValueError, match="exactly one"):
+            tpl_small.query(small_gaussian[0], query_index=0, k=5)
+
+    def test_stats_populated(self, tpl_small):
+        result = tpl_small.query(query_index=0, k=5)
+        s = result.stats
+        assert s.num_retrieved > 0
+        assert s.num_verified == s.num_candidates

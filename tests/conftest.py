@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Datasets are module-scoped: building ground truth is O(n^2) and the same
+few point sets serve many tests.  Sizes are chosen so the full suite stays
+fast while still exercising multi-level tree structures (several hundred
+points force real node splits at the default capacities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.baselines import NaiveRkNN
+from repro.datasets import gaussian_mixture, uniform_hypercube
+
+# Property tests must behave identically on every run (no fresh random
+# examples in CI): derandomize, and disable wall-clock deadlines — numpy
+# kernels have high first-call variance.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20170707)
+
+
+@pytest.fixture(scope="module")
+def small_gaussian():
+    """300 x 4 standard Gaussian points (no duplicate distances)."""
+    return np.random.default_rng(1).normal(size=(300, 4))
+
+
+@pytest.fixture(scope="module")
+def medium_mixture():
+    """800 x 6 imbalanced Gaussian mixture (clustered, varied density)."""
+    return gaussian_mixture(
+        800,
+        dim=6,
+        n_clusters=5,
+        separation=6.0,
+        spread=1.0,
+        weights=np.array([0.4, 0.3, 0.15, 0.1, 0.05]),
+        seed=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_plane():
+    """60 x 2 uniform points — small enough for exhaustive checks."""
+    return uniform_hypercube(60, 2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def duplicated_points():
+    """Points with exact duplicates and tie-heavy structure (integer grid)."""
+    rng = np.random.default_rng(4)
+    grid = rng.integers(0, 4, size=(120, 3)).astype(np.float64)
+    return grid
+
+
+@pytest.fixture(scope="module")
+def naive_k5(small_gaussian):
+    return NaiveRkNN(small_gaussian, k=5)
+
+
+@pytest.fixture(scope="module")
+def naive_k10_mixture(medium_mixture):
+    return NaiveRkNN(medium_mixture, k=10)

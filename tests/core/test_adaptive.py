@@ -1,0 +1,74 @@
+"""Tests for the adaptive-scale RDT extension (paper future work, §9)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRkNN
+from repro.core import RDT, AdaptiveRDT
+from repro.evaluation.metrics import precision, recall
+from repro.indexes import LinearScanIndex
+
+
+class TestAdaptiveQueries:
+    def test_high_recall_without_manual_t(self, medium_mixture, naive_k10_mixture):
+        adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture))
+        values = []
+        for qi in range(0, 800, 100):
+            truth = naive_k10_mixture.query(query_index=qi)
+            got = adaptive.query(query_index=qi, k=10).ids
+            values.append(recall(truth, got))
+        assert np.mean(values) >= 0.9
+
+    def test_no_false_positives(self, medium_mixture, naive_k10_mixture):
+        adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture))
+        for qi in range(0, 800, 200):
+            truth = naive_k10_mixture.query(query_index=qi)
+            got = adaptive.query(query_index=qi, k=10).ids
+            assert precision(truth, got) == 1.0
+
+    def test_reports_final_scale(self, medium_mixture):
+        adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture))
+        result = adaptive.query(query_index=0, k=10)
+        assert adaptive.t_min <= result.t <= adaptive.t_max
+
+    def test_t_max_caps_work(self, medium_mixture):
+        tight = AdaptiveRDT(LinearScanIndex(medium_mixture), t_max=2.0)
+        loose = AdaptiveRDT(LinearScanIndex(medium_mixture), t_max=16.0)
+        a = tight.query(query_index=0, k=10)
+        b = loose.query(query_index=0, k=10)
+        assert a.stats.num_retrieved <= b.stats.num_retrieved
+
+    def test_explicit_initial_t_used(self, medium_mixture):
+        adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture), update_every=10_000)
+        # With updates effectively disabled, behaves like fixed-t RDT.
+        fixed = RDT(LinearScanIndex(medium_mixture))
+        a = adaptive.query(query_index=4, k=10, t=3.0)
+        b = fixed.query(query_index=4, k=10, t=3.0)
+        assert set(a.ids.tolist()) == set(b.ids.tolist())
+        assert a.stats.num_retrieved == b.stats.num_retrieved
+
+
+class TestAdaptiveValidation:
+    def test_rejects_bad_bounds(self, small_gaussian):
+        with pytest.raises(ValueError, match="t_max"):
+            AdaptiveRDT(LinearScanIndex(small_gaussian), t_min=4.0, t_max=2.0)
+
+    def test_rejects_bad_margin(self, small_gaussian):
+        with pytest.raises(ValueError, match="margin"):
+            AdaptiveRDT(LinearScanIndex(small_gaussian), margin=0.0)
+
+    def test_rejects_conflicting_query_forms(self, small_gaussian):
+        adaptive = AdaptiveRDT(LinearScanIndex(small_gaussian))
+        with pytest.raises(ValueError, match="exactly one"):
+            adaptive.query(small_gaussian[0], query_index=0, k=5)
+
+
+class TestAdaptiveVsFixedCost:
+    def test_adapts_across_density_regimes(self, medium_mixture, naive_k10_mixture):
+        """Adaptive t varies per query — the point of the extension."""
+        adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture))
+        scales = {
+            round(adaptive.query(query_index=qi, k=10).t, 3)
+            for qi in range(0, 800, 100)
+        }
+        assert len(scales) > 1

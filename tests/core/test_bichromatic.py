@@ -1,0 +1,115 @@
+"""Tests for the bichromatic RkNN extension (paper §1, services/clients)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BichromaticRDT, bichromatic_brute_force
+from repro.evaluation.metrics import precision, recall
+from repro.indexes import CoverTreeIndex, LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def service_scenario():
+    rng = np.random.default_rng(77)
+    clients = rng.normal(size=(400, 3))
+    services = rng.normal(size=(150, 3))
+    return clients, services
+
+
+class TestBruteForceReference:
+    def test_definition_by_hand(self):
+        clients = np.array([[0.0], [2.0], [10.0]])
+        services = np.array([[1.0], [3.0], [20.0]])
+        # k=1: client belongs iff q is closer than its nearest service.
+        got = set(bichromatic_brute_force(clients, services, [0.5], k=1).tolist())
+        # client 0: d(q)=0.5 < nearest service d=1 -> in
+        # client 1: d(q)=1.5 > nearest service d=1 -> out
+        # client 2: d(q)=9.5 > nearest service d=7 (s at 3.0) -> out
+        assert got == {0}
+
+    def test_k_equals_service_count(self, service_scenario):
+        clients, services = service_scenario
+        got = bichromatic_brute_force(
+            clients[:20], services[:5], np.zeros(3), k=5
+        )
+        # With k = |S| every client's kNN ball spans all services; membership
+        # requires d(x, q) <= max service distance.
+        for x in range(20):
+            d_q = np.linalg.norm(clients[x])
+            d_max = np.linalg.norm(services[:5] - clients[x], axis=1).max()
+            assert (x in got) == (d_q <= d_max * (1 + 1e-9))
+
+
+class TestBichromaticRDT:
+    def test_exact_at_huge_t(self, service_scenario, rng):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        for _ in range(5):
+            q = rng.normal(size=3)
+            expected = set(
+                bichromatic_brute_force(clients, services, q, k=5).tolist()
+            )
+            got = set(br.query(q, k=5, t=100.0).ids.tolist())
+            assert got == expected
+
+    def test_no_false_positives_any_t(self, service_scenario, rng):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        for t in (1.0, 3.0, 8.0):
+            q = rng.normal(size=3)
+            truth = bichromatic_brute_force(clients, services, q, k=5)
+            got = br.query(q, k=5, t=t).ids
+            assert precision(truth, got) == 1.0
+
+    def test_recall_grows_with_t(self, service_scenario):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        q = np.array([0.2, -0.3, 0.1])
+        truth = bichromatic_brute_force(clients, services, q, k=5)
+        recalls = [recall(truth, br.query(q, k=5, t=t).ids) for t in (1.0, 4.0, 100.0)]
+        assert recalls[-1] == 1.0
+        assert recalls[0] <= recalls[-1] + 1e-12
+
+    def test_tree_backed_indexes(self, service_scenario, rng):
+        clients, services = service_scenario
+        br = BichromaticRDT(CoverTreeIndex(clients), CoverTreeIndex(services))
+        q = rng.normal(size=3)
+        expected = set(bichromatic_brute_force(clients, services, q, k=3).tolist())
+        got = set(br.query(q, k=3, t=100.0).ids.tolist())
+        assert got == expected
+
+    def test_lazy_accepts_are_true_members(self, service_scenario, rng):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        q = rng.normal(size=3)
+        truth = set(bichromatic_brute_force(clients, services, q, k=5).tolist())
+        result = br.query(q, k=5, t=6.0)
+        assert set(result.lazy_accepted_ids.tolist()) <= truth
+
+
+class TestBichromaticValidation:
+    def test_dimension_mismatch(self, service_scenario):
+        clients, services = service_scenario
+        with pytest.raises(ValueError, match="share a dimension"):
+            BichromaticRDT(
+                LinearScanIndex(clients), LinearScanIndex(services[:, :2])
+            )
+
+    def test_k_bounded_by_service_count(self, service_scenario):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        with pytest.raises(ValueError, match="exceeds"):
+            br.query(np.zeros(3), k=len(services) + 1, t=2.0)
+
+
+class TestAsymmetricScenarios:
+    def test_dense_clients_sparse_services(self, rng):
+        """The motivating scenario: few facilities, many customers."""
+        clients = rng.normal(size=(600, 2))
+        services = rng.normal(size=(12, 2)) * 2.0
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        q = np.zeros(2)
+        expected = set(bichromatic_brute_force(clients, services, q, k=2).tolist())
+        got = set(br.query(q, k=2, t=50.0).ids.tolist())
+        assert got == expected
+        assert len(got) > 0

@@ -1,0 +1,277 @@
+"""Correctness tests for RDT / RDT+ (Algorithm 1).
+
+The headline properties from the paper's analysis:
+
+* **Theorem 1 (exactness)** — with ``t >= MaxGed(S ∪ {q}, k)`` the result
+  is exact; and unconditionally, any missed true member must lie beyond
+  the final ``omega`` bound.
+* **Assertion 1/2 side** — plain RDT never reports a false positive.
+* **Monotone accuracy** — recall grows toward 1 as ``t`` increases, and a
+  huge ``t`` degenerates to an exact full scan.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NaiveRkNN
+from repro.core import RDT
+from repro.evaluation.metrics import precision, recall
+from repro.indexes import INDEX_REGISTRY, LinearScanIndex, build_index
+from repro.lid import max_ged, theorem1_scale
+
+
+class TestExactnessAtHugeT:
+    @pytest.mark.parametrize("index_name", sorted(INDEX_REGISTRY))
+    def test_full_scan_equivalence(self, index_name, small_gaussian, naive_k5):
+        index = build_index(index_name, small_gaussian)
+        rdt = RDT(index)
+        for qi in [0, 50, 150, 299]:
+            expected = set(naive_k5.query(query_index=qi).tolist())
+            got = set(rdt.query(query_index=qi, k=5, t=100.0).ids.tolist())
+            assert got == expected, f"{index_name} query {qi}"
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_all_k(self, small_gaussian, k):
+        naive = NaiveRkNN(small_gaussian, k=k)
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        for qi in [7, 123]:
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(rdt.query(query_index=qi, k=k, t=100.0).ids.tolist())
+            assert got == expected
+
+    def test_clustered_data(self, medium_mixture, naive_k10_mixture):
+        rdt = RDT(LinearScanIndex(medium_mixture))
+        for qi in range(0, 800, 160):
+            expected = set(naive_k10_mixture.query(query_index=qi).tolist())
+            got = set(rdt.query(query_index=qi, k=10, t=100.0).ids.tolist())
+            assert got == expected
+
+
+class TestTheorem1:
+    def test_exact_at_theorem1_scale(self, small_gaussian, naive_k5):
+        t_star = theorem1_scale(small_gaussian, k=5)
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        for qi in range(0, 300, 30):
+            expected = set(naive_k5.query(query_index=qi).tolist())
+            got = set(rdt.query(query_index=qi, k=5, t=t_star).ids.tolist())
+            assert got == expected
+
+    def test_missed_members_lie_beyond_omega(self, medium_mixture, naive_k10_mixture):
+        """Theorem 1's distance guarantee, checked per query at small t."""
+        rdt = RDT(LinearScanIndex(medium_mixture))
+        for qi in range(0, 800, 80):
+            truth = naive_k10_mixture.query(query_index=qi)
+            result = rdt.query(query_index=qi, k=10, t=2.0)
+            missed = np.setdiff1d(truth, result.ids)
+            dists = np.linalg.norm(medium_mixture - medium_mixture[qi], axis=1)
+            for m in missed:
+                assert dists[m] > result.stats.omega * (1 - 1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_exactness_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(rng.integers(30, 120), rng.integers(1, 5)))
+        k = int(rng.integers(1, 6))
+        naive = NaiveRkNN(points, k=k)
+        rdt = RDT(LinearScanIndex(points))
+        qi = int(rng.integers(0, len(points)))
+        t_star = theorem1_scale(points, k=k)
+        expected = set(naive.query(query_index=qi).tolist())
+        got = set(rdt.query(query_index=qi, k=k, t=max(t_star, 1.0)).ids.tolist())
+        assert got == expected
+
+    def test_paper_anchor_degenerates_at_k1(self):
+        """Why theorem1_scale anchors at k+1: the paper's inclusive-count
+        MaxGED at k=1 is identically zero (the inner ball radius is the
+        center's self-distance), which would allow arbitrarily early
+        termination and missed members."""
+        points = np.random.default_rng(2586).normal(size=(77, 3))
+        assert max_ged(points, k=1) == 0.0
+        assert theorem1_scale(points, k=1) > 0.0
+
+
+class TestPrecision:
+    def test_rdt_never_false_positives(self, medium_mixture, naive_k10_mixture):
+        """Assertions 1-2 and verification are exact for plain RDT."""
+        rdt = RDT(LinearScanIndex(medium_mixture))
+        for qi in range(0, 800, 50):
+            truth = naive_k10_mixture.query(query_index=qi)
+            for t in (1.5, 3.0, 6.0):
+                got = rdt.query(query_index=qi, k=10, t=t).ids
+                assert precision(truth, got) == 1.0
+
+    def test_lazy_accepts_are_true_members(self, medium_mixture, naive_k10_mixture):
+        """Assertion 2: lazily accepted points need no verification."""
+        rdt = RDT(LinearScanIndex(medium_mixture))
+        for qi in range(0, 800, 100):
+            truth = set(naive_k10_mixture.query(query_index=qi).tolist())
+            result = rdt.query(query_index=qi, k=10, t=6.0)
+            assert set(result.lazy_accepted_ids.tolist()) <= truth
+
+
+class TestAccuracyMonotonicity:
+    def test_recall_reaches_one(self, medium_mixture, naive_k10_mixture):
+        rdt = RDT(LinearScanIndex(medium_mixture))
+        recalls = []
+        for t in (1.0, 2.0, 4.0, 8.0, 16.0):
+            values = []
+            for qi in range(0, 800, 100):
+                truth = naive_k10_mixture.query(query_index=qi)
+                got = rdt.query(query_index=qi, k=10, t=t).ids
+                values.append(recall(truth, got))
+            recalls.append(float(np.mean(values)))
+        assert recalls[-1] == 1.0
+        assert recalls[0] <= recalls[-1]
+
+    def test_retrieved_grows_with_t(self, medium_mixture):
+        rdt = RDT(LinearScanIndex(medium_mixture))
+        counts = [
+            rdt.query(query_index=5, k=10, t=t).stats.num_retrieved
+            for t in (1.0, 3.0, 9.0)
+        ]
+        assert counts == sorted(counts)
+
+
+class TestRdtPlus:
+    def test_recall_comparable_to_rdt(self, medium_mixture, naive_k10_mixture):
+        index = LinearScanIndex(medium_mixture)
+        rdt, rdtp = RDT(index), RDT(index, variant="rdt+")
+        for qi in range(0, 800, 200):
+            truth = naive_k10_mixture.query(query_index=qi)
+            r1 = recall(truth, rdt.query(query_index=qi, k=10, t=6.0).ids)
+            r2 = recall(truth, rdtp.query(query_index=qi, k=10, t=6.0).ids)
+            assert r2 >= r1 - 0.25  # reduction may cost a little recall
+
+    def test_exclusions_happen_on_clustered_data(self, medium_mixture):
+        rdtp = RDT(LinearScanIndex(medium_mixture), variant="rdt+")
+        result = rdtp.query(query_index=0, k=10, t=8.0)
+        assert result.stats.num_excluded > 0
+
+    def test_huge_t_still_exact_recall(self, medium_mixture, naive_k10_mixture):
+        """RDT+ may add false positives but never loses recall at full scan."""
+        rdtp = RDT(LinearScanIndex(medium_mixture), variant="rdt+")
+        for qi in [0, 400]:
+            truth = naive_k10_mixture.query(query_index=qi)
+            got = rdtp.query(query_index=qi, k=10, t=100.0).ids
+            assert recall(truth, got) == 1.0
+
+    def test_false_positive_mechanism_documented(
+        self, medium_mixture, naive_k10_mixture
+    ):
+        """Section 4.3's precision risk is real and has exactly one cause:
+        RDT+ exclusions undercount witnesses, so a lazy accept can fire for
+        a non-member.  Every false positive must be a lazy accept — never a
+        verified candidate (verification stays exact)."""
+        rdtp = RDT(LinearScanIndex(medium_mixture), variant="rdt+")
+        found_fp = False
+        for qi in range(0, 800, 40):
+            truth = set(naive_k10_mixture.query(query_index=qi).tolist())
+            result = rdtp.query(query_index=qi, k=10, t=8.0)
+            false_positives = set(result.ids.tolist()) - truth
+            if false_positives:
+                found_fp = True
+                assert false_positives <= set(result.lazy_accepted_ids.tolist())
+        assert found_fp, "expected at least one FP on clustered data at t=8"
+
+    def test_invalid_variant_rejected(self, small_gaussian):
+        with pytest.raises(ValueError, match="variant"):
+            RDT(LinearScanIndex(small_gaussian), variant="rdt++")
+
+
+class TestStatsConsistency:
+    def test_treatment_counts_partition_candidates(self, medium_mixture):
+        rdt = RDT(LinearScanIndex(medium_mixture))
+        result = rdt.query(query_index=9, k=10, t=5.0)
+        s = result.stats
+        assert s.num_lazy_accepts + s.num_lazy_rejects + s.num_verified == (
+            s.num_generated
+        )
+        assert s.num_candidates + s.num_excluded == s.num_generated
+        assert 0 <= s.num_verified_hits <= s.num_verified
+
+    def test_proportions_sum_to_one(self, medium_mixture):
+        rdt = RDT(LinearScanIndex(medium_mixture), variant="rdt+")
+        props = rdt.query(query_index=3, k=10, t=5.0).stats.proportions()
+        assert sum(props.values()) == pytest.approx(1.0)
+
+    def test_timers_and_counters_populated(self, medium_mixture):
+        result = RDT(LinearScanIndex(medium_mixture)).query(query_index=1, k=5, t=4.0)
+        assert result.stats.total_seconds > 0
+        assert result.stats.num_distance_calls > 0
+        assert result.stats.terminated_by in {"omega", "rank-cap", "exhausted"}
+
+    def test_result_container_protocols(self, medium_mixture):
+        result = RDT(LinearScanIndex(medium_mixture)).query(query_index=1, k=5, t=4.0)
+        assert len(result) == len(result.ids)
+        for pid in result:
+            assert pid in result
+
+
+class TestQueryInterface:
+    def test_query_point_not_in_own_result(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        result = rdt.query(query_index=42, k=5, t=100.0)
+        assert 42 not in result.ids
+
+    def test_external_query_point(self, small_gaussian, rng):
+        """Queries need not be dataset members."""
+        q = rng.normal(size=small_gaussian.shape[1])
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        got = set(rdt.query(q, k=5, t=100.0).ids.tolist())
+        naive = NaiveRkNN(small_gaussian, k=5)
+        expected = set(naive.query(q).tolist())
+        assert got == expected
+
+    def test_requires_exactly_one_query_form(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        with pytest.raises(ValueError, match="exactly one"):
+            rdt.query(small_gaussian[0], query_index=0, k=5, t=1.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            rdt.query(k=5, t=1.0)
+
+    def test_invalid_parameters(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        with pytest.raises(ValueError):
+            rdt.query(query_index=0, k=5, t=0.0)
+        with pytest.raises(ValueError):
+            rdt.query(query_index=0, k=0, t=1.0)
+
+
+class TestTieHandling:
+    def test_duplicate_heavy_data_exact_at_huge_t(self, duplicated_points):
+        naive = NaiveRkNN(duplicated_points, k=4)
+        rdt = RDT(LinearScanIndex(duplicated_points))
+        for qi in [0, 33, 77]:
+            expected = set(naive.query(query_index=qi).tolist())
+            got = set(rdt.query(query_index=qi, k=4, t=100.0).ids.tolist())
+            assert got == expected
+
+    def test_query_with_duplicates_of_query_point(self):
+        """Exact duplicates of q are legitimate candidates, never dropped."""
+        points = np.vstack([np.zeros((3, 2)), np.ones((5, 2)), np.eye(2) * 3.0])
+        naive = NaiveRkNN(points, k=3)
+        rdt = RDT(LinearScanIndex(points))
+        expected = set(naive.query(query_index=0).tolist())
+        got = set(rdt.query(query_index=0, k=3, t=100.0).ids.tolist())
+        assert got == expected
+
+
+class TestDynamicIndexIntegration:
+    def test_insertions_visible_to_queries(self, rng):
+        from repro.indexes import CoverTreeIndex
+
+        points = rng.normal(size=(100, 3))
+        index = CoverTreeIndex(points)
+        rdt = RDT(index)
+        before = rdt.query(query_index=0, k=5, t=100.0)
+        new_rows = points[0] + rng.normal(scale=1e-3, size=(6, 3))
+        for row in new_rows:
+            index.insert(row)
+        after = rdt.query(query_index=0, k=5, t=100.0)
+        all_points = np.vstack([points, new_rows])
+        naive = NaiveRkNN(all_points, k=5)
+        assert set(after.ids.tolist()) == set(naive.query(query_index=0).tolist())
+        assert set(after.ids.tolist()) != set(before.ids.tolist())

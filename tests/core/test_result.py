@@ -1,0 +1,47 @@
+"""Unit tests for the result/stats containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryStats, RkNNResult
+
+
+class TestQueryStats:
+    def test_total_seconds(self):
+        stats = QueryStats(filter_seconds=0.25, refine_seconds=0.5)
+        assert stats.total_seconds == pytest.approx(0.75)
+
+    def test_num_generated(self):
+        stats = QueryStats(num_candidates=7, num_excluded=3)
+        assert stats.num_generated == 10
+
+    def test_proportions_empty_query(self):
+        props = QueryStats().proportions()
+        assert props == {"accept": 0.0, "reject": 0.0, "verify": 0.0}
+
+    def test_proportions_partition(self):
+        stats = QueryStats(
+            num_candidates=8,
+            num_excluded=2,
+            num_lazy_accepts=3,
+            num_lazy_rejects=5,
+            num_verified=2,
+        )
+        props = stats.proportions()
+        assert sum(props.values()) == pytest.approx(1.0)
+        assert props["accept"] == pytest.approx(0.3)
+
+
+class TestRkNNResult:
+    def test_container_protocols(self):
+        result = RkNNResult(ids=np.array([2, 5, 9]), k=3, t=4.0)
+        assert len(result) == 3
+        assert 5 in result
+        assert 7 not in result
+        assert list(result) == [2, 5, 9]
+
+    def test_default_fields(self):
+        result = RkNNResult(ids=np.empty(0, dtype=np.intp), k=1, t=1.0)
+        assert len(result) == 0
+        assert result.lazy_accepted_ids.shape == (0,)
+        assert result.stats.terminated_by == "unknown"

@@ -1,0 +1,48 @@
+"""Tests for automatic scale-parameter selection (paper Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import suggest_scale
+from repro.datasets import uniform_hypercube
+
+
+class TestSuggestScale:
+    def test_tracks_intrinsic_dimension(self):
+        low = suggest_scale(uniform_hypercube(1500, 2, seed=0), method="mle")
+        high = suggest_scale(uniform_hypercube(1500, 8, seed=0), method="mle")
+        assert 1.0 <= low < high
+
+    @pytest.mark.parametrize("method", ["mle", "gp", "takens"])
+    def test_all_estimators_available(self, method):
+        data = uniform_hypercube(1000, 3, seed=1)
+        t = suggest_scale(data, method=method)
+        assert 1.0 <= t <= 10.0
+
+    def test_margin_scales_linearly(self):
+        data = uniform_hypercube(800, 4, seed=2)
+        base = suggest_scale(data, method="mle", margin=1.0)
+        doubled = suggest_scale(data, method="mle", margin=2.0)
+        assert doubled == pytest.approx(2.0 * base)
+
+    def test_minimum_clamp(self):
+        data = np.linspace(0, 1, 500)[:, None]  # 1-D line: estimate ~1
+        assert suggest_scale(data, method="mle", minimum=3.0) >= 3.0
+
+    def test_degenerate_data_falls_back(self):
+        data = np.zeros((200, 3))  # all duplicates: estimators return nan
+        t = suggest_scale(data, method="mle")
+        assert np.isfinite(t) and t > 0
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            suggest_scale(np.zeros((10, 2)) + np.arange(10)[:, None], method="pca")
+
+    def test_bad_margin_raises(self):
+        with pytest.raises(ValueError, match="margin"):
+            suggest_scale(np.ones((10, 2)), margin=-1.0)
+
+    def test_estimator_kwargs_forwarded(self):
+        data = uniform_hypercube(1200, 3, seed=3)
+        t = suggest_scale(data, method="mle", k=20, sample_fraction=0.2)
+        assert 1.0 <= t <= 8.0

@@ -1,0 +1,118 @@
+"""Unit tests for the dimensional termination test."""
+
+import math
+
+import pytest
+
+from repro.core.termination import DimensionalTest
+
+
+class TestRankCap:
+    def test_cap_formula_conservative(self):
+        test = DimensionalTest(k=10, t=4.0, n=10_000, conservative=True)
+        assert test.rank_cap == int(2.0**4 * 11)
+
+    def test_cap_formula_paper_literal(self):
+        test = DimensionalTest(k=10, t=4.0, n=10_000, conservative=False)
+        assert test.rank_cap == int(2.0**4 * 10)
+
+    def test_cap_clamped_to_n(self):
+        test = DimensionalTest(k=10, t=10.0, n=500)
+        assert test.rank_cap == 500
+
+    @pytest.mark.parametrize("t", [65.0, 500.0, 1e6])
+    def test_huge_t_does_not_overflow(self, t):
+        test = DimensionalTest(k=10, t=t, n=1000)
+        assert test.rank_cap == 1000
+
+
+class TestOmegaUpdates:
+    def test_initially_infinite(self):
+        assert DimensionalTest(k=5, t=2.0, n=100).omega == math.inf
+
+    def test_update_matches_formula(self):
+        test = DimensionalTest(k=5, t=2.0, n=1000, conservative=False)
+        test.observe(rank=20, frontier_dist=3.0)
+        expected = 3.0 / ((20 / 5) ** (1 / 2.0) - 1.0)
+        assert test.omega == pytest.approx(expected)
+
+    def test_conservative_uses_k_plus_one(self):
+        test = DimensionalTest(k=5, t=2.0, n=1000, conservative=True)
+        test.observe(rank=20, frontier_dist=3.0)
+        expected = 3.0 / ((20 / 6) ** (1 / 2.0) - 1.0)
+        assert test.omega == pytest.approx(expected)
+
+    def test_omega_is_running_minimum(self):
+        test = DimensionalTest(k=5, t=2.0, n=1000)
+        test.observe(rank=30, frontier_dist=1.0)
+        first = test.omega
+        test.observe(rank=31, frontier_dist=100.0)  # larger bound: no change
+        assert test.omega == first
+
+    def test_no_update_at_or_below_termination_rank(self):
+        test = DimensionalTest(k=5, t=2.0, n=1000, conservative=True)
+        test.observe(rank=6, frontier_dist=1.0)  # rank == k+1: skipped
+        assert test.omega == math.inf
+        test.observe(rank=7, frontier_dist=1.0)
+        assert test.omega < math.inf
+
+    def test_zero_distance_skipped(self):
+        test = DimensionalTest(k=5, t=2.0, n=1000)
+        test.observe(rank=50, frontier_dist=0.0)
+        assert test.omega == math.inf
+
+
+class TestShouldTerminate:
+    def test_omega_trigger(self):
+        test = DimensionalTest(k=5, t=2.0, n=1000)
+        test.observe(rank=100, frontier_dist=1.0)
+        assert test.should_terminate(rank=101, frontier_dist=test.omega * 1.01)
+        assert test.terminated_by == "omega"
+
+    def test_frontier_at_omega_continues(self):
+        test = DimensionalTest(k=5, t=10.0, n=1000)  # cap = n: only omega acts
+        test.observe(rank=100, frontier_dist=1.0)
+        assert not test.should_terminate(rank=101, frontier_dist=test.omega)
+
+    def test_rank_cap_trigger(self):
+        test = DimensionalTest(k=2, t=1.0, n=1000)
+        assert test.should_terminate(rank=test.rank_cap, frontier_dist=0.5)
+        assert test.terminated_by == "rank-cap"
+
+    def test_mark_exhausted_only_when_unset(self):
+        test = DimensionalTest(k=2, t=1.0, n=10)
+        test.should_terminate(rank=test.rank_cap, frontier_dist=0.1)
+        test.mark_exhausted()
+        assert test.terminated_by == "rank-cap"
+
+    def test_exhausted(self):
+        test = DimensionalTest(k=2, t=1.0, n=10)
+        test.mark_exhausted()
+        assert test.terminated_by == "exhausted"
+
+
+class TestValidation:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            DimensionalTest(k=0, t=1.0, n=10)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            DimensionalTest(k=1, t=0.0, n=10)
+
+
+class TestMonotonicityInT:
+    def test_larger_t_larger_omega(self):
+        """Increasing t weakens the termination bound (more search)."""
+        omegas = []
+        for t in (1.0, 2.0, 4.0, 8.0):
+            test = DimensionalTest(k=5, t=t, n=10_000)
+            test.observe(rank=40, frontier_dist=2.0)
+            omegas.append(test.omega)
+        assert omegas == sorted(omegas)
+
+    def test_larger_t_larger_cap(self):
+        caps = [
+            DimensionalTest(k=5, t=t, n=10**9).rank_cap for t in (1.0, 3.0, 6.0)
+        ]
+        assert caps == sorted(caps)

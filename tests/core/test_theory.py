@@ -1,0 +1,102 @@
+"""Direct tests of the paper's theoretical statements (Section 5).
+
+These test the *mathematics*, independent of the RDT implementation:
+Lemma 1's reverse-rank bound and the ball-counting step inside the proof of
+Theorem 1, instantiated on concrete random datasets.
+
+Note on Lemma 1's statement: the paper anchors ``MaxGed(S, k)`` at "k such
+that rho_S(x, v) = k" but its proof counts the ball
+``B(v, d(v, x))`` — whose cardinality is the *reverse* rank
+``rho_S(v, x)``.  The lemma is therefore tested with the anchor the proof
+actually uses: for every ordered pair, ``rho(x, v) <= 2^t(k) * rho(v, x)``
+with ``t(k) = MaxGed(S, k)`` and ``k = rho(v, x)``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lid import max_ged
+
+
+def physical_ranks(points: np.ndarray) -> np.ndarray:
+    """rho[i, j]: max-rank of j w.r.t. center i (self-inclusive counts)."""
+    n = len(points)
+    dists = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=2)
+    ranks = np.empty((n, n), dtype=np.int64)
+    for i in range(n):
+        order = np.sort(dists[i])
+        ranks[i] = np.searchsorted(order, dists[i], side="right")
+    return ranks
+
+
+class TestLemma1:
+    """rho(x, v) <= 2^MaxGed(S, rho(v,x)) * rho(v, x), per ordered pair."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_reverse_rank_bound_random_data(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(int(rng.integers(10, 35)), int(rng.integers(1, 4))))
+        n = len(points)
+        ranks = physical_ranks(points)
+        maxged_by_k = {k: max_ged(points, k=k) for k in range(1, n + 1)}
+        for x in range(n):
+            for v in range(n):
+                if x == v:
+                    continue
+                k = int(ranks[v, x])
+                bound = 2.0 ** min(maxged_by_k[k], 60.0)
+                assert ranks[x, v] <= bound * ranks[v, x] * (1 + 1e-9), (x, v, k)
+
+    def test_reverse_rank_bound_jittered_line(self):
+        """A near-1-D configuration: small MaxGED, strong rank asymmetry."""
+        rng = np.random.default_rng(5)
+        points = np.sort(rng.uniform(size=40))[:, None] + rng.normal(
+            scale=1e-4, size=(40, 1)
+        )
+        n = len(points)
+        ranks = physical_ranks(points)
+        maxged_by_k = {k: max_ged(points, k=k) for k in range(1, n + 1)}
+        for x in range(n):
+            for v in range(n):
+                if x == v:
+                    continue
+                k = int(ranks[v, x])
+                bound = 2.0 ** min(maxged_by_k[k], 60.0)
+                assert ranks[x, v] <= bound * ranks[v, x] * (1 + 1e-9)
+
+
+class TestTheorem1BallCounting:
+    """The proof's key inequality: any point x whose query distance exceeds
+    omega would witness a GED above MaxGED — so no such member exists."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_ged_of_proof_ball_pair_below_maxged(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(40, 3))
+        k = 4
+        t_star = max_ged(points, k=k)
+        dists_from_q = np.linalg.norm(points - points[0], axis=1)
+        order = np.argsort(dists_from_q)
+        # Take the search state after s~ = 15 retrievals.
+        s_tilde = 15
+        d_s = dists_from_q[order[s_tilde - 1]]
+        for x in order[s_tilde:]:
+            d_xq = dists_from_q[x]
+            if d_xq <= d_s or d_xq == 0.0:
+                continue
+            # Ball around x with radius d_s + d_xq contains >= s~ points.
+            d_from_x = np.linalg.norm(points - points[x], axis=1)
+            big_count = int(np.count_nonzero(d_from_x <= d_s + d_xq))
+            assert big_count >= s_tilde
+            # ... so the dimensional test value of this pair is a valid GED
+            # observation, necessarily below the dataset maximum whenever
+            # the small ball holds at most k+1 points (x a member).
+            small_count = int(np.count_nonzero(d_from_x <= d_xq))
+            if small_count <= k + 1 and big_count > small_count:
+                value = np.log(big_count / small_count) / np.log(
+                    (d_s + d_xq) / d_xq
+                )
+                assert value <= t_star + 1e-9

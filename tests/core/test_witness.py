@@ -1,0 +1,144 @@
+"""Unit and property tests for the witness-counter machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.witness import CandidateStore
+from repro.distances import EuclideanMetric
+
+
+def feed_stream(points, query, k, rdt_plus=False):
+    """Feed points in ascending query distance; return the store."""
+    metric = EuclideanMetric()
+    dists = metric.to_point(points, query)
+    order = np.argsort(dists)
+    store = CandidateStore(points.shape[1], metric, k)
+    for idx in order:
+        store.process_retrieved(
+            int(idx), points[idx], float(dists[idx]), exclude_if_rejected=rdt_plus
+        )
+    return store, dists
+
+
+def brute_witness_counts(points, query, candidate_ids):
+    """W(x) over the full stream: points strictly closer to x than q is."""
+    counts = {}
+    for x in candidate_ids:
+        d_qx = np.linalg.norm(points[x] - query)
+        closer = 0
+        for y in candidate_ids:
+            if y != x and np.linalg.norm(points[y] - points[x]) < d_qx:
+                closer += 1
+        counts[x] = closer
+    return counts
+
+
+class TestWitnessCounting:
+    def test_counts_match_brute_force(self, rng):
+        points = rng.normal(size=(40, 3))
+        query = rng.normal(size=3)
+        store, _ = feed_stream(points, query, k=3)
+        expected = brute_witness_counts(points, query, list(range(40)))
+        for slot in range(store.size):
+            assert store.witnesses[slot] == expected[int(store.ids[slot])]
+
+    def test_empty_store_first_point(self, rng):
+        metric = EuclideanMetric()
+        store = CandidateStore(2, metric, k=3)
+        assert store.process_retrieved(0, np.zeros(2), 1.0, exclude_if_rejected=True)
+        assert store.size == 1 and store.witnesses[0] == 0
+
+
+class TestLazyDecisions:
+    def test_accept_requires_ball_coverage(self):
+        """A candidate is decided exactly when the frontier passes 2d(q,x)."""
+        metric = EuclideanMetric()
+        store = CandidateStore(1, metric, k=2)
+        store.process_retrieved(0, np.array([1.0]), 1.0, exclude_if_rejected=False)
+        # Frontier at 1.9 < 2.0: undecided.
+        store.process_retrieved(1, np.array([-1.9]), 1.9, exclude_if_rejected=False)
+        assert not store.accepted[0]
+        # Frontier reaches 2.0: candidate 0's ball is covered, W=0 < k.
+        store.process_retrieved(2, np.array([2.0]), 2.0, exclude_if_rejected=False)
+        assert store.accepted[0]
+
+    def test_reject_blocks_acceptance(self):
+        """k witnesses inside the ball force a lazy reject, never an accept."""
+        metric = EuclideanMetric()
+        store = CandidateStore(1, metric, k=1)
+        store.process_retrieved(0, np.array([1.0]), 1.0, exclude_if_rejected=False)
+        # A witness right next to candidate 0 (d=0.1 < d(q,x)=1).
+        store.process_retrieved(1, np.array([1.1]), 1.1, exclude_if_rejected=False)
+        store.process_retrieved(2, np.array([-2.5]), 2.5, exclude_if_rejected=False)
+        assert store.lazy_rejected[0]
+        assert not store.accepted[0]
+
+    def test_decisions_are_final(self):
+        metric = EuclideanMetric()
+        store = CandidateStore(1, metric, k=1)
+        store.process_retrieved(0, np.array([0.5]), 0.5, exclude_if_rejected=False)
+        store.process_retrieved(1, np.array([-1.0]), 1.0, exclude_if_rejected=False)
+        assert store.accepted[0]
+        # Later witnesses cannot revoke the accept.
+        store.process_retrieved(2, np.array([0.6]), 0.6 + 1.0, exclude_if_rejected=False)
+        assert store.accepted[0]
+
+
+class TestRdtPlusExclusion:
+    def test_rejected_first_cycle_excluded(self, rng):
+        """A point arriving with k witnesses already nearby is not stored."""
+        cluster = rng.normal(scale=0.01, size=(10, 2))
+        straggler = cluster.mean(axis=0) + 0.001
+        query = np.array([5.0, 0.0])
+        points = np.vstack([cluster, straggler[None, :]])
+        store, dists = feed_stream(points, query, k=3, rdt_plus=True)
+        assert store.num_excluded >= 1
+        assert store.size + store.num_excluded == len(points)
+
+    def test_first_k_candidates_never_excluded(self, rng):
+        points = rng.normal(size=(30, 2))
+        query = rng.normal(size=2)
+        store, dists = feed_stream(points, query, k=5, rdt_plus=True)
+        order = np.argsort(dists)
+        stored = set(store.ids.tolist())
+        # The first k retrieved cannot reach k witnesses in their first cycle.
+        for idx in order[:5]:
+            assert int(idx) in stored
+
+    def test_exclusions_reduce_store_size(self, rng):
+        points = np.vstack(
+            [rng.normal(scale=0.05, size=(50, 2)), rng.normal(size=(10, 2)) + 8.0]
+        )
+        query = np.array([8.0, 8.0])
+        plain, _ = feed_stream(points, query, k=2, rdt_plus=False)
+        plus, _ = feed_stream(points, query, k=2, rdt_plus=True)
+        assert plus.size < plain.size
+        assert plain.size == len(points)
+
+
+class TestCapacityGrowth:
+    def test_growth_preserves_state(self, rng):
+        points = rng.normal(size=(500, 2))  # > initial capacity of 64
+        query = rng.normal(size=2)
+        store, _ = feed_stream(points, query, k=3)
+        assert store.size == 500
+        expected = brute_witness_counts(points, query, list(range(500)))
+        for slot in [0, 63, 64, 100, 499]:
+            assert store.witnesses[slot] == expected[int(store.ids[slot])]
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=150), k=st.integers(1, 5))
+    def test_property_masks_partition_candidates(self, n, k):
+        rng = np.random.default_rng(n * 31 + k)
+        points = rng.normal(size=(n, 2))
+        query = rng.normal(size=2)
+        store, _ = feed_stream(points, query, k=k)
+        accepted = store.accepted
+        rejected = store.lazy_rejected
+        undecided = store.needs_verification
+        total = accepted.sum() + rejected.sum() + undecided.sum()
+        assert total == store.size
+        assert not np.any(accepted & rejected)
+        assert not np.any(accepted & undecided)

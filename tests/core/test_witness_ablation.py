@@ -1,0 +1,61 @@
+"""Tests for the witness-ablation switch (RDT with use_witnesses=False)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRkNN
+from repro.core import RDT
+from repro.indexes import LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def pair(medium_mixture):
+    index = LinearScanIndex(medium_mixture)
+    return RDT(index), RDT(index, use_witnesses=False)
+
+
+class TestSameAnswers:
+    def test_identical_results_all_t(self, pair, naive_k10_mixture):
+        """Disabling witnesses moves cost, never the answer (plain RDT)."""
+        with_w, without_w = pair
+        for qi in [0, 200, 600]:
+            for t in (2.0, 5.0, 100.0):
+                a = with_w.query(query_index=qi, k=10, t=t)
+                b = without_w.query(query_index=qi, k=10, t=t)
+                assert np.array_equal(a.ids, b.ids), (qi, t)
+
+    def test_exact_at_huge_t(self, pair, naive_k10_mixture):
+        _, without_w = pair
+        for qi in [0, 400]:
+            expected = set(naive_k10_mixture.query(query_index=qi).tolist())
+            got = set(without_w.query(query_index=qi, k=10, t=100.0).ids.tolist())
+            assert got == expected
+
+
+class TestCostShift:
+    def test_everything_verified_without_witnesses(self, pair):
+        _, without_w = pair
+        result = without_w.query(query_index=3, k=10, t=6.0)
+        assert result.stats.num_verified == result.stats.num_candidates
+        assert result.stats.num_lazy_accepts == 0
+        assert result.stats.num_lazy_rejects == 0
+
+    def test_witnesses_reduce_verifications(self, pair):
+        with_w, without_w = pair
+        a = with_w.query(query_index=3, k=10, t=6.0)
+        b = without_w.query(query_index=3, k=10, t=6.0)
+        assert a.stats.num_verified < b.stats.num_verified
+
+    def test_same_candidates_generated(self, pair):
+        """The filter phase (termination) is witness-independent."""
+        with_w, without_w = pair
+        a = with_w.query(query_index=7, k=10, t=4.0)
+        b = without_w.query(query_index=7, k=10, t=4.0)
+        assert a.stats.num_retrieved == b.stats.num_retrieved
+        assert a.stats.num_generated == b.stats.num_candidates
+
+
+class TestGuards:
+    def test_rdt_plus_requires_witnesses(self, medium_mixture):
+        with pytest.raises(ValueError, match="witness-based exclusion"):
+            RDT(LinearScanIndex(medium_mixture), variant="rdt+", use_witnesses=False)

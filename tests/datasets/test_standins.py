@@ -1,0 +1,68 @@
+"""Tests for the paper-dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_SPECS, load_standin
+from repro.lid import estimate_id_mle
+
+ALL_NAMES = sorted(DATASET_SPECS)
+
+
+class TestLoader:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_default_shapes_match_specs(self, name):
+        spec = DATASET_SPECS[name]
+        data = load_standin(name, n=500)
+        assert data.shape == (500, spec.default_dim)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_deterministic_per_seed(self, name):
+        a = load_standin(name, n=200, seed=5)
+        b = load_standin(name, n=200, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_standin("imagenet22k")
+
+    def test_finite_everywhere(self):
+        for name in ALL_NAMES:
+            assert np.isfinite(load_standin(name, n=300)).all()
+
+
+class TestSpecs:
+    def test_paper_metadata_present(self):
+        spec = DATASET_SPECS["sequoia"]
+        assert spec.paper_n == 62_174
+        assert spec.paper_dim == 2
+
+    def test_all_specs_have_loaders(self):
+        for name in ALL_NAMES:
+            assert load_standin(name, n=50).shape[0] == 50
+
+
+class TestGeometry:
+    def test_sequoia_is_2d(self):
+        assert load_standin("sequoia", n=300).shape[1] == 2
+
+    def test_fct_is_standardized(self):
+        data = load_standin("fct", n=2000)
+        assert np.allclose(data.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(data.std(axis=0), 1.0, atol=1e-6)
+
+    def test_id_ordering_matches_paper(self):
+        """Table 1's cross-dataset ordering: sequoia lowest, mnist highest."""
+        ids = {
+            name: estimate_id_mle(load_standin(name, n=1500), k=50)
+            for name in ("sequoia", "fct", "mnist")
+        }
+        assert ids["sequoia"] < ids["fct"] < ids["mnist"]
+
+    def test_sequoia_id_near_paper_value(self):
+        estimate = estimate_id_mle(load_standin("sequoia", n=2000), k=100)
+        assert 1.4 <= estimate <= 2.6  # paper: 1.84
+
+    def test_imagenet_dim_configurable(self):
+        data = load_standin("imagenet", n=200, dim=64)
+        assert data.shape == (200, 64)

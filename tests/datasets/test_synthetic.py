@@ -1,0 +1,99 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    clustered_manifolds,
+    embedded_manifold,
+    gaussian_blob,
+    gaussian_mixture,
+    swiss_roll,
+    uniform_hypercube,
+)
+from repro.lid import estimate_id_mle
+
+
+class TestShapesAndDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: uniform_hypercube(120, 3, seed=seed),
+            lambda seed: gaussian_blob(120, 3, seed=seed),
+            lambda seed: gaussian_mixture(120, 3, n_clusters=4, seed=seed),
+            lambda seed: embedded_manifold(120, 10, 3, seed=seed),
+            lambda seed: swiss_roll(120, seed=seed),
+            lambda seed: clustered_manifolds(120, 10, 4, 2, seed=seed),
+        ],
+        ids=["cube", "blob", "mixture", "manifold", "swiss", "clustered"],
+    )
+    def test_shape_and_seed_determinism(self, factory):
+        a = factory(7)
+        b = factory(7)
+        c = factory(8)
+        assert a.shape[0] == 120
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_sizes_exact_under_uneven_division(self):
+        data = clustered_manifolds(101, 8, 7, 2, seed=0)
+        assert data.shape == (101, 8)
+        data = gaussian_mixture(101, 4, n_clusters=7, seed=0)
+        assert data.shape == (101, 4)
+
+
+class TestValidation:
+    def test_manifold_dim_bound(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            embedded_manifold(10, 3, 5)
+
+    def test_swiss_roll_needs_3d(self):
+        with pytest.raises(ValueError, match="ambient_dim"):
+            swiss_roll(10, ambient_dim=2)
+
+    def test_mixture_weights_validated(self):
+        with pytest.raises(ValueError, match="weights"):
+            gaussian_mixture(10, 2, n_clusters=3, weights=[0.5, 0.5])
+
+    def test_positive_counts_required(self):
+        with pytest.raises(ValueError):
+            uniform_hypercube(0, 2)
+        with pytest.raises(ValueError):
+            gaussian_blob(10, 0)
+
+
+class TestIntrinsicDimensionControl:
+    def test_manifold_id_tracks_parameter(self):
+        low = embedded_manifold(2500, 32, 2, noise=0.0, seed=0)
+        high = embedded_manifold(2500, 32, 8, noise=0.0, seed=0)
+        assert estimate_id_mle(low, k=50) < estimate_id_mle(high, k=50)
+
+    def test_ambient_dim_does_not_leak(self):
+        narrow = embedded_manifold(2000, 8, 3, noise=0.0, seed=1)
+        wide = embedded_manifold(2000, 128, 3, noise=0.0, seed=1)
+        a, b = estimate_id_mle(narrow, k=50), estimate_id_mle(wide, k=50)
+        assert abs(a - b) < 1.0
+
+    def test_swiss_roll_is_two_dimensional(self):
+        data = swiss_roll(3000, noise=0.0, seed=0)
+        assert estimate_id_mle(data, k=50) == pytest.approx(2.0, rel=0.2)
+
+    def test_heavy_tailed_latents(self):
+        data = embedded_manifold(500, 16, 4, heavy_tailed=True, seed=0)
+        assert np.isfinite(data).all()
+
+    def test_mixture_imbalance_respected(self):
+        data = gaussian_mixture(
+            5000,
+            2,
+            n_clusters=2,
+            separation=50.0,
+            weights=[0.9, 0.1],
+            seed=0,
+        )
+        # With separation >> spread the two clusters are separable by the
+        # widest gap along the first coordinate; check the 90/10 split.
+        xs = np.sort(data[:, 0])
+        gap_at = int(np.argmax(np.diff(xs)))
+        share = max(gap_at + 1, 5000 - gap_at - 1) / 5000
+        assert 0.85 < share < 0.95

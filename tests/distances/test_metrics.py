@@ -1,0 +1,175 @@
+"""Unit and property tests for the metric abstraction.
+
+The RDT analysis requires genuine metrics (triangle inequality), and the
+tolerance policy requires that single-pair and batched kernels agree to the
+last few ulps; both are checked here with hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    get_metric,
+)
+
+ALL_METRICS = [
+    EuclideanMetric(),
+    ManhattanMetric(),
+    ChebyshevMetric(),
+    MinkowskiMetric(p=3.0),
+]
+
+finite_points = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=6),
+    elements=st.floats(min_value=-100, max_value=100),
+)
+
+
+def paired_points():
+    """Three points of a shared dimension."""
+    return st.integers(min_value=1, max_value=6).flatmap(
+        lambda d: st.tuples(
+            *(
+                arrays(
+                    np.float64, d, elements=st.floats(min_value=-100, max_value=100)
+                )
+                for _ in range(3)
+            )
+        )
+    )
+
+
+class TestRegistry:
+    def test_default_is_euclidean(self):
+        assert isinstance(get_metric(None), EuclideanMetric)
+
+    def test_instance_passthrough(self):
+        metric = ManhattanMetric()
+        assert get_metric(metric) is metric
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("euclidean", EuclideanMetric),
+            ("l2", EuclideanMetric),
+            ("manhattan", ManhattanMetric),
+            ("cityblock", ManhattanMetric),
+            ("chebyshev", ChebyshevMetric),
+            ("linf", ChebyshevMetric),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(get_metric(name), cls)
+
+    def test_minkowski_with_p(self):
+        metric = get_metric("minkowski", p=4)
+        assert isinstance(metric, MinkowskiMetric)
+        assert metric.p == 4.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="Unknown metric"):
+            get_metric("cosine")
+
+    def test_minkowski_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            MinkowskiMetric(p=0.5)
+
+
+class TestKnownValues:
+    def test_euclidean(self):
+        assert EuclideanMetric().distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert ManhattanMetric().distance([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert ChebyshevMetric().distance([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_minkowski_p3(self):
+        expected = (3**3 + 4**3) ** (1 / 3)
+        assert MinkowskiMetric(3).distance([0, 0], [3, 4]) == pytest.approx(expected)
+
+    def test_minkowski_p2_matches_euclidean(self):
+        x, y = np.array([1.0, 2.0, 3.0]), np.array([-1.0, 0.5, 9.0])
+        assert MinkowskiMetric(2).distance(x, y) == pytest.approx(
+            EuclideanMetric().distance(x, y)
+        )
+
+
+@pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+class TestMetricAxioms:
+    @settings(max_examples=50, deadline=None)
+    @given(data=paired_points())
+    def test_triangle_inequality(self, metric, data):
+        x, y, z = data
+        assert metric.distance(x, z) <= (
+            metric.distance(x, y) + metric.distance(y, z) + 1e-9
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=paired_points())
+    def test_symmetry(self, metric, data):
+        x, y, _ = data
+        assert metric.distance(x, y) == pytest.approx(metric.distance(y, x))
+
+    @settings(max_examples=25, deadline=None)
+    @given(point=finite_points)
+    def test_identity(self, metric, point):
+        assert metric.distance(point, point) == 0.0
+
+
+@pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+class TestKernelConsistency:
+    def test_pairwise_matches_to_point(self, metric):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 5))
+        Y = rng.normal(size=(7, 5))
+        full = metric.pairwise(X, Y)
+        for j in range(Y.shape[0]):
+            assert np.allclose(full[:, j], metric.to_point(X, Y[j]), rtol=1e-9)
+
+    def test_distance_matches_to_point_exactly(self, metric):
+        # The tolerance policy relies on these using the same kernel.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(10, 4))
+        y = rng.normal(size=4)
+        batch = metric.to_point(X, y)
+        singles = np.array([metric.distance(x, y) for x in X])
+        assert np.array_equal(batch, singles)
+
+    def test_pairwise_self_diagonal_zero(self, metric):
+        X = np.random.default_rng(2).normal(size=(15, 3))
+        d = metric.pairwise(X)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-7)
+
+
+class TestCallCounter:
+    def test_counts_scalar_distances(self):
+        metric = EuclideanMetric()
+        metric.distance([0.0], [1.0])
+        assert metric.num_calls == 1
+        metric.to_point(np.zeros((5, 1)), np.ones(1))
+        assert metric.num_calls == 6
+        metric.pairwise(np.zeros((3, 1)), np.zeros((4, 1)))
+        assert metric.num_calls == 6 + 12
+
+    def test_reset(self):
+        metric = EuclideanMetric()
+        metric.distance([0.0], [1.0])
+        metric.reset_counter()
+        assert metric.num_calls == 0
+
+
+class TestBaseClass:
+    def test_abstract_kernel_raises(self):
+        with pytest.raises(NotImplementedError):
+            Metric().distance([0.0], [1.0])

@@ -1,0 +1,131 @@
+"""Tests for ground truth, the runner, reporting and precompute accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import RDT
+from repro.evaluation import (
+    GroundTruth,
+    MethodRun,
+    TradeoffCurve,
+    format_table,
+    measure_precompute,
+    queries_per_budget,
+    render_curves,
+    render_kv_section,
+    run_method,
+    run_tradeoff,
+    sample_query_indices,
+)
+from repro.indexes import LinearScanIndex
+
+
+class TestSampleQueries:
+    def test_without_replacement_and_sorted(self):
+        ids = sample_query_indices(1000, 100, seed=0)
+        assert len(set(ids.tolist())) == 100
+        assert np.all(np.diff(ids) > 0)
+
+    def test_small_population_returns_all(self):
+        assert np.array_equal(sample_query_indices(5, 100), np.arange(5))
+
+    def test_deterministic(self):
+        a = sample_query_indices(500, 50, seed=3)
+        b = sample_query_indices(500, 50, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestGroundTruth:
+    def test_answers_match_naive(self, small_gaussian, naive_k5):
+        truth = GroundTruth(small_gaussian)
+        for qi in [0, 12, 299]:
+            assert np.array_equal(truth.answer(qi, 5), naive_k5.query(query_index=qi))
+
+    def test_caching_returns_same_object(self, small_gaussian):
+        truth = GroundTruth(small_gaussian)
+        assert truth.answer(3, 5) is truth.answer(3, 5)
+        assert truth.solver(5) is truth.solver(5)
+
+    def test_batch_answers(self, small_gaussian):
+        truth = GroundTruth(small_gaussian)
+        answers = truth.answers([1, 2, 3], 5)
+        assert set(answers) == {1, 2, 3}
+
+
+class TestRunner:
+    def test_exact_method_scores_one(self, small_gaussian):
+        truth = GroundTruth(small_gaussian)
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        run = run_method(
+            "rdt-exact",
+            lambda qi: rdt.query(query_index=qi, k=5, t=100.0),
+            [0, 10, 20],
+            truth,
+            k=5,
+        )
+        assert run.mean_recall == 1.0
+        assert run.mean_precision == 1.0
+        assert run.mean_seconds > 0.0
+        assert run.total_seconds >= run.mean_seconds
+
+    def test_accepts_raw_id_arrays(self, small_gaussian, naive_k5):
+        truth = GroundTruth(small_gaussian)
+        run = run_method(
+            "naive",
+            lambda qi: naive_k5.query(query_index=qi),
+            [0, 1],
+            truth,
+            k=5,
+        )
+        assert run.mean_recall == 1.0
+
+    def test_tradeoff_shape(self, small_gaussian):
+        truth = GroundTruth(small_gaussian)
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        curve = run_tradeoff(
+            "rdt",
+            lambda t: (lambda qi: rdt.query(query_index=qi, k=5, t=t)),
+            [1.0, 4.0],
+            [0, 5],
+            truth,
+            k=5,
+        )
+        assert curve.parameters() == [1.0, 4.0]
+        assert len(curve.recalls()) == 2
+        assert all(t >= 0 for t in curve.times())
+
+    def test_empty_run_defaults(self):
+        run = MethodRun(method="x", k=1, parameter=0.0)
+        assert run.mean_recall == 0.0 and run.mean_precision == 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_curves_contains_all_methods(self):
+        curve = TradeoffCurve(method="rdt", k=5)
+        curve.runs.append(MethodRun(method="rdt", k=5, parameter=2.0))
+        text = render_curves("Figure X", [curve])
+        assert "Figure X" in text and "[rdt, k=5]" in text
+
+    def test_render_kv_section(self):
+        text = render_kv_section("costs", [("build", 1.5), ("query", 0.001)])
+        assert "costs" in text and "build" in text
+
+    def test_nan_formatting(self):
+        assert "-" in format_table(["x"], [[float("nan")]])
+
+
+class TestPrecompute:
+    def test_measures_build_time(self):
+        report = measure_precompute("sleepy", lambda: sum(range(100_000)))
+        assert report.seconds > 0.0
+        assert report.artifact == sum(range(100_000))
+
+    def test_queries_per_budget(self):
+        assert queries_per_budget(10.0, 0.1) == pytest.approx(100.0)
+        assert queries_per_budget(10.0, 0.0) == float("inf")

@@ -1,0 +1,57 @@
+"""Tests for recall/precision/F1."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import f1_score, precision, recall, set_metrics
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert recall([1, 2], [1, 9]) == 0.5
+
+    def test_empty_truth_is_one(self):
+        assert recall([], [1, 2]) == 1.0
+
+    def test_numpy_inputs(self):
+        assert recall(np.array([1, 2]), np.array([2])) == 0.5
+
+
+class TestPrecision:
+    def test_false_positives_counted(self):
+        assert precision([1], [1, 2]) == 0.5
+
+    def test_empty_result_is_one(self):
+        assert precision([1, 2], []) == 1.0
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        r, p = recall([1, 2], [1, 9]), precision([1, 2], [1, 9])
+        assert f1_score([1, 2], [1, 9]) == pytest.approx(2 * r * p / (r + p))
+
+    def test_zero_when_disjoint(self):
+        assert f1_score([1], [2]) == 0.0
+
+
+class TestSetMetrics:
+    def test_bundle(self):
+        metrics = set_metrics([1, 2], [2, 3])
+        assert metrics["recall"] == 0.5
+        assert metrics["precision"] == 0.5
+
+
+@given(
+    st.sets(st.integers(0, 50)),
+    st.sets(st.integers(0, 50)),
+)
+def test_property_bounds_and_symmetries(truth, result):
+    r, p = recall(truth, result), precision(truth, result)
+    assert 0.0 <= r <= 1.0 and 0.0 <= p <= 1.0
+    # recall(A, B) == precision(B, A)
+    assert r == precision(result, truth)

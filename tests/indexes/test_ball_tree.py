@@ -1,0 +1,64 @@
+"""Ball-tree specifics beyond the shared protocol suite."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import BallTreeIndex, IndexCapabilityError, LinearScanIndex
+
+
+class TestStructure:
+    def test_ball_radii_cover_subtrees(self, small_gaussian):
+        index = BallTreeIndex(small_gaussian, leaf_size=8)
+
+        def collect(node):
+            if node.is_leaf:
+                return list(node.point_ids)
+            return collect(node.left) + collect(node.right)
+
+        stack = [index._root]
+        while stack:
+            node = stack.pop()
+            ids = np.asarray(collect(node), dtype=np.intp)
+            dists = index.metric.to_point(small_gaussian[ids], node.centroid)
+            assert float(dists.max()) <= node.radius + 1e-9
+            if not node.is_leaf:
+                stack.extend([node.left, node.right])
+
+    def test_duplicate_heavy_data_builds(self, duplicated_points):
+        index = BallTreeIndex(duplicated_points)
+        seen = [pid for pid, _ in index.iter_neighbors(duplicated_points[0])]
+        assert sorted(seen) == list(range(len(duplicated_points)))
+
+    def test_all_identical_points(self):
+        index = BallTreeIndex(np.ones((40, 3)))
+        ids, dists = index.knn(np.ones(3), 5)
+        assert len(ids) == 5 and np.allclose(dists, 0.0)
+
+
+class TestCapabilities:
+    def test_insert_refused(self, small_gaussian):
+        index = BallTreeIndex(small_gaussian[:20])
+        with pytest.raises(IndexCapabilityError):
+            index.insert(np.zeros(small_gaussian.shape[1]))
+
+    def test_lazy_removal(self, small_gaussian):
+        index = BallTreeIndex(small_gaussian)
+        index.remove(5)
+        reference = LinearScanIndex(small_gaussian)
+        reference.remove(5)
+        q = small_gaussian[5]
+        _, got = index.knn(q, 8)
+        _, expected = reference.knn(q, 8)
+        assert np.allclose(np.sort(got), np.sort(expected))
+        assert 5 not in [pid for pid, _ in index.iter_neighbors(q)]
+
+
+class TestWithRDT:
+    def test_rdt_exact_over_ball_tree(self, small_gaussian, naive_k5):
+        from repro.core import RDT
+
+        rdt = RDT(BallTreeIndex(small_gaussian))
+        for qi in [0, 150, 299]:
+            expected = set(naive_k5.query(query_index=qi).tolist())
+            got = set(rdt.query(query_index=qi, k=5, t=100.0).ids.tolist())
+            assert got == expected

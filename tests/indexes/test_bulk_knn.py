@@ -1,0 +1,92 @@
+"""Tests for the bulk kNN self-join used by the precomputation-heavy methods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances import get_metric
+from repro.indexes import bulk_knn, bulk_knn_distances
+
+
+def loop_reference(points, k, metric):
+    """Slow per-point reference implementation."""
+    n = len(points)
+    out = np.empty((n, k))
+    for i in range(n):
+        d = metric.to_point(points, points[i])
+        d[i] = np.inf
+        out[i] = np.sort(d)[:k]
+    return out
+
+
+class TestBulkKnnDistances:
+    def test_matches_loop_reference(self, small_gaussian):
+        metric = get_metric(None)
+        expected = loop_reference(small_gaussian, 5, metric)[:, -1]
+        got = bulk_knn_distances(small_gaussian, 5)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_chunking_invariance(self, small_gaussian):
+        # BLAS kernels differ across block shapes, so equality is only up to
+        # last-ulp noise — exactly the mismatch the tolerance policy absorbs.
+        a = bulk_knn_distances(small_gaussian, 7, chunk_size=17)
+        b = bulk_knn_distances(small_gaussian, 7, chunk_size=1024)
+        assert np.allclose(a, b, rtol=1e-12, atol=1e-12)
+
+    def test_k_equals_n_minus_one(self):
+        points = np.random.default_rng(0).normal(size=(10, 2))
+        got = bulk_knn_distances(points, 9)
+        metric = get_metric(None)
+        expected = loop_reference(points, 9, metric)[:, -1]
+        assert np.allclose(got, expected)
+
+    def test_k_too_large_raises(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            bulk_knn_distances(points, 5)
+
+    def test_non_euclidean_metric(self, tiny_plane):
+        got = bulk_knn_distances(tiny_plane, 3, metric="manhattan")
+        expected = loop_reference(tiny_plane, 3, get_metric("manhattan"))[:, -1]
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_duplicates_have_zero_knn_distance(self):
+        points = np.vstack([np.zeros((3, 2)), np.ones((2, 2))])
+        dists = bulk_knn_distances(points, 2)
+        assert dists[0] == pytest.approx(0.0)  # two other copies at distance 0
+
+
+class TestBulkKnnFull:
+    def test_ids_and_distances_consistent(self, small_gaussian):
+        ids, dists = bulk_knn(small_gaussian, 4)
+        metric = get_metric(None)
+        for i in [0, 100, 299]:
+            recomputed = metric.to_point(small_gaussian[ids[i]], small_gaussian[i])
+            assert np.allclose(recomputed, dists[i], rtol=1e-9)
+
+    def test_rows_sorted_and_self_excluded(self, small_gaussian):
+        ids, dists = bulk_knn(small_gaussian, 6)
+        assert np.all(np.diff(dists, axis=1) >= -1e-12)
+        assert not np.any(ids == np.arange(len(small_gaussian))[:, None])
+
+    def test_kth_column_matches_distances_helper(self, small_gaussian):
+        _, dists = bulk_knn(small_gaussian, 8)
+        kth = bulk_knn_distances(small_gaussian, 8)
+        assert np.allclose(dists[:, -1], kth, rtol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(st.integers(4, 40), st.integers(1, 3)),
+            elements=st.floats(min_value=-10, max_value=10),
+        ),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_property_matches_reference(self, points, k):
+        metric = get_metric(None)
+        got = bulk_knn_distances(points, k, chunk_size=7)
+        expected = loop_reference(points, k, metric)[:, -1]
+        assert np.allclose(got, expected, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,127 @@
+"""Dynamic-operation tests (insert/remove) for the indexes that support them.
+
+After any mutation sequence, the index must answer queries identically to a
+freshly built linear scan over the surviving points — the invariant RDT's
+"dynamic scenarios" use case (paper Section 1) rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.indexes import (
+    CoverTreeIndex,
+    IndexCapabilityError,
+    KDTreeIndex,
+    LinearScanIndex,
+    MTreeIndex,
+    RStarTreeIndex,
+    VPTreeIndex,
+)
+
+DYNAMIC = [LinearScanIndex, KDTreeIndex, CoverTreeIndex, MTreeIndex, RStarTreeIndex]
+
+
+def assert_same_answers(index, points, active_ids, k=5):
+    """Index answers must match a scan over the active subset."""
+    reference = LinearScanIndex(points[active_ids])
+    for qi in range(0, len(active_ids), max(1, len(active_ids) // 5)):
+        query = points[active_ids[qi]]
+        _, got = index.knn(query, min(k, len(active_ids)))
+        _, expected = reference.knn(query, min(k, len(active_ids)))
+        assert np.allclose(np.sort(got), np.sort(expected), rtol=1e-9)
+
+
+@pytest.mark.parametrize("cls", DYNAMIC, ids=lambda c: c.name)
+class TestInsert:
+    def test_insert_then_query(self, cls, rng):
+        base = rng.normal(size=(80, 3))
+        extra = rng.normal(size=(40, 3))
+        index = cls(base)
+        for row in extra:
+            index.insert(row)
+        all_points = np.vstack([base, extra])
+        assert index.size == 120
+        assert_same_answers(index, all_points, np.arange(120))
+
+    def test_insert_returns_sequential_ids(self, cls, rng):
+        index = cls(rng.normal(size=(10, 2)))
+        assert index.insert(np.zeros(2)) == 10
+        assert index.insert(np.ones(2)) == 11
+
+    def test_insert_validates_dimension(self, cls, rng):
+        index = cls(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            index.insert(np.zeros(3))
+
+
+@pytest.mark.parametrize(
+    "cls", [LinearScanIndex, KDTreeIndex, CoverTreeIndex], ids=lambda c: c.name
+)
+class TestRemove:
+    def test_remove_then_query(self, cls, rng):
+        points = rng.normal(size=(100, 3))
+        index = cls(points)
+        removed = [5, 17, 50, 99, 0]
+        for rid in removed:
+            index.remove(rid)
+        survivors = np.array([i for i in range(100) if i not in removed])
+        assert index.size == 95
+        assert_same_answers(index, points, survivors)
+
+    def test_double_remove_raises(self, cls, rng):
+        index = cls(rng.normal(size=(10, 2)))
+        index.remove(3)
+        with pytest.raises(KeyError):
+            index.remove(3)
+
+    def test_removed_point_never_reported(self, cls, rng):
+        points = rng.normal(size=(50, 2))
+        index = cls(points)
+        index.remove(7)
+        seen = [pid for pid, _ in index.iter_neighbors(points[7])]
+        assert 7 not in seen
+
+    def test_get_point_of_removed_raises(self, cls, rng):
+        index = cls(rng.normal(size=(10, 2)))
+        index.remove(1)
+        with pytest.raises(KeyError):
+            index.get_point(1)
+
+
+class TestStaticIndexRefusals:
+    def test_vp_tree_refuses_insert(self, rng):
+        index = VPTreeIndex(rng.normal(size=(30, 2)))
+        with pytest.raises(IndexCapabilityError):
+            index.insert(np.zeros(2))
+
+    def test_vp_tree_refuses_remove(self, rng):
+        index = VPTreeIndex(rng.normal(size=(30, 2)))
+        with pytest.raises(IndexCapabilityError):
+            index.remove(0)
+
+
+class TestInterleavedMutations:
+    @pytest.mark.parametrize(
+        "cls", [LinearScanIndex, KDTreeIndex, CoverTreeIndex], ids=lambda c: c.name
+    )
+    def test_random_mutation_sequence(self, cls):
+        rng = np.random.default_rng(99)
+        points = rng.normal(size=(60, 3))
+        index = cls(points)
+        alive = set(range(60))
+        store = [points[i] for i in range(60)]
+        for step in range(50):
+            if rng.random() < 0.5 and len(alive) > 10:
+                victim = int(rng.choice(sorted(alive)))
+                index.remove(victim)
+                alive.discard(victim)
+            else:
+                new_point = rng.normal(size=3)
+                new_id = index.insert(new_point)
+                assert new_id == len(store)
+                store.append(new_point)
+                alive.add(new_id)
+        all_points = np.asarray(store)
+        survivors = np.array(sorted(alive))
+        assert index.size == len(alive)
+        assert_same_answers(index, all_points, survivors, k=4)

@@ -1,0 +1,153 @@
+"""Cross-index protocol conformance tests.
+
+Every index must honour the incremental-NN contract RDT depends on:
+nondecreasing distances, completeness, agreement with brute force on kNN
+sets and range queries, and correct self-exclusion.  The suite runs the
+same assertions over every registered index and every metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distances import get_metric
+from repro.indexes import INDEX_REGISTRY, LinearScanIndex, build_index
+
+INDEX_NAMES = sorted(INDEX_REGISTRY)
+
+
+def brute_knn(points, query, k, metric, exclude=None):
+    dists = metric.to_point(points, query)
+    ids = np.arange(len(points))
+    if exclude is not None:
+        keep = ids != exclude
+        ids, dists = ids[keep], dists[keep]
+    order = np.lexsort((ids, dists))[:k]
+    return ids[order], dists[order]
+
+
+@pytest.fixture(scope="module", params=INDEX_NAMES)
+def index_and_data(request, small_gaussian):
+    return build_index(request.param, small_gaussian), small_gaussian
+
+
+class TestIncrementalOrder:
+    def test_distances_nondecreasing(self, index_and_data):
+        index, data = index_and_data
+        query = data[17]
+        last = -1.0
+        for count, (_, dist) in enumerate(index.iter_neighbors(query)):
+            assert dist >= last - 1e-12
+            last = dist
+            if count >= 120:
+                break
+
+    def test_complete_enumeration(self, index_and_data):
+        index, data = index_and_data
+        seen = [pid for pid, _ in index.iter_neighbors(data[0])]
+        assert sorted(seen) == list(range(len(data)))
+
+    def test_first_neighbor_of_member_is_itself(self, index_and_data):
+        index, data = index_and_data
+        pid, dist = next(iter(index.iter_neighbors(data[42])))
+        assert dist == pytest.approx(0.0, abs=1e-9)
+
+    def test_reported_distances_are_true_distances(self, index_and_data):
+        index, data = index_and_data
+        query = data[3]
+        for count, (pid, dist) in enumerate(index.iter_neighbors(query)):
+            true = index.metric.to_point(data[pid][None, :], query)[0]
+            assert dist == pytest.approx(true, rel=1e-9, abs=1e-12)
+            if count >= 30:
+                break
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_brute_force(self, index_and_data, k):
+        index, data = index_and_data
+        query = np.random.default_rng(5).normal(size=data.shape[1])
+        ids, dists = index.knn(query, k)
+        _, expected = brute_knn(data, query, k, index.metric)
+        assert len(ids) == k
+        assert np.allclose(np.sort(dists), np.sort(expected), rtol=1e-9)
+
+    def test_exclude_index(self, index_and_data):
+        index, data = index_and_data
+        ids, dists = index.knn(data[10], 5, exclude_index=10)
+        assert 10 not in ids
+        _, expected = brute_knn(data, data[10], 5, index.metric, exclude=10)
+        assert np.allclose(np.sort(dists), np.sort(expected), rtol=1e-9)
+
+    def test_k_larger_than_n_returns_all(self, index_and_data):
+        index, data = index_and_data
+        ids, dists = index.knn(data[0], len(data) + 50)
+        assert len(ids) == len(data)
+
+    def test_knn_distance(self, index_and_data):
+        index, data = index_and_data
+        _, expected = brute_knn(data, data[1], 7, index.metric)
+        assert index.knn_distance(data[1], 7) == pytest.approx(
+            float(expected[-1]), rel=1e-9
+        )
+
+
+class TestRangeQueries:
+    def test_range_count_matches_brute_force(self, index_and_data):
+        index, data = index_and_data
+        query = data[25]
+        dists = index.metric.to_point(data, query)
+        for radius in [0.1, 0.5, float(np.median(dists))]:
+            expected = int(np.count_nonzero(dists <= radius * (1 + 1e-9)))
+            got = index.range_count(query, radius * (1 + 1e-9))
+            assert got == expected
+
+    def test_range_search_sorted_and_complete(self, index_and_data):
+        index, data = index_and_data
+        query = data[2]
+        radius = float(np.sort(index.metric.to_point(data, query))[20])
+        ids, dists = index.range_search(query, radius * (1 + 1e-9))
+        assert np.all(np.diff(dists) >= -1e-12)
+        assert np.all(dists <= radius * (1 + 1e-6))
+        assert len(ids) >= 21  # at least the 20 nearest plus the point itself
+
+
+class TestMetricsAcrossIndexes:
+    @pytest.mark.parametrize("metric_name", ["manhattan", "chebyshev"])
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_non_euclidean_backends(self, index_name, metric_name, tiny_plane):
+        metric = get_metric(metric_name)
+        index = build_index(index_name, tiny_plane, metric=metric)
+        reference = LinearScanIndex(tiny_plane, metric=get_metric(metric_name))
+        query = tiny_plane[7]
+        _, got = index.knn(query, 8)
+        _, expected = reference.knn(query, 8)
+        assert np.allclose(np.sort(got), np.sort(expected), rtol=1e-9)
+
+
+class TestDuplicateRobustness:
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_knn_with_heavy_ties(self, index_name, duplicated_points):
+        index = build_index(index_name, duplicated_points)
+        reference = LinearScanIndex(duplicated_points)
+        query = duplicated_points[0]
+        _, got = index.knn(query, 15)
+        _, expected = reference.knn(query, 15)
+        # Distance multiset must agree even when ids are ambiguous.
+        assert np.allclose(np.sort(got), np.sort(expected))
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_iteration_complete_with_ties(self, index_name, duplicated_points):
+        index = build_index(index_name, duplicated_points)
+        seen = [pid for pid, _ in index.iter_neighbors(duplicated_points[5])]
+        assert sorted(seen) == list(range(len(duplicated_points)))
+
+
+class TestValidationAtQueryTime:
+    def test_wrong_dim_query_raises(self, index_and_data):
+        index, _ = index_and_data
+        with pytest.raises(ValueError, match="dimension"):
+            index.knn(np.zeros(index.dim + 1), 3)
+
+    def test_get_point_roundtrip(self, index_and_data):
+        index, data = index_and_data
+        assert np.array_equal(index.get_point(11), data[11])

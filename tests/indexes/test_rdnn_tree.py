@@ -1,0 +1,87 @@
+"""Tests for the RdNN-tree baseline index."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import IndexCapabilityError, RdNNTreeIndex, bulk_knn_distances
+from repro.utils.tolerance import dist_le
+
+
+def brute_rknn(points, k, query, exclude=None):
+    dk = bulk_knn_distances(points, k)
+    dists = np.linalg.norm(points - query, axis=1)
+    return {
+        i
+        for i in range(len(points))
+        if i != exclude and dist_le(float(dists[i]), float(dk[i]))
+    }
+
+
+class TestRknnQueries:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_member_queries_exact(self, small_gaussian, k):
+        tree = RdNNTreeIndex(small_gaussian, k=k)
+        for qi in [0, 77, 150, 299]:
+            got = set(tree.rknn(small_gaussian[qi], exclude_index=qi).tolist())
+            expected = brute_rknn(small_gaussian, k, small_gaussian[qi], exclude=qi)
+            assert got == expected
+
+    def test_external_queries_exact(self, small_gaussian, rng):
+        tree = RdNNTreeIndex(small_gaussian, k=5)
+        for _ in range(5):
+            q = rng.normal(size=small_gaussian.shape[1])
+            got = set(tree.rknn(q).tolist())
+            assert got == brute_rknn(small_gaussian, 5, q)
+
+    def test_clustered_data(self, medium_mixture):
+        sub = medium_mixture[:250]
+        tree = RdNNTreeIndex(sub, k=10)
+        got = set(tree.rknn(sub[3], exclude_index=3).tolist())
+        assert got == brute_rknn(sub, 10, sub[3], exclude=3)
+
+    def test_results_sorted(self, small_gaussian):
+        tree = RdNNTreeIndex(small_gaussian, k=8)
+        ids = tree.rknn(small_gaussian[0], exclude_index=0)
+        assert np.all(np.diff(ids) > 0)
+
+
+class TestConstruction:
+    def test_precomputed_distances_accepted(self, small_gaussian):
+        dk = bulk_knn_distances(small_gaussian, 5)
+        tree = RdNNTreeIndex(small_gaussian, k=5, knn_distances=dk)
+        assert np.array_equal(tree.knn_distances, dk)
+
+    def test_wrong_shape_distances_rejected(self, small_gaussian):
+        with pytest.raises(ValueError, match="one entry per point"):
+            RdNNTreeIndex(small_gaussian, k=5, knn_distances=np.zeros(3))
+
+    def test_node_aggregates_cover_points(self, small_gaussian):
+        tree = RdNNTreeIndex(small_gaussian, k=5)
+        # Every node's max_dk must bound all its points' kNN distances.
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.is_point:
+                    assert tree.knn_distances[entry.point_id] <= tree.max_dk(node) + 1e-12
+                else:
+                    assert tree.max_dk(entry.child) <= tree.max_dk(node) + 1e-12
+                    stack.append(entry.child)
+
+
+class TestStaticity:
+    def test_insert_refused(self, small_gaussian):
+        tree = RdNNTreeIndex(small_gaussian[:50], k=3)
+        with pytest.raises(IndexCapabilityError, match="static"):
+            tree.insert(np.zeros(small_gaussian.shape[1]))
+
+    def test_remove_refused(self, small_gaussian):
+        tree = RdNNTreeIndex(small_gaussian[:50], k=3)
+        with pytest.raises(IndexCapabilityError):
+            tree.remove(0)
+
+    def test_forward_knn_still_available(self, small_gaussian):
+        tree = RdNNTreeIndex(small_gaussian[:100], k=3)
+        ids, dists = tree.knn(small_gaussian[0], 5)
+        assert len(ids) == 5
+        assert dists[0] == pytest.approx(0.0, abs=1e-9)

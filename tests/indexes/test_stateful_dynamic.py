@@ -1,0 +1,71 @@
+"""Stateful property test: dynamic indexes vs a reference model.
+
+A hypothesis rule machine drives a random interleaving of inserts, removes
+and queries against a cover tree and a KD-tree simultaneously, comparing
+every query against a brute-force model over the surviving points.  This is
+the strongest correctness net for the mutation code paths RDT's dynamic
+use-cases rely on.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.indexes import CoverTreeIndex, KDTreeIndex
+
+DIM = 3
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.rng = np.random.default_rng(1234)
+        seed_points = self.rng.normal(size=(5, DIM))
+        self.points = [row for row in seed_points]
+        self.alive = set(range(5))
+        self.cover = CoverTreeIndex(seed_points)
+        self.kd = KDTreeIndex(seed_points, leaf_size=4)
+
+    @rule(coord=st.floats(min_value=-5, max_value=5))
+    def insert_point(self, coord):
+        point = self.rng.normal(size=DIM) + coord
+        expected_id = len(self.points)
+        assert self.cover.insert(point) == expected_id
+        assert self.kd.insert(point) == expected_id
+        self.points.append(point)
+        self.alive.add(expected_id)
+
+    @precondition(lambda self: len(self.alive) > 2)
+    @rule(which=st.integers(min_value=0, max_value=10**6))
+    def remove_point(self, which):
+        victim = sorted(self.alive)[which % len(self.alive)]
+        self.cover.remove(victim)
+        self.kd.remove(victim)
+        self.alive.discard(victim)
+
+    @rule(k=st.integers(min_value=1, max_value=4))
+    def query_matches_model(self, k):
+        query = self.rng.normal(size=DIM)
+        alive = sorted(self.alive)
+        coords = np.asarray([self.points[i] for i in alive])
+        dists = np.linalg.norm(coords - query, axis=1)
+        expected = np.sort(dists)[: min(k, len(alive))]
+        for index in (self.cover, self.kd):
+            _, got = index.knn(query, k)
+            assert np.allclose(np.sort(got), expected, rtol=1e-9), index.name
+
+    @invariant()
+    def sizes_agree(self):
+        assert self.cover.size == len(self.alive)
+        assert self.kd.size == len(self.alive)
+
+    @invariant()
+    def cover_tree_structure_sound(self):
+        self.cover.check_invariants()
+
+
+DynamicIndexMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None, derandomize=True
+)
+TestDynamicIndexes = DynamicIndexMachine.TestCase

@@ -1,0 +1,146 @@
+"""Structural-invariant tests for the tree indexes.
+
+Each tree exposes ``check_invariants`` validating the properties its search
+bounds rely on (covering radii, MBR containment, maxdist caches); these
+tests exercise the checks across builds, mutations, and adversarial data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.indexes import CoverTreeIndex, MTreeIndex, RStarTreeIndex
+
+
+class TestCoverTreeInvariants:
+    def test_after_build(self, medium_mixture):
+        CoverTreeIndex(medium_mixture[:300]).check_invariants()
+
+    def test_after_inserts(self, rng):
+        index = CoverTreeIndex(rng.normal(size=(50, 3)))
+        for row in rng.normal(size=(100, 3)):
+            index.insert(row)
+        index.check_invariants()
+
+    def test_after_removals(self, rng):
+        index = CoverTreeIndex(rng.normal(size=(120, 3)))
+        for victim in [0, 30, 60, 90, 119, 1, 2]:
+            index.remove(victim)
+        index.check_invariants()
+
+    def test_remove_root_point(self, rng):
+        points = rng.normal(size=(40, 2))
+        index = CoverTreeIndex(points)
+        root_id = index._root.point_id
+        index.remove(root_id)
+        index.check_invariants()
+        seen = [pid for pid, _ in index.iter_neighbors(points[root_id])]
+        assert root_id not in seen and len(seen) == 39
+
+    def test_remove_all_points(self, rng):
+        points = rng.normal(size=(10, 2))
+        index = CoverTreeIndex(points)
+        for i in range(10):
+            index.remove(i)
+        index.check_invariants()
+        assert list(index.iter_neighbors(points[0])) == []
+
+    def test_single_point_tree(self):
+        index = CoverTreeIndex(np.array([[1.0, 2.0]]))
+        index.check_invariants()
+        assert next(iter(index.iter_neighbors(np.zeros(2))))[0] == 0
+
+    def test_duplicates(self, duplicated_points):
+        index = CoverTreeIndex(duplicated_points)
+        index.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=2, max_value=60), st.integers(2, 4)
+            ),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    def test_property_random_builds(self, points):
+        CoverTreeIndex(points).check_invariants()
+
+
+class TestMTreeInvariants:
+    def test_after_build_small_capacity(self, medium_mixture):
+        # Small capacity forces many splits, including root splits.
+        index = MTreeIndex(medium_mixture[:250], capacity=4)
+        index.check_invariants()
+
+    def test_after_inserts(self, rng):
+        index = MTreeIndex(rng.normal(size=(30, 3)), capacity=5)
+        for row in rng.normal(size=(150, 3)):
+            index.insert(row)
+        index.check_invariants()
+
+    def test_duplicates(self, duplicated_points):
+        MTreeIndex(duplicated_points, capacity=4).check_invariants()
+
+    def test_capacity_floor(self, rng):
+        with pytest.raises(ValueError, match="capacity"):
+            MTreeIndex(rng.normal(size=(10, 2)), capacity=2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(st.integers(5, 80), st.integers(1, 3)),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    def test_property_random_builds(self, points):
+        MTreeIndex(points, capacity=4).check_invariants()
+
+
+class TestRStarTreeInvariants:
+    def test_bulk_load(self, medium_mixture):
+        RStarTreeIndex(medium_mixture[:500], capacity=8).check_invariants()
+
+    def test_incremental_build(self, medium_mixture):
+        RStarTreeIndex(
+            medium_mixture[:200], capacity=8, bulk_load=False
+        ).check_invariants()
+
+    def test_bulk_and_incremental_answer_identically(self, rng):
+        points = rng.normal(size=(150, 3))
+        bulk = RStarTreeIndex(points, capacity=8, bulk_load=True)
+        incr = RStarTreeIndex(points, capacity=8, bulk_load=False)
+        query = points[13]
+        _, d1 = bulk.knn(query, 12)
+        _, d2 = incr.knn(query, 12)
+        assert np.allclose(np.sort(d1), np.sort(d2))
+
+    def test_inserts_force_reinsert_and_splits(self, rng):
+        index = RStarTreeIndex(rng.normal(size=(5, 2)), capacity=4, bulk_load=False)
+        for row in rng.normal(size=(200, 2)):
+            index.insert(row)
+        index.check_invariants()
+        assert index._height > 1
+
+    def test_duplicates(self, duplicated_points):
+        RStarTreeIndex(duplicated_points, capacity=4).check_invariants()
+
+    def test_capacity_floor(self, rng):
+        with pytest.raises(ValueError, match="capacity"):
+            RStarTreeIndex(rng.normal(size=(10, 2)), capacity=3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(st.integers(5, 100), st.integers(1, 4)),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    def test_property_random_incremental_builds(self, points):
+        index = RStarTreeIndex(points, capacity=4, bulk_load=False)
+        index.check_invariants()

@@ -1,0 +1,146 @@
+"""Cross-module integration tests.
+
+These tie the whole system together the way the paper's experiments do:
+every method answering the same workload over the same stand-in dataset,
+with exact configurations agreeing on the exact answer and approximate
+configurations showing the documented quality/cost behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SFT, TPL, MRkNNCoP, RdNN
+from repro.core import RDT, AdaptiveRDT, suggest_scale
+from repro.datasets import load_standin
+from repro.evaluation import GroundTruth, run_method, sample_query_indices
+from repro.indexes import (
+    CoverTreeIndex,
+    LinearScanIndex,
+    RdNNTreeIndex,
+    RStarTreeIndex,
+)
+
+
+@pytest.fixture(scope="module")
+def fct_workload():
+    data = load_standin("fct", n=600, seed=9)
+    truth = GroundTruth(data)
+    queries = sample_query_indices(len(data), 12, seed=1)
+    return data, truth, queries
+
+
+K = 10
+
+
+class TestAllMethodsAgreeExactly:
+    def test_exact_methods_identical_answers(self, fct_workload):
+        data, truth, queries = fct_workload
+        index = LinearScanIndex(data)
+        methods = {
+            "rdt-huge-t": lambda qi: RDT(index).query(query_index=qi, k=K, t=100.0),
+            "mrknncop": lambda qi, cop=MRkNNCoP(data, k_max=K): cop.query(
+                query_index=qi, k=K
+            ),
+            "rdnn": lambda qi, rd=RdNN(RdNNTreeIndex(data, k=K)): rd.query(
+                query_index=qi
+            ),
+            "tpl": lambda qi, tpl=TPL(RStarTreeIndex(data)): tpl.query(
+                query_index=qi, k=K
+            ),
+            "sft-full": lambda qi, sft=SFT(index): sft.query(
+                query_index=qi, k=K, alpha=len(data) / K
+            ),
+        }
+        for name, query_fn in methods.items():
+            run = run_method(name, query_fn, queries, truth, k=K)
+            assert run.mean_recall == 1.0, name
+            assert run.mean_precision == 1.0, name
+
+    def test_backends_agree_for_rdt(self, fct_workload):
+        data, truth, queries = fct_workload
+        for index in (LinearScanIndex(data), CoverTreeIndex(data)):
+            rdt = RDT(index)
+            run = run_method(
+                f"rdt-{index.name}",
+                lambda qi: rdt.query(query_index=qi, k=K, t=50.0),
+                queries,
+                truth,
+                k=K,
+            )
+            assert run.mean_recall == 1.0
+
+
+class TestEstimatorDrivenConfiguration:
+    def test_suggested_scale_gives_high_recall(self, fct_workload):
+        """The paper's RDT+(MLE) configuration: t from the estimator."""
+        data, truth, queries = fct_workload
+        t = suggest_scale(data, method="mle", k=50)
+        rdtp = RDT(LinearScanIndex(data), variant="rdt+")
+        run = run_method(
+            "rdt+(mle)",
+            lambda qi: rdtp.query(query_index=qi, k=K, t=t),
+            queries,
+            truth,
+            k=K,
+        )
+        assert run.mean_recall >= 0.9
+
+    def test_adaptive_matches_estimator_quality(self, fct_workload):
+        data, truth, queries = fct_workload
+        adaptive = AdaptiveRDT(LinearScanIndex(data))
+        run = run_method(
+            "adaptive",
+            lambda qi: adaptive.query(query_index=qi, k=K),
+            queries,
+            truth,
+            k=K,
+        )
+        assert run.mean_recall >= 0.9
+
+
+class TestCostShape:
+    def test_rdt_examines_fewer_points_than_scan(self, fct_workload):
+        """The dimensional test must stop well short of the dataset."""
+        data, _, queries = fct_workload
+        rdt = RDT(LinearScanIndex(data))
+        retrieved = [
+            rdt.query(query_index=int(qi), k=K, t=4.0).stats.num_retrieved
+            for qi in queries
+        ]
+        assert np.mean(retrieved) < 0.8 * len(data)
+
+    def test_witnesses_suppress_verifications(self, fct_workload):
+        """Most candidates are resolved lazily, not by kNN queries (§8.2)."""
+        data, _, queries = fct_workload
+        rdt = RDT(LinearScanIndex(data))
+        stats = [rdt.query(query_index=int(qi), k=K, t=6.0).stats for qi in queries]
+        verified = sum(s.num_verified for s in stats)
+        generated = sum(s.num_generated for s in stats)
+        assert verified < 0.2 * generated
+
+    def test_preprocessing_gap(self, fct_workload):
+        """MRkNNCoP's build cost dwarfs RDT's (the Figure 9 story)."""
+        import time
+
+        data, _, _ = fct_workload
+        start = time.perf_counter()
+        LinearScanIndex(data)
+        rdt_build = time.perf_counter() - start
+        cop = MRkNNCoP(data, k_max=50)
+        assert cop.preprocessing_seconds > 5 * rdt_build
+
+
+class TestMetricGenerality:
+    @pytest.mark.parametrize("metric", ["manhattan", "chebyshev"])
+    def test_rdt_exact_under_other_metrics(self, metric):
+        data = load_standin("sequoia", n=400, seed=2)
+        truth = GroundTruth(data, metric=metric)
+        rdt = RDT(LinearScanIndex(data, metric=metric))
+        run = run_method(
+            f"rdt-{metric}",
+            lambda qi: rdt.query(query_index=qi, k=5, t=100.0),
+            [0, 100, 399],
+            truth,
+            k=5,
+        )
+        assert run.mean_recall == 1.0 and run.mean_precision == 1.0

@@ -1,0 +1,44 @@
+"""Smoke coverage for the runnable examples.
+
+The full examples take minutes; here we compile all of them and execute the
+quickstart end-to-end (it is the one a new user will copy-paste first).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {path.stem for path in ALL_EXAMPLES}
+    assert {
+        "quickstart",
+        "outlier_detection",
+        "hubness_analysis",
+        "streaming_updates",
+        "bichromatic_services",
+        "scale_parameter_study",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "RDT+" in completed.stdout
+    assert "recall=1.00" in completed.stdout

@@ -1,0 +1,28 @@
+"""Tests for the estimator registry/dispatch."""
+
+import pytest
+
+from repro.datasets import uniform_hypercube
+from repro.lid import ESTIMATORS, estimate_id
+
+
+class TestDispatch:
+    def test_registry_complete(self):
+        assert set(ESTIMATORS) == {"mle", "gp", "takens"}
+
+    @pytest.mark.parametrize("method", sorted(ESTIMATORS))
+    def test_dispatch_matches_direct_call(self, method):
+        data = uniform_hypercube(600, 3, seed=0)
+        assert estimate_id(data, method=method, seed=1) == ESTIMATORS[method](
+            data, seed=1
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            estimate_id(uniform_hypercube(10, 2, seed=0), method="two-nn")
+
+    def test_kwargs_forwarded(self):
+        data = uniform_hypercube(800, 2, seed=0)
+        a = estimate_id(data, method="mle", k=20, seed=0)
+        b = estimate_id(data, method="mle", k=100, seed=0)
+        assert a != b  # different neighborhood sizes, different estimates

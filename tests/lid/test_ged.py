@@ -1,0 +1,89 @@
+"""Tests for the generalized expansion dimension and MaxGED."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lid import ged, max_ged, max_ged_for_query
+
+
+class TestGed:
+    def test_formula_by_hand(self):
+        # Doubling the radius quadruples the count: dimension 2.
+        assert ged(1.0, 4, 2.0, 16) == pytest.approx(2.0)
+
+    def test_expansion_dimension_special_case(self):
+        # Karger-Ruhl expansion: r2 = 2 r1; count ratio 2^d.
+        assert ged(0.5, 3, 1.0, 24) == pytest.approx(3.0)
+
+    def test_equal_counts_give_zero(self):
+        assert ged(1.0, 5, 3.0, 5) == 0.0
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError):
+            ged(2.0, 1, 1.0, 2)
+        with pytest.raises(ValueError):
+            ged(0.0, 1, 1.0, 2)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            ged(1.0, 0, 2.0, 2)
+        with pytest.raises(ValueError):
+            ged(1.0, 5, 2.0, 4)
+
+
+class TestMaxGed:
+    def test_uniform_line_close_to_one(self):
+        """Evenly spaced points on a line expand one-dimensionally."""
+        data = np.linspace(0, 1, 200)[:, None]
+        value = max_ged(data, k=5)
+        # Boundary effects push above 1, but nowhere near 2.
+        assert 0.9 <= value <= 2.0
+
+    def test_hand_computed_tiny_case(self):
+        # Points at 0, 1, 10 on a line; k=1.
+        # Center 0: sorted dists [0, 1, 10]; d1=0 -> skipped (zero radius uses
+        # next center logic), actually d_k with k=1 is 0 (self) -> contributes 0.
+        # With k=2: center 0 has dk=1 (count 2), outer s=3: d=10 count 3:
+        # ged = ln(3/2)/ln(10).
+        data = np.array([[0.0], [1.0], [10.0]])
+        expected_center0 = np.log(3 / 2) / np.log(10 / 1)
+        # Center 1: dists sorted [0,1,9]: dk=1 count 2, outer d=9 count 3.
+        expected_center1 = np.log(3 / 2) / np.log(9 / 1)
+        # Center 10: dists [0,9,10]: dk=9 count 2, outer 10 count 3.
+        expected_center2 = np.log(3 / 2) / np.log(10 / 9)
+        expected = max(expected_center0, expected_center1, expected_center2)
+        assert max_ged(data, k=2) == pytest.approx(expected)
+
+    def test_ties_use_physical_counts(self):
+        # Four corners of a square + center: ties everywhere must not crash
+        # and counts must include all tied points.
+        data = np.array([[0, 0], [1, 0], [0, 1], [1, 1], [0.5, 0.5]], dtype=float)
+        value = max_ged(data, k=2)
+        assert np.isfinite(value) and value >= 0
+
+    def test_duplicates_handled(self):
+        data = np.vstack([np.zeros((5, 2)), np.ones((5, 2)), np.eye(2) * 7])
+        value = max_ged(data, k=2)
+        assert np.isfinite(value)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            max_ged(np.zeros((5, 2)) + np.arange(5)[:, None], k=6)
+
+    def test_query_augmentation(self):
+        data = np.random.default_rng(0).normal(size=(50, 2))
+        base = max_ged(data, k=3)
+        outlier_query = np.array([100.0, 100.0])
+        augmented = max_ged_for_query(data, outlier_query, k=3)
+        # Adding a far outlier can only reveal more expansion, never less.
+        assert augmented >= base - 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_nonnegative_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(rng.integers(5, 60), rng.integers(1, 4)))
+        value = max_ged(data, k=2)
+        assert np.isfinite(value) and value >= 0.0

@@ -1,0 +1,64 @@
+"""Tests for the Grassberger–Procaccia correlation-dimension estimator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_hypercube
+from repro.lid import correlation_integral, estimate_id_gp, pairwise_sample_distances
+
+
+class TestCorrelationIntegral:
+    def test_counts_fraction_below_radius(self):
+        dists = np.array([0.1, 0.2, 0.3, 0.4])
+        c = correlation_integral(dists, np.array([0.25]))
+        assert c[0] == pytest.approx(0.5)
+
+    def test_strictly_below(self):
+        # Heaviside H(r - d) with H(0) = 1 means d < r counts; we use
+        # side='left' searching, so d == r does not count.
+        dists = np.array([0.5, 0.5])
+        assert correlation_integral(dists, np.array([0.5]))[0] == 0.0
+
+    def test_monotone_in_radius(self):
+        rng = np.random.default_rng(0)
+        dists = rng.uniform(size=500)
+        radii = np.linspace(0.05, 1.0, 10)
+        c = correlation_integral(dists, radii)
+        assert np.all(np.diff(c) >= 0)
+
+
+class TestPairwiseSample:
+    def test_condensed_size(self):
+        data = uniform_hypercube(50, 2, seed=0)
+        dists = pairwise_sample_distances(data, sample_size=100)
+        assert dists.shape == (50 * 49 // 2,)
+
+    def test_sampling_caps_size(self):
+        data = uniform_hypercube(500, 2, seed=0)
+        dists = pairwise_sample_distances(data, sample_size=40)
+        assert dists.shape == (40 * 39 // 2,)
+
+
+class TestGPEstimates:
+    @pytest.mark.parametrize("dim", [1, 2, 4])
+    def test_recovers_hypercube_dimension(self, dim):
+        data = uniform_hypercube(2500, dim, seed=dim)
+        estimate = estimate_id_gp(data, sample_size=1500)
+        assert estimate == pytest.approx(dim, rel=0.3)
+
+    def test_degenerate_data_gives_nan(self):
+        assert np.isnan(estimate_id_gp(np.zeros((100, 3))))
+
+    def test_deterministic_under_seed(self):
+        data = uniform_hypercube(800, 3, seed=0)
+        assert estimate_id_gp(data, seed=3) == estimate_id_gp(data, seed=3)
+
+    def test_scale_invariance(self):
+        data = uniform_hypercube(1200, 3, seed=1)
+        a = estimate_id_gp(data, seed=0)
+        b = estimate_id_gp(data * 1000.0, seed=0)
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_n_radii_validated(self):
+        with pytest.raises(ValueError):
+            estimate_id_gp(uniform_hypercube(50, 2, seed=0), n_radii=0)

@@ -1,0 +1,97 @@
+"""Tests for the Hill/MLE estimator of local intrinsic dimensionality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import uniform_hypercube
+from repro.lid import estimate_id_mle, hill_estimator
+
+
+class TestHillEstimator:
+    def test_closed_form_by_hand(self):
+        # distances d, w: ID = -1 / mean(ln(d_i / w))
+        dists = np.array([0.5, 1.0, 2.0])
+        expected = -1.0 / np.mean(np.log(dists / 2.0))
+        assert hill_estimator(dists) == pytest.approx(expected)
+
+    def test_explicit_w(self):
+        dists = np.array([0.5, 1.0])
+        expected = -1.0 / np.mean(np.log(dists / 4.0))
+        assert hill_estimator(dists, w=4.0) == pytest.approx(expected)
+
+    def test_scale_invariance(self):
+        """LID is scale-free: multiplying all distances changes nothing."""
+        rng = np.random.default_rng(0)
+        dists = rng.uniform(0.1, 1.0, size=50)
+        assert hill_estimator(dists) == pytest.approx(hill_estimator(dists * 37.0))
+
+    def test_power_law_recovery(self):
+        """Distances with F(r) ~ r^m give ID ~ m."""
+        rng = np.random.default_rng(1)
+        for m in (1.0, 3.0, 7.0):
+            # Inverse-CDF sampling of r in (0, 1] with F(r) = r^m.
+            dists = rng.uniform(size=20_000) ** (1.0 / m)
+            assert hill_estimator(dists, w=1.0) == pytest.approx(m, rel=0.05)
+
+    def test_zero_distances_dropped(self):
+        dists = np.array([0.0, 0.0, 0.5, 1.0])
+        expected = hill_estimator(np.array([0.5, 1.0]))
+        assert hill_estimator(dists) == pytest.approx(expected)
+
+    def test_degenerate_inputs_give_nan(self):
+        assert np.isnan(hill_estimator(np.array([])))
+        assert np.isnan(hill_estimator(np.array([0.0, 0.0])))
+        assert np.isnan(hill_estimator(np.array([1.0, 1.0])))  # no growth info
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            hill_estimator(np.ones((3, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1e6), min_size=3, max_size=100
+        )
+    )
+    def test_property_positive_or_nan(self, dists):
+        value = hill_estimator(np.asarray(dists))
+        assert np.isnan(value) or value > 0
+
+
+class TestDatasetLevelMLE:
+    @pytest.mark.parametrize("dim", [1, 2, 5])
+    def test_recovers_hypercube_dimension(self, dim):
+        data = uniform_hypercube(3000, dim, seed=dim)
+        estimate = estimate_id_mle(data, k=100, seed=0)
+        assert estimate == pytest.approx(dim, rel=0.25)
+
+    def test_representational_dim_irrelevant(self):
+        """A 2-manifold in 30-D must read ~2, not ~30."""
+        rng = np.random.default_rng(5)
+        latent = rng.uniform(size=(2000, 2))
+        basis, _ = np.linalg.qr(rng.normal(size=(30, 30)))
+        data = latent @ basis[:2]
+        assert estimate_id_mle(data, k=100) == pytest.approx(2.0, rel=0.25)
+
+    def test_deterministic_under_seed(self):
+        data = uniform_hypercube(800, 3, seed=0)
+        assert estimate_id_mle(data, seed=7) == estimate_id_mle(data, seed=7)
+
+    def test_all_duplicates_give_nan(self):
+        assert np.isnan(estimate_id_mle(np.zeros((300, 4)), k=10))
+
+    def test_k_clamped_to_dataset(self):
+        data = uniform_hypercube(30, 2, seed=0)
+        estimate = estimate_id_mle(data, k=100)  # k > n: clamp, don't raise
+        assert np.isfinite(estimate)
+
+    def test_rejects_tiny_neighborhoods(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            estimate_id_mle(np.array([[0.0], [1.0]]), k=1)
+
+    def test_sample_fraction_validated(self):
+        data = uniform_hypercube(100, 2, seed=0)
+        with pytest.raises(ValueError):
+            estimate_id_mle(data, sample_fraction=0.0)

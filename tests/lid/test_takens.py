@@ -1,0 +1,54 @@
+"""Tests for the Takens correlation-dimension estimator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_hypercube
+from repro.lid import estimate_id_takens, takens_from_distances
+
+
+class TestTakensFromDistances:
+    def test_closed_form_by_hand(self):
+        dists = np.array([0.25, 0.5])
+        expected = -1.0 / np.mean(np.log(dists / 1.0))
+        assert takens_from_distances(dists, r=1.0) == pytest.approx(expected)
+
+    def test_only_pairs_below_threshold_used(self):
+        dists = np.array([0.25, 0.5, 5.0, 9.0])
+        assert takens_from_distances(dists, r=1.0) == pytest.approx(
+            takens_from_distances(np.array([0.25, 0.5]), r=1.0)
+        )
+
+    def test_power_law_recovery(self):
+        rng = np.random.default_rng(2)
+        for m in (2.0, 5.0):
+            dists = rng.uniform(size=50_000) ** (1.0 / m)
+            assert takens_from_distances(dists, r=1.0) == pytest.approx(m, rel=0.05)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError, match="positive"):
+            takens_from_distances(np.array([0.1]), r=0.0)
+
+    def test_degenerate_gives_nan(self):
+        assert np.isnan(takens_from_distances(np.array([]), r=1.0))
+        assert np.isnan(takens_from_distances(np.array([0.0, 0.0]), r=1.0))
+
+
+class TestDatasetLevelTakens:
+    @pytest.mark.parametrize("dim", [1, 2, 4])
+    def test_recovers_hypercube_dimension(self, dim):
+        data = uniform_hypercube(2500, dim, seed=dim)
+        estimate = estimate_id_takens(data, sample_size=1500)
+        assert estimate == pytest.approx(dim, rel=0.35)
+
+    def test_r_quantile_validated(self):
+        data = uniform_hypercube(100, 2, seed=0)
+        with pytest.raises(ValueError, match="r_quantile"):
+            estimate_id_takens(data, r_quantile=1.5)
+
+    def test_degenerate_data_gives_nan(self):
+        assert np.isnan(estimate_id_takens(np.zeros((100, 2))))
+
+    def test_deterministic_under_seed(self):
+        data = uniform_hypercube(700, 3, seed=0)
+        assert estimate_id_takens(data, seed=1) == estimate_id_takens(data, seed=1)

@@ -1,0 +1,66 @@
+"""Tests for the reverse-kNN self-join."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRkNN
+from repro.indexes import LinearScanIndex
+from repro.mining import rknn_self_join
+
+
+class TestJoinCorrectness:
+    def test_matches_naive_at_large_t(self, small_gaussian, naive_k5):
+        join = rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=100.0)
+        for qi in range(0, 300, 37):
+            expected = naive_k5.query(query_index=qi)
+            assert np.array_equal(join.neighborhoods[qi], expected)
+
+    def test_covers_all_active_points(self, small_gaussian):
+        join = rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=4.0)
+        assert set(join.neighborhoods) == set(range(len(small_gaussian)))
+
+    def test_subset_of_points(self, small_gaussian):
+        join = rknn_self_join(
+            LinearScanIndex(small_gaussian), k=5, t=4.0, point_ids=[3, 7]
+        )
+        assert set(join.neighborhoods) == {3, 7}
+
+    def test_respects_removals(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian)
+        index.remove(0)
+        join = rknn_self_join(index, k=5, t=100.0)
+        assert 0 not in join.neighborhoods
+        assert all(0 not in ids for ids in join.neighborhoods.values())
+
+
+class TestJoinOutputs:
+    def test_counts_and_array_consistent(self, small_gaussian):
+        join = rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=6.0)
+        counts = join.counts()
+        array = join.count_array()
+        for pid, count in counts.items():
+            assert array[pid] == count
+
+    def test_degree_sum_identity(self, small_gaussian):
+        """Sum of in-degrees equals sum of out-degrees (= ~ k * n)."""
+        join = rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=100.0)
+        total_in = sum(join.counts().values())
+        # Out-degree is k per point except for boundary ties.
+        assert total_in >= 5 * len(small_gaussian)
+        assert total_in <= 5.5 * len(small_gaussian)
+
+    def test_totals_aggregate(self, small_gaussian):
+        join = rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=4.0)
+        assert join.totals.num_retrieved >= len(small_gaussian)
+        assert join.totals.num_distance_calls > 0
+        assert join.totals.total_seconds > 0
+
+
+class TestJoinValidation:
+    def test_invalid_parameters(self, small_gaussian):
+        with pytest.raises(ValueError):
+            rknn_self_join(LinearScanIndex(small_gaussian), k=0, t=1.0)
+        with pytest.raises(ValueError):
+            rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=-1.0)
+        with pytest.raises(ValueError):
+            rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=2.0, variant="x")

@@ -1,0 +1,82 @@
+"""Tests for ODIN outlier scoring and influence sets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_mixture
+from repro.indexes import LinearScanIndex
+from repro.mining import influence_set, odin_outliers, odin_scores
+
+
+@pytest.fixture(scope="module")
+def contaminated():
+    rng = np.random.default_rng(3)
+    inliers = gaussian_mixture(400, dim=4, n_clusters=3, separation=5.0, seed=3)
+    directions = rng.normal(size=(10, 4))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    outliers = directions * 40.0
+    data = np.vstack([inliers, outliers])
+    return data, set(range(400, 410))
+
+
+class TestOdinScores:
+    def test_outliers_score_low(self, contaminated):
+        data, outlier_ids = contaminated
+        scores = odin_scores(LinearScanIndex(data), k=8, t=6.0)
+        inlier_mean = scores[: 400].mean()
+        outlier_mean = scores[400:].mean()
+        assert outlier_mean < 0.5 * inlier_mean
+
+    def test_scores_are_in_degrees(self, contaminated):
+        data, _ = contaminated
+        from repro.baselines import NaiveRkNN
+
+        scores = odin_scores(LinearScanIndex(data), k=8, t=100.0)
+        naive = NaiveRkNN(data, k=8)
+        for qi in [0, 100, 405]:
+            assert scores[qi] == len(naive.query(query_index=qi))
+
+
+class TestOdinOutliers:
+    def test_threshold_rule(self, contaminated):
+        data, outlier_ids = contaminated
+        flagged = set(
+            odin_outliers(LinearScanIndex(data), k=8, t=6.0, threshold=2.0).tolist()
+        )
+        assert len(outlier_ids & flagged) >= 8  # most planted outliers found
+
+    def test_fraction_rule_size(self, contaminated):
+        data, _ = contaminated
+        flagged = odin_outliers(LinearScanIndex(data), k=8, t=6.0, fraction=0.05)
+        assert flagged.shape[0] == round(0.05 * len(data))
+
+    def test_requires_exactly_one_rule(self, contaminated):
+        data, _ = contaminated
+        index = LinearScanIndex(data)
+        with pytest.raises(ValueError, match="exactly one"):
+            odin_outliers(index, k=8, t=6.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            odin_outliers(index, k=8, t=6.0, threshold=1.0, fraction=0.1)
+
+    def test_fraction_validated(self, contaminated):
+        data, _ = contaminated
+        with pytest.raises(ValueError, match="fraction"):
+            odin_outliers(LinearScanIndex(data), k=8, t=6.0, fraction=1.5)
+
+
+class TestInfluenceSet:
+    def test_matches_rknn(self, contaminated):
+        data, _ = contaminated
+        from repro.baselines import NaiveRkNN
+
+        index = LinearScanIndex(data)
+        naive = NaiveRkNN(data, k=8)
+        got = influence_set(index, point_id=7, k=8, t=100.0)
+        assert np.array_equal(got, naive.query(query_index=7))
+
+    def test_isolated_point_influences_nothing(self, contaminated):
+        data, _ = contaminated
+        index = LinearScanIndex(data)
+        # A far outlier should be in (almost) no one's neighborhood.
+        influence = influence_set(index, point_id=405, k=8, t=100.0)
+        assert influence.shape[0] <= 2

@@ -1,0 +1,101 @@
+"""Unit and property tests for the priority-queue helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.priority_queue import KSmallestKeeper, MinPriorityQueue
+
+
+class TestMinPriorityQueue:
+    def test_pops_in_priority_order(self):
+        q = MinPriorityQueue()
+        for p in [3.0, 1.0, 2.0]:
+            q.push(p, f"item{p}")
+        assert [q.pop()[0] for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_fifo_on_ties(self):
+        q = MinPriorityQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_payloads_need_not_be_comparable(self):
+        q = MinPriorityQueue()
+        q.push(1.0, {"a": 1})
+        q.push(1.0, {"b": 2})  # dicts are not orderable; must not raise
+        assert q.pop()[1] == {"a": 1}
+
+    def test_peek_does_not_remove(self):
+        q = MinPriorityQueue()
+        q.push(2.0, "x")
+        assert q.peek() == (2.0, "x")
+        assert len(q) == 1
+
+    def test_len_and_bool(self):
+        q = MinPriorityQueue()
+        assert not q
+        q.push(1.0, None)
+        assert q and len(q) == 1
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=200))
+    def test_property_pops_sorted(self, priorities):
+        q = MinPriorityQueue()
+        for p in priorities:
+            q.push(p, None)
+        popped = [q.pop()[0] for _ in range(len(priorities))]
+        assert popped == sorted(priorities)
+
+
+class TestKSmallestKeeper:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KSmallestKeeper(0)
+
+    def test_keeps_k_smallest(self):
+        keeper = KSmallestKeeper(3)
+        for key in [5.0, 1.0, 4.0, 2.0, 3.0]:
+            keeper.push(key, key)
+        assert [key for key, _ in keeper.items_sorted()] == [1.0, 2.0, 3.0]
+
+    def test_bound_is_inf_until_full(self):
+        keeper = KSmallestKeeper(2)
+        keeper.push(1.0, None)
+        assert keeper.bound() == float("inf")
+        keeper.push(2.0, None)
+        assert keeper.bound() == 2.0
+
+    def test_push_reports_retention(self):
+        keeper = KSmallestKeeper(1)
+        assert keeper.push(2.0, "a") is True
+        assert keeper.push(3.0, "b") is False
+        assert keeper.push(1.0, "c") is True
+
+    def test_is_full(self):
+        keeper = KSmallestKeeper(2)
+        assert not keeper.is_full()
+        keeper.push(1.0, None)
+        keeper.push(2.0, None)
+        assert keeper.is_full()
+
+    def test_iteration_matches_items_sorted(self):
+        keeper = KSmallestKeeper(4)
+        for key in [9.0, 7.0, 8.0]:
+            keeper.push(key, str(key))
+        assert list(keeper) == keeper.items_sorted()
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=300
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_property_matches_numpy_partition(self, keys, k):
+        keeper = KSmallestKeeper(k)
+        for key in keys:
+            keeper.push(key, None)
+        kept = sorted(key for key, _ in keeper.items_sorted())
+        expected = sorted(keys)[: min(k, len(keys))]
+        assert np.allclose(kept, expected)

@@ -1,0 +1,30 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng
+
+
+def test_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_int_is_deterministic():
+    a = ensure_rng(42).normal(size=5)
+    b = ensure_rng(42).normal(size=5)
+    assert np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_numpy_integer_accepted():
+    assert isinstance(ensure_rng(np.int32(7)), np.random.Generator)
+
+
+def test_rejects_strings():
+    with pytest.raises(TypeError):
+        ensure_rng("seed")

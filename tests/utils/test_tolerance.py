@@ -1,0 +1,63 @@
+"""Unit tests for the distance-comparison tolerance policy."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.tolerance import DIST_ATOL, DIST_RTOL, dist_le, dist_lt, inflate
+
+
+class TestDistLe:
+    def test_exact_equality(self):
+        assert dist_le(1.0, 1.0)
+
+    def test_last_ulp_noise_accepted(self):
+        b = 0.12345678901234
+        a = b * (1 + 1e-15)  # same quantity from another kernel
+        assert dist_le(a, b)
+
+    def test_clear_violation_rejected(self):
+        assert not dist_le(1.001, 1.0)
+
+    def test_zero_boundary(self):
+        assert dist_le(0.0, 0.0)
+        assert dist_le(DIST_ATOL / 2, 0.0)
+        assert not dist_le(1e-6, 0.0)
+
+
+class TestDistLt:
+    def test_strict_needs_real_gap(self):
+        assert dist_lt(0.9, 1.0)
+        assert not dist_lt(1.0, 1.0)
+        assert not dist_lt(1.0 - 1e-15, 1.0)
+
+    def test_consistent_with_le(self):
+        # dist_lt(a, b) implies dist_le(a, b)
+        assert dist_lt(1.0, 2.0) and dist_le(1.0, 2.0)
+
+
+class TestInflate:
+    def test_inflation_is_small_and_positive(self):
+        r = 5.0
+        assert r < inflate(r) < r * (1 + 10 * DIST_RTOL)
+
+    def test_zero_radius(self):
+        assert inflate(0.0) == DIST_ATOL
+
+
+@given(st.floats(min_value=0.0, max_value=1e12))
+def test_property_le_reflexive_under_kernel_noise(value):
+    """Any value compares <= to itself even after a one-ulp perturbation."""
+    import math
+
+    perturbed = math.nextafter(value, math.inf)
+    assert dist_le(perturbed, value)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e12),
+    st.floats(min_value=0.0, max_value=1e12),
+)
+def test_property_lt_implies_le_and_not_reverse(a, b):
+    if dist_lt(a, b):
+        assert dist_le(a, b)
+        assert not dist_le(b, a) or abs(a - b) <= DIST_RTOL * b + DIST_ATOL

@@ -1,0 +1,123 @@
+"""Unit tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_dataset,
+    as_query_point,
+    check_k,
+    check_positive_int,
+    check_probability,
+    check_scale_parameter,
+)
+
+
+class TestAsDataset:
+    def test_coerces_lists(self):
+        arr = as_dataset([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_promotes_1d_to_column(self):
+        arr = as_dataset([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            as_dataset(np.empty((0, 3)))
+
+    def test_rejects_zero_features(self):
+        with pytest.raises(ValueError, match="at least one feature"):
+            as_dataset(np.empty((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_dataset([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_dataset([[1.0, np.inf]])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_dataset(np.zeros((2, 2, 2)))
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="clients"):
+            as_dataset(np.empty((0, 2)), name="clients")
+
+
+class TestAsQueryPoint:
+    def test_accepts_row_vector(self):
+        q = as_query_point(np.ones((1, 3)), dim=3)
+        assert q.shape == (3,)
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError, match="dimension 2"):
+            as_query_point([1.0, 2.0], dim=3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="single point"):
+            as_query_point(np.ones((2, 3)), dim=3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_query_point([np.nan, 1.0], dim=2)
+
+
+class TestCheckK:
+    def test_accepts_numpy_integer(self):
+        assert check_k(np.int64(3)) == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_k(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_k(3.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_k(0)
+
+    def test_rejects_beyond_n(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            check_k(11, n=10)
+
+    def test_boundary_equals_n(self):
+        assert check_k(10, n=10) == 10
+
+
+class TestCheckScaleParameter:
+    def test_accepts_float(self):
+        assert check_scale_parameter(2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_nonpositive_or_nonfinite(self, bad):
+        with pytest.raises(ValueError):
+            check_scale_parameter(bad)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(7, name="x") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, name="x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, name="x")
+
+
+class TestCheckProbability:
+    def test_accepts_one(self):
+        assert check_probability(1.0, name="f") == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, name="f")
