@@ -28,7 +28,9 @@ from repro.evaluation import (
     format_table,
     render_curves,
     run_method,
+    run_method_batched,
     run_tradeoff,
+    run_tradeoff_batched,
     sample_query_indices,
 )
 from repro.indexes import LinearScanIndex, RdNNTreeIndex, RStarTreeIndex
@@ -103,18 +105,26 @@ def run_figure_experiment(
     }
 
     for k in ks:
+        # RDT/RDT+ sweep through the batched engine — the whole query
+        # workload is answered in one query_batch call per grid point.
         art.curves[k] = [
-            run_tradeoff(
+            run_tradeoff_batched(
                 "RDT",
-                lambda t: (lambda qi: art.rdt.query(query_index=qi, k=k, t=t)),
+                lambda t: (
+                    lambda qis: art.rdt.query_batch(query_indices=qis, k=k, t=t)
+                ),
                 t_grid,
                 queries,
                 truth,
                 k,
             ),
-            run_tradeoff(
+            run_tradeoff_batched(
                 "RDT+",
-                lambda t: (lambda qi: art.rdt_plus.query(query_index=qi, k=k, t=t)),
+                lambda t: (
+                    lambda qis: art.rdt_plus.query_batch(
+                        query_indices=qis, k=k, t=t
+                    )
+                ),
                 t_grid,
                 queries,
                 truth,
@@ -133,9 +143,11 @@ def run_figure_experiment(
         ]
         art.estimator_rows[k] = []
         for method, t_value in estimator_ts.items():
-            run = run_method(
+            run = run_method_batched(
                 f"RDT+({method.upper()})",
-                lambda qi: art.rdt_plus.query(query_index=qi, k=k, t=t_value),
+                lambda qis: art.rdt_plus.query_batch(
+                    query_indices=qis, k=k, t=t_value
+                ),
                 queries,
                 truth,
                 k,

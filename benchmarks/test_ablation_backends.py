@@ -17,6 +17,8 @@ from repro.datasets import load_standin
 from repro.evaluation import GroundTruth, format_table, run_method, sample_query_indices
 from repro.indexes import build_index
 
+pytestmark = pytest.mark.slow
+
 BACKENDS = ("linear-scan", "cover-tree", "kd-tree", "vp-tree")
 DATASETS = {"sequoia": 2500, "mnist": 1200}
 K = 10

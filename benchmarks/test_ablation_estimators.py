@@ -15,6 +15,8 @@ from repro.datasets import load_standin
 from repro.evaluation import GroundTruth, format_table, run_method, sample_query_indices
 from repro.indexes import LinearScanIndex
 
+pytestmark = pytest.mark.slow
+
 DATASETS = {"sequoia": 2500, "fct": 2000, "aloi": 1200, "mnist": 1200}
 K = 10
 

@@ -29,6 +29,8 @@ from repro.evaluation.metrics import recall as recall_of
 from repro.indexes import LinearScanIndex
 from repro.mining import rknn_self_join
 
+pytestmark = pytest.mark.slow
+
 N = 800
 K = 10
 T = 6.0

@@ -17,7 +17,9 @@ from repro.datasets import load_standin
 from repro.evaluation import GroundTruth, format_table, run_method, sample_query_indices
 from repro.indexes import LinearScanIndex
 
-N = 1500
+pytestmark = pytest.mark.slow
+
+N = 1000
 K = 10
 T_SWEEP = (4.0, 8.0, 12.0)
 

@@ -1,0 +1,86 @@
+"""Batched query engine — all-points RkNN throughput benchmark.
+
+The workload the batch engine exists for: the RkNN self-join over a
+moderately sized, moderately dimensional dataset (n≈5000, d≈16, k=10),
+answered once through a loop of single ``RDT.query`` calls and once
+through ``RDT.query_all``.  The looped side is measured on a uniform
+sample of the queries and extrapolated (it is the slow side; sampling
+keeps the suite runtime bounded), the batched side runs the full join.
+Results are recorded to ``benchmarks/results/batch_speedup.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.core import RDT
+from repro.datasets import gaussian_mixture
+from repro.indexes import LinearScanIndex
+
+pytestmark = pytest.mark.slow
+
+N = 5000
+DIM = 16
+K = 10
+T = 4.0
+LOOP_SAMPLE = 200
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(N, dim=DIM, n_clusters=8, separation=4.0, seed=11)
+    index = LinearScanIndex(data)
+    return data, index, RDT(index)
+
+
+def test_batch_speedup_recorded(workload):
+    data, index, rdt = workload
+    sample = np.linspace(0, N - 1, LOOP_SAMPLE).astype(np.intp)
+
+    started = time.perf_counter()
+    looped = [rdt.query(query_index=int(qi), k=K, t=T) for qi in sample]
+    loop_seconds = time.perf_counter() - started
+    per_query = loop_seconds / LOOP_SAMPLE
+    loop_estimate = per_query * N
+
+    started = time.perf_counter()
+    batch = rdt.query_all(k=K, t=T)
+    batch_seconds = time.perf_counter() - started
+
+    speedup = loop_estimate / batch_seconds
+    lines = [
+        f"Batched RkNN engine — all-points workload (n={N}, d={DIM}, k={K}, t={T})",
+        f"looped RDT.query      : {per_query * 1e3:8.3f} ms/query "
+        f"-> {loop_estimate:7.2f} s extrapolated over all {N} queries "
+        f"(measured on {LOOP_SAMPLE})",
+        f"RDT.query_all (batch) : {batch_seconds / N * 1e3:8.3f} ms/query "
+        f"-> {batch_seconds:7.2f} s total",
+        f"speedup               : {speedup:8.1f} x",
+    ]
+    record("batch_speedup", "\n".join(lines))
+
+    # Identical answers on the sampled queries.
+    for qi, single in zip(sample, looped):
+        assert np.array_equal(single.ids, batch[int(qi)].ids)
+    # The acceptance bar is 5x; assert with margin for machine noise.
+    assert speedup >= 3.0
+
+
+def test_batch_self_join_totals(workload):
+    """The join consumes per-query stats; totals must aggregate sensibly."""
+    from repro.mining import rknn_self_join
+
+    data, index, rdt = workload
+    subset = np.arange(0, N, 10, dtype=np.intp)
+    join = rknn_self_join(index, k=K, t=T, point_ids=subset)
+    assert len(join.neighborhoods) == subset.shape[0]
+    totals = join.totals
+    assert totals.num_retrieved > 0
+    assert (
+        totals.num_lazy_accepts + totals.num_lazy_rejects + totals.num_verified
+        == totals.num_candidates + totals.num_excluded
+    )

@@ -14,7 +14,9 @@ import pytest
 from benchmarks.figure_driver import record, render_figure, run_figure_experiment
 from repro.datasets import load_standin
 
-N = 4000
+pytestmark = pytest.mark.slow
+
+N = 2500
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,9 @@ import pytest
 from benchmarks.figure_driver import record, render_figure, run_figure_experiment
 from repro.datasets import load_standin
 
-N = 1600
+pytestmark = pytest.mark.slow
+
+N = 1000
 
 
 @pytest.fixture(scope="module")

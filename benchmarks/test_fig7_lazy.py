@@ -20,6 +20,8 @@ from repro.evaluation import GroundTruth, format_table, sample_query_indices
 from repro.evaluation.metrics import recall as recall_of
 from repro.indexes import LinearScanIndex
 
+pytestmark = pytest.mark.slow
+
 SIZES = {"sequoia": 2500, "fct": 2000, "aloi": 1200, "mnist": 1200}
 T_SWEEP = (2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0)
 K = 10

@@ -31,8 +31,10 @@ from repro.evaluation import (
 )
 from repro.indexes import LinearScanIndex, RdNNTreeIndex
 
+pytestmark = pytest.mark.slow
+
 #: scaled stand-ins for Imagenet100 / Imagenet250 / Imagenet500
-SUBSETS = {"imagenet100": 1200, "imagenet250": 3000, "imagenet500": 7500}
+SUBSETS = {"imagenet100": 800, "imagenet250": 2000, "imagenet500": 5000}
 #: The paper evaluates MRkNNCoP and the RdNN-Tree on Imagenet100/250 and
 #: excludes both from Imagenet500 onward (precomputation beyond two weeks).
 #: We follow the same protocol; the measured build times in the report show

@@ -32,6 +32,8 @@ from repro.evaluation import (
 )
 from repro.indexes import LinearScanIndex, RdNNTreeIndex
 
+pytestmark = pytest.mark.slow
+
 SUBSETS = {"imagenet100": 3000, "imagenet250": 7500}
 K = 10
 N_QUERIES = 5

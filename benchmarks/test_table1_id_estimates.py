@@ -17,6 +17,8 @@ from repro.datasets import DATASET_SPECS, load_standin
 from repro.evaluation import format_table
 from repro.lid import estimate_id_gp, estimate_id_mle, estimate_id_takens
 
+pytestmark = pytest.mark.slow
+
 SIZES = {"sequoia": 4000, "aloi": 2000, "fct": 3000, "mnist": 2000}
 
 

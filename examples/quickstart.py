@@ -49,6 +49,17 @@ def main() -> None:
         f"{result.stats.total_seconds * 1e3:.1f} ms"
     )
 
+    # Many queries? Don't loop — the batched engine answers a whole
+    # workload with vectorized phases and identical results.
+    workload = np.arange(0, 200)
+    batch = rdt.query_batch(query_indices=workload, k=k, t=8.0)
+    verified = sum(r.stats.num_verified for r in batch)
+    print(
+        f"\nquery_batch over {len(workload)} queries: "
+        f"{sum(len(r) for r in batch)} reverse neighbors total, "
+        f"{verified} explicit verifications across the batch"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -59,7 +59,13 @@ from repro.lid import (
     max_ged,
 )
 from repro.datasets import load_standin
-from repro.evaluation import GroundTruth, run_method, run_tradeoff
+from repro.evaluation import (
+    GroundTruth,
+    run_method,
+    run_method_batched,
+    run_tradeoff,
+    run_tradeoff_batched,
+)
 from repro.mining import (
     hubness_counts,
     hubness_skewness,
@@ -118,7 +124,9 @@ __all__ = [
     "load_standin",
     "GroundTruth",
     "run_method",
+    "run_method_batched",
     "run_tradeoff",
+    "run_tradeoff_batched",
     # mining applications
     "rknn_self_join",
     "odin_scores",

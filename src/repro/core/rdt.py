@@ -22,11 +22,38 @@ the test runs, so the rank bookkeeping matches the paper's max-rank
 convention ``s = rho_S(q, v)``.
 
 **Refinement** — candidates that were neither lazily accepted nor lazily
-rejected are verified with one forward kNN query each: ``x`` belongs to the
+rejected are verified with forward kNN distances: ``x`` belongs to the
 result iff ``d_k(x) >= d(q, x)`` (self-exclusive kNN distance, boundary
 ties included).  This is the expensive step the witness rules exist to
 avoid; the per-query statistics record exactly how many verifications were
-spent.
+spent.  All undecided candidates of a query (or of a whole batch, see
+below) are verified with one call to the index's batched
+:meth:`~repro.indexes.Index.knn_distances` capability rather than one
+Python-level search per candidate.
+
+**Batched execution** — :meth:`RDT.query_batch` answers many queries in
+one pass and :meth:`RDT.query_all` answers one query per indexed point
+(the RkNN self-join workload of the mining and evaluation modules).  The
+batch engine vectorizes both phases:
+
+* for the plain ``rdt`` variant the filter phase is computed in closed
+  form from chunked pairwise distances — the sequential witness recursion
+  of Algorithm 1 collapses, because with every retrieved point stored, the
+  final witness count of a candidate ``x`` is simply the number of other
+  candidates strictly inside the ball ``B(x, d(q, x))``, and ``x`` is
+  lazily decided iff some later-retrieved point lies at distance at least
+  ``2 d(q, x)``;
+* for ``rdt+`` the exclusion rule makes the recursion genuinely
+  sequential, so the filter runs per query while refinement is still
+  batched;
+* the refinement phase issues a single :meth:`knn_distances` call for the
+  undecided candidates of the *entire batch*.
+
+Per-query :class:`~repro.core.result.QueryStats` survive batching: the
+semantic counters (retrieved/candidates/lazy decisions/verifications),
+``omega`` and the termination reason are identical to a loop of
+single-point queries; distance-call counts and wall-clock fields report
+the batch's actual (shared, vectorized) work, attributed per query.
 
 Exactness: with ``t`` at least the maximum generalized expansion dimension
 of the data (see :func:`repro.lid.max_ged`), the returned set equals the
@@ -46,12 +73,22 @@ from repro.core.result import QueryStats, RkNNResult
 from repro.core.termination import DimensionalTest
 from repro.core.witness import CandidateStore
 from repro.indexes.base import Index
-from repro.utils.tolerance import dist_le
-from repro.utils.validation import as_query_point, check_k, check_scale_parameter
+from repro.utils.tolerance import DIST_ATOL as _DIST_ATOL
+from repro.utils.tolerance import DIST_RTOL as _DIST_RTOL
+from repro.utils.tolerance import dist_le_many
+from repro.utils.validation import (
+    as_query_point,
+    as_query_rows,
+    check_k,
+    check_scale_parameter,
+)
 
 __all__ = ["RDT", "VARIANTS"]
 
 VARIANTS = ("rdt", "rdt+")
+
+#: Peak doubles per pairwise block of the batched filter phase.
+_FILTER_BLOCK = 4 * 1024 * 1024
 
 
 def _tie_groups(
@@ -153,6 +190,119 @@ class RDT:
             ids=result_ids, k=k, t=t, lazy_accepted_ids=lazy_ids, stats=stats
         )
 
+    def query_batch(
+        self,
+        queries=None,
+        *,
+        query_indices=None,
+        k: int,
+        t: float,
+        filter_mode: str = "auto",
+    ) -> list[RkNNResult]:
+        """Answer many reverse-kNN queries in one vectorized pass.
+
+        Exactly one of ``queries`` (an ``(m, dim)`` array of raw points)
+        or ``query_indices`` (a sequence of member point ids, each excluded
+        from its own answer) must be given.  Returns one
+        :class:`~repro.core.result.RkNNResult` per query, in input order,
+        with decisions identical to a loop of :meth:`query` calls — only
+        the execution strategy changes (see the module docstring).
+
+        ``filter_mode`` selects the filter-phase strategy:
+
+        * ``"auto"`` (default) — the closed-form vectorized filter for the
+          plain ``rdt`` variant, the per-query sequential filter otherwise;
+        * ``"sequential"`` — force the per-query index-driven filter.  The
+          vectorized filter scans all active points per query, so on very
+          large datasets with a pruning tree backend the sequential filter
+          (plus the still-batched refinement) can do less total work;
+        * ``"vectorized"`` — require the closed-form filter (raises for
+          ``rdt+``, whose exclusion rule is order-dependent).
+        """
+        if filter_mode not in ("auto", "sequential", "vectorized"):
+            raise ValueError(
+                "filter_mode must be 'auto', 'sequential' or 'vectorized', "
+                f"got {filter_mode!r}"
+            )
+        if filter_mode == "vectorized" and self.variant != "rdt":
+            raise ValueError(
+                "filter_mode='vectorized' requires the plain 'rdt' variant: "
+                "the RDT+ exclusion rule is order-dependent and has no "
+                "closed form"
+            )
+        k = check_k(k)
+        t = check_scale_parameter(t)
+        if (queries is None) == (query_indices is None):
+            raise ValueError("provide exactly one of `queries` or `query_indices`")
+        if query_indices is not None:
+            query_indices = np.asarray(query_indices, dtype=np.intp)
+            if query_indices.ndim != 1:
+                raise ValueError(
+                    f"query_indices must be 1-D, got shape {query_indices.shape}"
+                )
+            if query_indices.shape[0] == 0:
+                return []
+            # Vectorized equivalent of get_point per id: validate the whole
+            # batch, then gather the rows in one fancy-index copy.
+            total_rows = self.index.points.shape[0]
+            if int(query_indices.min()) < 0 or int(query_indices.max()) >= total_rows:
+                raise IndexError(
+                    f"query_indices out of range for index with {total_rows} rows"
+                )
+            active_mask = np.zeros(total_rows, dtype=bool)
+            active_mask[self.index.active_ids()] = True
+            inactive = np.flatnonzero(~active_mask[query_indices])
+            if inactive.shape[0]:
+                raise KeyError(
+                    f"point id {int(query_indices[inactive[0]])} has been removed"
+                )
+            query_points = self.index.points[query_indices]
+            exclude = query_indices
+        else:
+            query_points = as_query_rows(queries, dim=self.index.dim, name="queries")
+            if query_points.shape[0] == 0:
+                return []
+            exclude = np.full(query_points.shape[0], -1, dtype=np.intp)
+
+        stats_list = [QueryStats() for _ in range(query_points.shape[0])]
+        if self.variant == "rdt" and filter_mode != "sequential":
+            stores = self._filter_phase_batch(
+                query_points, exclude, k, t, stats_list
+            )
+        else:
+            # Per-query index-driven filter: mandatory for RDT+ (each
+            # exclusion changes the witness counts of everything retrieved
+            # later, so the recursion is order-dependent), optional via
+            # filter_mode for plain RDT; refinement is still batched.
+            metric = self.index.metric
+            stores = []
+            for row, stats in enumerate(stats_list):
+                calls_before = metric.num_calls
+                query_index = int(exclude[row]) if exclude[row] >= 0 else None
+                store, test = self._filter_phase(
+                    query_points[row], query_index, k, t, stats
+                )
+                stats.num_distance_calls = metric.num_calls - calls_before
+                stats.omega = test.omega
+                stats.terminated_by = test.terminated_by or "unknown"
+                stores.append(store)
+        return self._refine_batch(stores, k, t, stats_list)
+
+    def query_all(
+        self, *, k: int, t: float, filter_mode: str = "auto"
+    ) -> dict[int, RkNNResult]:
+        """The RkNN self-join: one query per active indexed point.
+
+        Returns ``{point_id: result}`` for every active point, computed
+        through :meth:`query_batch` — this is the all-points mode the
+        mining (:mod:`repro.mining`) and evaluation workloads consume.
+        """
+        ids = self.index.active_ids()
+        results = self.query_batch(
+            query_indices=ids, k=k, t=t, filter_mode=filter_mode
+        )
+        return {int(pid): result for pid, result in zip(ids, results)}
+
     # ------------------------------------------------------------------
     # Phase 1: expanding search with dimensional testing
     # ------------------------------------------------------------------
@@ -205,33 +355,318 @@ class RDT:
         return store, test
 
     # ------------------------------------------------------------------
+    # Phase 1, batched: closed-form filter for the plain RDT variant
+    # ------------------------------------------------------------------
+    def _filter_phase_batch(
+        self,
+        query_points: np.ndarray,
+        exclude: np.ndarray,
+        k: int,
+        t: float,
+        stats_list: list[QueryStats],
+    ) -> list[CandidateStore]:
+        """Vectorized filter phase for ``variant="rdt"``.
+
+        Each query's distances to the whole active set come from one
+        ``metric.to_point`` call — the same kernel invocation the
+        sequential scan's ``iter_neighbors`` makes, so the values (and
+        therefore tie-group structure and termination rank) are
+        bit-identical to a looped :meth:`query`.  The termination rank,
+        final witness counts and lazy decisions then follow in closed
+        form (see the module docstring for why the sequential recursion
+        collapses when every retrieved point is stored).
+        """
+        index = self.index
+        metric = index.metric
+        active = index.active_ids()
+        points = index.points[active]
+        n = active.shape[0]
+        probe = DimensionalTest(k, t, n, conservative=self.conservative)
+        rank_cap = probe.rank_cap
+        termination_rank = probe.termination_rank
+        inv_t = 1.0 / probe.t
+
+        stores: list[CandidateStore] = []
+        for row in range(query_points.shape[0]):
+            stats = stats_list[row]
+            started = time.perf_counter()
+            calls_before = metric.num_calls
+            dists = metric.to_point(points, query_points[row])
+            store = self._filter_one_from_distances(
+                dists,
+                active,
+                int(exclude[row]),
+                k,
+                termination_rank,
+                rank_cap,
+                inv_t,
+                stats,
+            )
+            stats.num_distance_calls = metric.num_calls - calls_before
+            stats.filter_seconds = time.perf_counter() - started
+            stores.append(store)
+        return stores
+
+    def _filter_one_from_distances(
+        self,
+        dists: np.ndarray,
+        ids: np.ndarray,
+        query_index: int,
+        k: int,
+        termination_rank: int,
+        rank_cap: int,
+        inv_t: float,
+        stats: QueryStats,
+    ) -> CandidateStore:
+        """Closed-form filter outcome for one query, given all distances."""
+        n = dists.shape[0]
+        # Only the first rank_cap ranks (plus the tie group straddling the
+        # cap) can ever be retrieved; select them without a full sort.
+        limit = min(rank_cap, n)
+        if limit < n:
+            threshold = np.partition(dists, limit - 1)[limit - 1]
+            selection = np.flatnonzero(dists <= threshold)
+            sel_dists = dists[selection]
+            sel_ids = ids[selection]
+        else:
+            sel_dists = dists
+            sel_ids = ids
+        order = np.lexsort((sel_ids, sel_dists))
+        sel_dists = sel_dists[order]
+        sel_ids = sel_ids[order]
+        if sel_dists.shape[0] == 0:
+            # Empty active set: mirror the sequential loop, which yields no
+            # groups and marks the search exhausted.
+            stats.omega = float("inf")
+            stats.terminated_by = "exhausted"
+            stats.num_retrieved = 0
+            stats.num_candidates = 0
+            stats.num_excluded = 0
+            store = CandidateStore(self.index.dim, self.index.metric, k)
+            return store
+
+        # Tie groups and the omega recursion over their end ranks.
+        boundaries = np.flatnonzero(sel_dists[1:] != sel_dists[:-1])
+        ends = np.append(boundaries, sel_dists.shape[0] - 1)
+        ranks = ends + 1
+        group_dists = sel_dists[ends]
+        eligible = (ranks > termination_rank) & (group_dists > 0.0)
+        ratio = np.where(
+            eligible, (ranks / termination_rank) ** inv_t - 1.0, np.inf
+        )
+        bounds = np.where(eligible & (ratio > 0.0), group_dists / ratio, np.inf)
+        omega_run = np.minimum.accumulate(bounds)
+        terminating = (group_dists > omega_run) | (ranks >= rank_cap)
+        hits = np.flatnonzero(terminating)
+        if hits.shape[0]:
+            g = int(hits[0])
+            retrieved = int(ranks[g])
+            stats.omega = float(omega_run[g])
+            stats.terminated_by = (
+                "omega" if group_dists[g] > omega_run[g] else "rank-cap"
+            )
+        else:
+            # Only reachable when the selection covered the whole index.
+            retrieved = int(sel_dists.shape[0])
+            stats.omega = float(omega_run[-1]) if ends.shape[0] else float("inf")
+            stats.terminated_by = "exhausted"
+
+        prefix_ids = sel_ids[:retrieved]
+        prefix_dists = sel_dists[:retrieved]
+        if query_index >= 0:
+            keep = prefix_ids != query_index
+            cand_ids = prefix_ids[keep]
+            cand_dists = prefix_dists[keep]
+        else:
+            cand_ids = prefix_ids.copy()
+            cand_dists = prefix_dists.copy()
+        cand_points = self.index.points[cand_ids]
+        size = cand_ids.shape[0]
+
+        witnesses = np.zeros(size, dtype=np.int64)
+        decided = np.zeros(size, dtype=bool)
+        accepted = np.zeros(size, dtype=bool)
+        if size and self.use_witnesses:
+            # Final witness count of x = other candidates strictly inside
+            # B(x, d(q, x)); all of them are retrieved before any point at
+            # distance >= 2 d(q, x), so the count at lazy-decision time
+            # equals the final count.
+            witnesses = self._count_witnesses(cand_points, cand_dists)
+            # x is decided iff a later-retrieved point completed its ball:
+            # candidates are in retrieval order, so the last one decides all
+            # the others whose doubled query distance it covers.
+            decided = (np.arange(size) < size - 1) & (
+                2.0 * cand_dists <= cand_dists[-1]
+            )
+            accepted = decided & (witnesses < k)
+
+        store = CandidateStore(self.index.dim, self.index.metric, k)
+        store._ids = cand_ids.astype(np.intp)
+        store._points = cand_points
+        store._query_dists = cand_dists
+        store._witnesses = witnesses.astype(np.int64)
+        store._decided = decided
+        store._accepted = accepted
+        store.size = size
+        stats.num_retrieved = retrieved
+        stats.num_candidates = size
+        stats.num_excluded = 0
+        return store
+
+    def _count_witnesses(
+        self, cand_points: np.ndarray, cand_dists: np.ndarray
+    ) -> np.ndarray:
+        """Witness counts for one query's candidate set, column-chunked.
+
+        ``W[x] = #{u != x : d(u, x) < d(q, x)}``, computed with the fast
+        pairwise kernel in memory-bounded column blocks.  The strict
+        comparison must decide exactly like the sequential path's
+        per-point ``to_point`` calls, and the two kernels can sit one ulp
+        apart precisely at ties — so any column holding an entry within a
+        conservative kernel-error bound of its decision boundary is
+        recomputed with :meth:`~repro.distances.Metric.to_point`
+        (bit-identical to the sequential comparison).  On tie-free data
+        the bound never fires and the dgemm-speed path stands.
+        """
+        metric = self.index.metric
+        size, dim = cand_points.shape
+        witnesses = np.empty(size, dtype=np.int64)
+        eps = float(np.finfo(np.float64).eps)
+        centered = cand_points - cand_points.mean(axis=0)
+        max_norm_sq = float(np.einsum("ij,ij->i", centered, centered).max())
+        bound_scale = 1000.0 * dim * eps * max_norm_sq
+        block = max(16, _FILTER_BLOCK // max(1, size))
+        for start in range(0, size, block):
+            stop = min(size, start + block)
+            pair = metric.pairwise(cand_points, cand_points[start:stop])
+            diag = np.arange(start, stop)
+            pair[diag, diag - start] = np.inf
+            bounds = cand_dists[None, start:stop]
+            gaps = np.abs(pair - bounds)
+            min_pair = float(pair.min())
+            if min_pair <= 0.0:
+                threshold = np.inf  # duplicate candidates: always repair
+            else:
+                threshold = (
+                    _DIST_RTOL * float(cand_dists.max())
+                    + _DIST_ATOL
+                    + bound_scale / min_pair
+                )
+            if float(gaps.min()) <= threshold:
+                cols = np.flatnonzero((gaps <= threshold).any(axis=0))
+                exact = metric.to_point_many(
+                    cand_points, cand_points[start + cols]
+                )
+                exact[start + cols, np.arange(cols.shape[0])] = np.inf
+                pair[:, cols] = exact
+            witnesses[start:stop] = np.count_nonzero(pair < bounds, axis=0)
+        return witnesses
+
+    # ------------------------------------------------------------------
     # Phase 2: verification of undecided candidates
     # ------------------------------------------------------------------
+    def _verify_stores(
+        self,
+        stores: list[CandidateStore],
+        k: int,
+        stats_list: list[QueryStats],
+    ) -> list[np.ndarray]:
+        """Verify the undecided candidates of one or more stores in one call.
+
+        The per-candidate forward-kNN searches of the sequential algorithm
+        collapse into a single :meth:`~repro.indexes.Index.knn_distances`
+        invocation over the concatenated candidate rows; wall-clock time
+        and distance calls of that shared call are attributed to each query
+        in proportion to its number of verified candidates.  Returns the
+        final accepted mask per store and fills each query's lazy/verify
+        statistics.
+        """
+        metric = self.index.metric
+        slots_list = [np.flatnonzero(s.needs_verification) for s in stores]
+        row_counts = [int(sl.shape[0]) for sl in slots_list]
+        total_rows = sum(row_counts)
+
+        hits_list: list[np.ndarray] = [
+            np.zeros(count, dtype=bool) for count in row_counts
+        ]
+        shared_seconds = 0.0
+        shared_calls = 0
+        if total_rows:
+            rows = np.concatenate(
+                [s.points[sl] for s, sl in zip(stores, slots_list)], axis=0
+            )
+            exclude = np.concatenate(
+                [s.ids[sl] for s, sl in zip(stores, slots_list)]
+            )
+            query_dists = np.concatenate(
+                [s.query_dists[sl] for s, sl in zip(stores, slots_list)]
+            )
+            started = time.perf_counter()
+            calls_before = metric.num_calls
+            # Candidates are always member points verified against
+            # S \ {candidate}, so their k-th NN distance is independent of
+            # which query asked: verify each distinct candidate once and
+            # scatter the answer back to every occurrence in the batch.
+            unique_ids, first_rows, inverse = np.unique(
+                exclude, return_index=True, return_inverse=True
+            )
+            kth_unique = self.index.knn_distances(
+                rows[first_rows], k, exclude_indices=unique_ids
+            )
+            kth_dists = kth_unique[inverse]
+            shared_calls = metric.num_calls - calls_before
+            shared_seconds = time.perf_counter() - started
+            hits = dist_le_many(query_dists, kth_dists)
+            offset = 0
+            for i, count in enumerate(row_counts):
+                hits_list[i] = hits[offset : offset + count]
+                offset += count
+
+        accepted_masks: list[np.ndarray] = []
+        for store, slots, hits, stats in zip(
+            stores, slots_list, hits_list, stats_list
+        ):
+            accepted_mask = store.accepted.copy()
+            accepted_mask[slots[hits]] = True
+            stats.num_verified = int(slots.shape[0])
+            stats.num_verified_hits = int(np.count_nonzero(hits))
+            stats.num_lazy_accepts = int(np.count_nonzero(store.accepted))
+            stats.num_lazy_rejects = (
+                int(np.count_nonzero(store.lazy_rejected)) + store.num_excluded
+            )
+            if total_rows:
+                fraction = slots.shape[0] / total_rows
+                stats.refine_seconds = shared_seconds * fraction
+                stats.num_distance_calls += int(round(shared_calls * fraction))
+            accepted_masks.append(accepted_mask)
+        return accepted_masks
+
     def _refinement_phase(
         self, store: CandidateStore, k: int, stats: QueryStats
     ) -> tuple[np.ndarray, np.ndarray]:
-        started = time.perf_counter()
-        accepted_mask = store.accepted.copy()
-        needs_verification = np.flatnonzero(store.needs_verification)
-        ids = store.ids
-        points = store.points
-        query_dists = store.query_dists
-
-        for slot in needs_verification:
-            point_id = int(ids[slot])
-            kth_dist = self.index.knn_distance(
-                points[slot], k, exclude_index=point_id
-            )
-            stats.num_verified += 1
-            if dist_le(float(query_dists[slot]), kth_dist):
-                accepted_mask[slot] = True
-                stats.num_verified_hits += 1
-
-        lazy_ids = np.sort(ids[store.accepted])
-        result_ids = np.sort(ids[accepted_mask])
-        stats.num_lazy_accepts = int(np.count_nonzero(store.accepted))
-        stats.num_lazy_rejects = (
-            int(np.count_nonzero(store.lazy_rejected)) + store.num_excluded
-        )
-        stats.refine_seconds = time.perf_counter() - started
+        accepted_mask = self._verify_stores([store], k, [stats])[0]
+        lazy_ids = np.sort(store.ids[store.accepted])
+        result_ids = np.sort(store.ids[accepted_mask])
         return result_ids.astype(np.intp), lazy_ids.astype(np.intp)
+
+    def _refine_batch(
+        self,
+        stores: list[CandidateStore],
+        k: int,
+        t: float,
+        stats_list: list[QueryStats],
+    ) -> list[RkNNResult]:
+        """Build per-query results on top of the shared verification core."""
+        accepted_masks = self._verify_stores(stores, k, stats_list)
+        return [
+            RkNNResult(
+                ids=np.sort(store.ids[mask]).astype(np.intp),
+                k=k,
+                t=t,
+                lazy_accepted_ids=np.sort(store.ids[store.accepted]).astype(
+                    np.intp
+                ),
+                stats=stats,
+            )
+            for store, mask, stats in zip(stores, accepted_masks, stats_list)
+        ]

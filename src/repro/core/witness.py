@@ -64,11 +64,18 @@ class CandidateStore:
         if self.size < self._ids.shape[0]:
             return
         new_capacity = self._ids.shape[0] * 2
-        self._ids = np.resize(self._ids, new_capacity)
+        # Explicit allocate-and-copy: np.resize would fill the tail by
+        # repeating existing entries, leaking stale ids/distances to any
+        # reader that ever touches beyond ``size``.
+        ids = np.empty(new_capacity, dtype=np.intp)
+        ids[: self.size] = self._ids[: self.size]
+        self._ids = ids
         points = np.empty((new_capacity, self._dim), dtype=np.float64)
         points[: self.size] = self._points[: self.size]
         self._points = points
-        self._query_dists = np.resize(self._query_dists, new_capacity)
+        query_dists = np.empty(new_capacity, dtype=np.float64)
+        query_dists[: self.size] = self._query_dists[: self.size]
+        self._query_dists = query_dists
         for name in ("_witnesses", "_decided", "_accepted"):
             old = getattr(self, name)
             grown = np.zeros(new_capacity, dtype=old.dtype)

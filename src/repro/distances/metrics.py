@@ -87,6 +87,34 @@ class Metric:
         self.num_calls += X.shape[0] * Y.shape[0]
         return self._dist_matrix(X, Y)
 
+    def to_point_many(self, X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
+        """Distance matrix ``D[i, j] = d(X[i], Ys[j])``, to_point-consistent.
+
+        Unlike :meth:`pairwise` (which may use a faster expansion kernel
+        whose results differ from :meth:`to_point` in the last ulp), every
+        column of this matrix is bit-identical to
+        ``to_point(X, Ys[j])`` — the guarantee the batched RDT filter
+        needs so its strict tie comparisons decide exactly like the
+        sequential per-point path.  Subclasses override the generic
+        column loop with an equivalent broadcast kernel.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        Ys = np.asarray(Ys, dtype=np.float64)
+        out = np.empty((X.shape[0], Ys.shape[0]), dtype=np.float64)
+        for col in range(Ys.shape[0]):
+            out[:, col] = self.to_point(X, Ys[col])
+        return out
+
+    def _to_point_many_via_diff(self, X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
+        """Shared broadcast implementation for difference-kernel metrics."""
+        X = np.asarray(X, dtype=np.float64)
+        Ys = np.asarray(Ys, dtype=np.float64)
+        self.num_calls += X.shape[0] * Ys.shape[0]
+        return self._diff_kernel(X[:, None, :] - Ys[None, :, :])
+
+    def _diff_kernel(self, diff: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
     def reset_counter(self) -> None:
         """Reset the distance-call counter to zero."""
         self.num_calls = 0
@@ -108,9 +136,25 @@ class EuclideanMetric(Metric):
 
     def _dist_matrix(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against negative
-        # round-off before the square root.
-        xx = np.einsum("ij,ij->i", X, X)
+        # round-off before the square root.  Distances are translation
+        # invariant, so when the data sits far from the origin relative to
+        # its spread, both sides are centered on Y's mean first: without
+        # this, such data loses ~eps * ||x||^2 / d(x, y) absolute accuracy
+        # to cancellation in the expansion — far beyond the library's
+        # comparison tolerance.  Near-origin data is left untouched (the
+        # expansion is already accurate there, and exactly-representable
+        # inputs keep their exact distances).  The centering decision and
+        # offset depend only on Y, so results are independent of how
+        # callers chunk X.
         yy = np.einsum("ij,ij->i", Y, Y)
+        mu = Y.mean(axis=0)
+        offset_sq = float(mu @ mu)
+        spread_sq = max(float(yy.mean()) - offset_sq, 0.0)
+        if offset_sq > 100.0 * spread_sq:
+            X = X - mu
+            Y = Y - mu
+            yy = np.einsum("ij,ij->i", Y, Y)
+        xx = np.einsum("ij,ij->i", X, X)
         sq = xx[:, None] + yy[None, :] - 2.0 * (X @ Y.T)
         np.maximum(sq, 0.0, out=sq)
         return np.sqrt(sq, out=sq)
@@ -125,6 +169,14 @@ class EuclideanMetric(Metric):
         self.num_calls += X.shape[0]
         diff = X - y[None, :]
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    # The 3-D einsum reduces each (i, j) row over the contiguous last axis
+    # exactly like to_point's 2-D einsum, so the columns are bit-identical
+    # to per-point calls.
+    to_point_many = Metric._to_point_many_via_diff
+
+    def _diff_kernel(self, diff: np.ndarray) -> np.ndarray:
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
 
 
 class ManhattanMetric(Metric):
@@ -143,6 +195,11 @@ class ManhattanMetric(Metric):
         self.num_calls += X.shape[0]
         return np.abs(X - y[None, :]).sum(axis=1)
 
+    to_point_many = Metric._to_point_many_via_diff
+
+    def _diff_kernel(self, diff: np.ndarray) -> np.ndarray:
+        return np.abs(diff).sum(axis=2)
+
 
 class ChebyshevMetric(Metric):
     """The Chebyshev (L-infinity) distance."""
@@ -159,6 +216,11 @@ class ChebyshevMetric(Metric):
             X = X[None, :]
         self.num_calls += X.shape[0]
         return np.abs(X - y[None, :]).max(axis=1)
+
+    to_point_many = Metric._to_point_many_via_diff
+
+    def _diff_kernel(self, diff: np.ndarray) -> np.ndarray:
+        return np.abs(diff).max(axis=2)
 
 
 class MinkowskiMetric(Metric):
@@ -184,6 +246,12 @@ class MinkowskiMetric(Metric):
         self.num_calls += X.shape[0]
         diff = np.abs(X - y[None, :])
         return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+    to_point_many = Metric._to_point_many_via_diff
+
+    def _diff_kernel(self, diff: np.ndarray) -> np.ndarray:
+        diff = np.abs(diff)
+        return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MinkowskiMetric(p={self.p})"

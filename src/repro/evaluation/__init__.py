@@ -13,7 +13,9 @@ from repro.evaluation.runner import (
     QueryRecord,
     TradeoffCurve,
     run_method,
+    run_method_batched,
     run_tradeoff,
+    run_tradeoff_batched,
 )
 
 __all__ = [
@@ -27,7 +29,9 @@ __all__ = [
     "QueryRecord",
     "TradeoffCurve",
     "run_method",
+    "run_method_batched",
     "run_tradeoff",
+    "run_tradeoff_batched",
     "format_table",
     "render_curves",
     "render_kv_section",

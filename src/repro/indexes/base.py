@@ -20,6 +20,15 @@ implements:
 ``knn_distance(query, k, exclude_index=None)``
     Just the k-th nearest neighbor distance.
 
+``knn_distances(points, k, exclude_indices=None)``
+    The batched form of ``knn_distance``: k-th NN distances of many query
+    rows in one call, with an optional per-row excluded member id.  The
+    default implementation is a chunked pairwise scan at numpy speed
+    (:func:`repro.indexes.bulk_knn.chunked_knn_distances`); concrete
+    indexes may override it with a pruned batch search.  This is the
+    capability the batched RkNN engine (:meth:`repro.core.RDT.query_batch`)
+    builds its refinement phase on.
+
 ``range_count(query, radius)`` / ``range_search(query, radius)``
     Counting and reporting versions of the ball query (SFT's verification
     step uses the counting version).
@@ -38,7 +47,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.distances import Metric, get_metric
-from repro.utils.validation import as_dataset, as_query_point, check_k
+from repro.utils.validation import as_dataset, as_query_point, as_query_rows, check_k
 
 __all__ = ["Index", "IndexCapabilityError"]
 
@@ -132,6 +141,51 @@ class Index:
         if dists.shape[0] < k:
             return float("inf")
         return float(dists[-1])
+
+    def knn_distances(
+        self, points, k: int, exclude_indices=None
+    ) -> np.ndarray:
+        """Batched k-th NN distances for many query rows at once.
+
+        Parameters
+        ----------
+        points:
+            ``(m, dim)`` array of query rows (need not be dataset members).
+        k:
+            Neighborhood size; rows with fewer than ``k`` eligible points
+            yield ``inf``, matching :meth:`knn_distance`.
+        exclude_indices:
+            Optional ``(m,)`` integer array: for each row, the id of one
+            member point to exclude from that row's neighborhood (negative
+            entries exclude nothing).  This is the batched form of
+            ``exclude_index`` and serves the library-wide self-exclusive
+            kNN-distance convention.
+
+        The default is a chunked pairwise scan over the active points —
+        one vectorized kernel per chunk instead of ``m`` Python-level
+        searches.  Note the accounting consequence: the scan charges
+        ``n`` distance calls per row even on backends whose per-point
+        ``knn_distance`` would prune most of the data, trading the
+        machine-independent call metric for (much) lower interpreter
+        overhead.  Pruning subclasses may override with a batch search
+        that keeps their asymptotics (see ``BallTreeIndex``) but must
+        preserve the semantics (values may differ from the per-point
+        path only by kernel round-off, which the tolerance policy in
+        :mod:`repro.utils.tolerance` absorbs).
+        """
+        from repro.indexes.bulk_knn import chunked_knn_distances
+
+        k = check_k(k)
+        points = as_query_rows(points, dim=self.dim)
+        active = self.active_ids()
+        return chunked_knn_distances(
+            points,
+            self._points[active],
+            k,
+            self.metric,
+            point_ids=active,
+            exclude_ids=exclude_indices,
+        )
 
     def range_search(self, query, radius: float) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(ids, distances)`` of points within ``radius`` (inclusive)."""

@@ -1,11 +1,16 @@
 """Bulk k-nearest-neighbor computation over a whole dataset.
 
-The precomputation-heavy RkNN baselines (RdNN-Tree, MRkNNCoP) and the exact
-ground truth all need the kNN distance of *every* point of ``S`` computed
-over ``S \\ {x}`` (the library-wide self-exclusive convention; DESIGN.md).
-This module performs that O(n^2) computation with chunked, vectorized
-distance kernels so the quadratic cost — the very cost the paper's RDT
-avoids — is at least paid at numpy speed rather than interpreter speed.
+The precomputation-heavy RkNN baselines (RdNN-Tree, MRkNNCoP), the exact
+ground truth, and the batched query engine's refinement phase all need kNN
+distances of *many* query points at once, computed over ``S`` or
+``S \\ {x}`` (the library-wide self-exclusive convention; DESIGN.md).  This
+module performs those computations with chunked, vectorized distance
+kernels so the quadratic cost — the very cost the paper's RDT avoids — is
+at least paid at numpy speed rather than interpreter speed.
+
+:func:`chunked_knn_distances` is the shared kernel: it serves as the
+default implementation of the :meth:`repro.indexes.Index.knn_distances`
+batch capability and as the engine of :func:`bulk_knn_distances`.
 """
 
 from __future__ import annotations
@@ -15,7 +20,18 @@ import numpy as np
 from repro.distances import Metric, get_metric
 from repro.utils.validation import as_dataset, check_k
 
-__all__ = ["bulk_knn_distances", "bulk_knn"]
+__all__ = ["bulk_knn_distances", "bulk_knn", "chunked_knn_distances"]
+
+#: Default number of query rows per pairwise block.
+DEFAULT_CHUNK_SIZE = 1024
+
+#: Peak doubles per pairwise block when the chunk size adapts to ``n``.
+BLOCK_BUDGET = 8 * 1024 * 1024
+
+
+def adaptive_chunk_size(n: int) -> int:
+    """Query rows per block so one pairwise block stays inside the budget."""
+    return max(16, BLOCK_BUDGET // max(1, n))
 
 
 def _chunk_rows(n: int, chunk_size: int):
@@ -23,11 +39,90 @@ def _chunk_rows(n: int, chunk_size: int):
         yield start, min(n, start + chunk_size)
 
 
+def chunked_knn_distances(
+    queries: np.ndarray,
+    points: np.ndarray,
+    k: int,
+    metric: Metric,
+    *,
+    point_ids: np.ndarray | None = None,
+    exclude_ids: np.ndarray | None = None,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """k-th NN distance of every query row against ``points``, chunked.
+
+    Parameters
+    ----------
+    queries:
+        ``(m, dim)`` query rows.
+    points:
+        ``(n, dim)`` candidate rows the neighbors are drawn from.
+    k:
+        Neighborhood size.  Rows with fewer than ``k`` eligible points get
+        ``inf`` (the :meth:`Index.knn_distance` convention).
+    metric:
+        Resolved :class:`~repro.distances.Metric`; its ``pairwise`` kernel
+        does all the distance work (and the distance-call accounting).
+    point_ids:
+        Optional ``(n,)`` ids labelling the columns; required when
+        ``exclude_ids`` is given.
+    exclude_ids:
+        Optional ``(m,)`` per-row point id to exclude from that row's
+        neighborhood (negative = exclude nothing).  This is the batched form
+        of ``knn_distance(..., exclude_index=...)``.
+    chunk_size:
+        Query rows per pairwise block, bounding peak memory at
+        ``chunk_size * n`` doubles.  ``None`` (default) adapts to ``n``
+        via :func:`adaptive_chunk_size` so every backend stays inside the
+        shared memory budget regardless of dataset size.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    m, n = queries.shape[0], points.shape[0]
+    if chunk_size is None:
+        chunk_size = adaptive_chunk_size(n)
+    out = np.full(m, np.inf, dtype=np.float64)
+    if n == 0 or m == 0:
+        return out
+    if exclude_ids is not None:
+        if point_ids is None:
+            raise ValueError("exclude_ids requires point_ids labelling the columns")
+        exclude_ids = np.asarray(exclude_ids)
+        if exclude_ids.shape != (m,):
+            raise ValueError(
+                f"exclude_ids must have one entry per query row, got shape "
+                f"{exclude_ids.shape} for {m} rows"
+            )
+        # Column position of each row's excluded id (n = not present).
+        col_of_id = np.full(int(point_ids.max(initial=-1)) + 2, n, dtype=np.intp)
+        col_of_id[point_ids] = np.arange(n, dtype=np.intp)
+        lookup = np.where(
+            (exclude_ids >= 0) & (exclude_ids < col_of_id.shape[0] - 1),
+            exclude_ids,
+            col_of_id.shape[0] - 1,
+        )
+        exclude_cols = col_of_id[lookup]
+    else:
+        exclude_cols = None
+    for start, stop in _chunk_rows(m, chunk_size):
+        block = metric.pairwise(queries[start:stop], points)
+        if exclude_cols is not None:
+            rows = np.flatnonzero(exclude_cols[start:stop] < n)
+            block[rows, exclude_cols[start:stop][rows]] = np.inf
+        # Rows keep their inf fill when fewer than k finite entries exist.
+        if k <= n:
+            if k < n:
+                kth = np.partition(block, k - 1, axis=1)[:, k - 1]
+            else:
+                kth = np.sort(block, axis=1)[:, k - 1]
+            out[start:stop] = kth
+    return out
+
+
 def bulk_knn(
     data,
     k: int,
     metric: str | Metric | None = None,
-    chunk_size: int = 1024,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(ids, dists)``, each of shape ``(n, k)``.
 
@@ -62,21 +157,20 @@ def bulk_knn_distances(
     data,
     k: int,
     metric: str | Metric | None = None,
-    chunk_size: int = 1024,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> np.ndarray:
     """Return the ``(n,)`` array of k-th NN distances (self excluded)."""
     points = as_dataset(data)
     n = points.shape[0]
     k = check_k(k, n=n - 1, name="k")
     metric = get_metric(metric)
-    out = np.empty(n, dtype=np.float64)
-    for start, stop in _chunk_rows(n, chunk_size):
-        block = metric.pairwise(points[start:stop], points)
-        rows = np.arange(stop - start)
-        block[rows, np.arange(start, stop)] = np.inf
-        if k < n - 1:
-            kth = np.partition(block, k - 1, axis=1)[:, k - 1]
-        else:
-            kth = np.sort(block, axis=1)[:, k - 1]
-        out[start:stop] = kth
-    return out
+    ids = np.arange(n, dtype=np.intp)
+    return chunked_knn_distances(
+        points,
+        points,
+        k,
+        metric,
+        point_ids=ids,
+        exclude_ids=ids,
+        chunk_size=chunk_size,
+    )

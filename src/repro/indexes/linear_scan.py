@@ -18,7 +18,8 @@ from typing import Iterator
 import numpy as np
 
 from repro.indexes.base import Index
-from repro.utils.validation import as_query_point, check_k
+from repro.indexes.bulk_knn import chunked_knn_distances
+from repro.utils.validation import as_query_point, as_query_rows, check_k
 
 __all__ = ["LinearScanIndex"]
 
@@ -60,6 +61,32 @@ class LinearScanIndex(Index):
             order = part[np.lexsort((ids[part], dists[part]))]
         order = order[:k]
         return ids[order], dists[order]
+
+    def knn_distances(
+        self, query_points, k: int, exclude_indices=None
+    ) -> np.ndarray:
+        """Batched k-th NN distances, tuned for the sequential scan.
+
+        In the common no-removals case the chunked pairwise kernel runs
+        directly over the stored point matrix, skipping the per-call
+        active-row gather (an ``n x dim`` copy) the generic default pays.
+        """
+        k = check_k(k)
+        query_points = as_query_rows(query_points, dim=self.dim)
+        if self._active.all():
+            points = self._points
+            ids = np.arange(self._points.shape[0], dtype=np.intp)
+        else:
+            ids = np.flatnonzero(self._active)
+            points = self._points[ids]
+        return chunked_knn_distances(
+            query_points,
+            points,
+            k,
+            self.metric,
+            point_ids=ids,
+            exclude_ids=exclude_indices,
+        )
 
     def range_search(self, query, radius: float) -> tuple[np.ndarray, np.ndarray]:
         query = as_query_point(query, dim=self.dim)

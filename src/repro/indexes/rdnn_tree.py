@@ -56,7 +56,9 @@ class RdNNTreeIndex(RStarTreeIndex):
                     "knn_distances must have one entry per point; got shape "
                     f"{knn_distances.shape}"
                 )
-        self.knn_distances = knn_distances
+        # Named kth_distances so the array does not shadow the inherited
+        # Index.knn_distances() batch-query method.
+        self.kth_distances = knn_distances
         self._node_max_dk: dict[int, float] = {}
         self._aggregate(self.root)
 
@@ -65,7 +67,7 @@ class RdNNTreeIndex(RStarTreeIndex):
         best = 0.0
         for entry in node.entries:
             if entry.is_point:
-                value = float(self.knn_distances[entry.point_id])
+                value = float(self.kth_distances[entry.point_id])
             else:
                 value = self._aggregate(entry.child)
             if value > best:
@@ -99,7 +101,7 @@ class RdNNTreeIndex(RStarTreeIndex):
                     if point_id == exclude_index or not self._active[point_id]:
                         continue
                     d = self.metric.distance(query, self._points[point_id])
-                    if dist_le(d, float(self.knn_distances[point_id])):
+                    if dist_le(d, float(self.kth_distances[point_id])):
                         result.append(point_id)
                 else:
                     bound = self._box_lower_bound(query, entry.lo, entry.hi)

@@ -19,7 +19,12 @@ __all__ = ["hubness_counts", "hubness_skewness", "knn_digraph"]
 
 
 def hubness_counts(index: Index, k: int, t: float, variant: str = "rdt") -> np.ndarray:
-    """In-degree of every point in the kNN digraph, via the RkNN join."""
+    """In-degree of every point in the kNN digraph, via the RkNN join.
+
+    The join answers all points through the batched query engine
+    (:meth:`repro.core.RDT.query_batch`), so the whole digraph costs one
+    vectorized pass rather than n interpreter-level queries.
+    """
     return rknn_self_join(index, k=k, t=t, variant=variant).count_array()
 
 

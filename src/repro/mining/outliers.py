@@ -23,7 +23,8 @@ def odin_scores(index: Index, k: int, t: float, variant: str = "rdt") -> np.ndar
     """ODIN outlierness: the reverse-kNN count of every point (low = outlier).
 
     Returns an array indexed by point id.  Counts are produced by the RDT
-    self-join, so the usual `t` accuracy/cost tradeoff applies; with a
+    self-join — one batched :meth:`repro.core.RDT.query_batch` pass over
+    all points — so the usual `t` accuracy/cost tradeoff applies; with a
     generous `t` the scores are exact in-degrees of the kNN graph.
     """
     join = rknn_self_join(index, k=k, t=t, variant=variant)

@@ -17,7 +17,16 @@ implementation stays deterministic across kernels.
 
 from __future__ import annotations
 
-__all__ = ["DIST_RTOL", "DIST_ATOL", "dist_le", "dist_lt", "inflate"]
+import numpy as np
+
+__all__ = [
+    "DIST_RTOL",
+    "DIST_ATOL",
+    "dist_le",
+    "dist_le_many",
+    "dist_lt",
+    "inflate",
+]
 
 #: Relative tolerance for distance comparisons.
 DIST_RTOL = 1e-9
@@ -25,12 +34,24 @@ DIST_RTOL = 1e-9
 DIST_ATOL = 1e-12
 
 
-def _slack(reference: float) -> float:
+def _slack(reference):
+    # abs() keeps this scalar/array polymorphic for dist_le_many.
     return DIST_RTOL * abs(reference) + DIST_ATOL
 
 
 def dist_le(a: float, b: float) -> bool:
     """Tolerant ``a <= b`` for distances: true if ``a <= b + slack``."""
+    return a <= b + _slack(b)
+
+
+def dist_le_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`dist_le`: elementwise tolerant ``a <= b``.
+
+    ``inf`` entries in ``b`` (the fewer-than-k kNN-distance convention)
+    compare as expected: any finite ``a`` passes against them.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
     return a <= b + _slack(b)
 
 

@@ -12,6 +12,7 @@ import numpy as np
 __all__ = [
     "as_dataset",
     "as_query_point",
+    "as_query_rows",
     "check_k",
     "check_scale_parameter",
     "check_positive_int",
@@ -50,6 +51,24 @@ def as_query_point(point, *, dim: int, name: str = "query") -> np.ndarray:
         raise ValueError(
             f"{name} has dimension {arr.shape[0]}, but the index holds "
             f"{dim}-dimensional points"
+        )
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_query_rows(points, *, dim: int, name: str = "points") -> np.ndarray:
+    """Coerce ``points`` to a 2-D float64 array of shape ``(m, dim)``.
+
+    A single 1-D point is promoted to one row.  The batched query entry
+    points (``Index.knn_distances``, ``RDT.query_batch``) share this check.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] != dim:
+        raise ValueError(
+            f"{name} must have shape (m, {dim}), got {np.asarray(points).shape}"
         )
     if not np.isfinite(arr).all():
         raise ValueError(f"{name} contains NaN or infinite values")

@@ -1,0 +1,280 @@
+"""Parity tests for the batched RkNN query engine.
+
+``RDT.query_batch`` restructures the execution (closed-form vectorized
+filter for plain RDT, one shared kNN-distance call for all refinements)
+but must decide exactly like a loop of single ``query()`` calls: same
+result ids, same lazy-accept sets, and same semantic per-query statistics
+on every backend and variant.  Wall-clock and distance-call fields are
+cost metrics of the execution strategy and are intentionally *not* part of
+the parity contract (the batch attributes its shared vectorized work to
+each query instead).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RDT
+from repro.indexes import BallTreeIndex, LinearScanIndex
+
+#: Stats fields that must be identical between batched and looped execution.
+PARITY_FIELDS = (
+    "num_retrieved",
+    "num_candidates",
+    "num_excluded",
+    "num_lazy_accepts",
+    "num_lazy_rejects",
+    "num_verified",
+    "num_verified_hits",
+    "terminated_by",
+)
+
+BACKENDS = {"linear-scan": LinearScanIndex, "ball-tree": BallTreeIndex}
+
+
+def assert_single_batch_parity(single, batched):
+    assert np.array_equal(single.ids, batched.ids)
+    assert np.array_equal(single.lazy_accepted_ids, batched.lazy_accepted_ids)
+    assert single.k == batched.k and single.t == batched.t
+    for field in PARITY_FIELDS:
+        assert getattr(single.stats, field) == getattr(batched.stats, field), field
+    assert batched.stats.omega == pytest.approx(
+        single.stats.omega, rel=1e-9, abs=1e-12
+    ) or (np.isinf(single.stats.omega) and np.isinf(batched.stats.omega))
+
+
+class TestMemberQueryParity:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("variant", ["rdt", "rdt+"])
+    @pytest.mark.parametrize("t", [2.0, 4.0, 100.0])
+    def test_batch_equals_loop(self, backend, variant, t, small_gaussian):
+        index = BACKENDS[backend](small_gaussian)
+        rdt = RDT(index, variant=variant)
+        query_indices = np.arange(0, len(small_gaussian), 11)
+        batch = rdt.query_batch(query_indices=query_indices, k=5, t=t)
+        assert len(batch) == len(query_indices)
+        for qi, batched in zip(query_indices, batch):
+            single = rdt.query(query_index=int(qi), k=5, t=t)
+            assert_single_batch_parity(single, batched)
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_witness_ablation_parity(self, backend, small_gaussian):
+        index = BACKENDS[backend](small_gaussian)
+        rdt = RDT(index, use_witnesses=False)
+        query_indices = np.arange(0, 90, 9)
+        batch = rdt.query_batch(query_indices=query_indices, k=4, t=3.0)
+        for qi, batched in zip(query_indices, batch):
+            single = rdt.query(query_index=int(qi), k=4, t=3.0)
+            assert_single_batch_parity(single, batched)
+            # the ablation verifies every candidate
+            assert batched.stats.num_verified == batched.stats.num_candidates
+
+    def test_tie_heavy_data_parity(self, duplicated_points):
+        """Exact duplicates / integer grids exercise the tie-group logic."""
+        index = LinearScanIndex(duplicated_points)
+        for variant in ("rdt", "rdt+"):
+            rdt = RDT(index, variant=variant)
+            query_indices = np.arange(len(duplicated_points))
+            batch = rdt.query_batch(query_indices=query_indices, k=4, t=2.5)
+            for qi, batched in zip(query_indices, batch):
+                single = rdt.query(query_index=int(qi), k=4, t=2.5)
+                assert_single_batch_parity(single, batched)
+
+    @pytest.mark.parametrize("variant", ["rdt", "rdt+"])
+    def test_irrational_tie_parity(self, variant):
+        """Exact ties at non-integer coordinates: the pairwise and to_point
+        kernels disagree in the last ulp there, which must not leak into
+        decisions (regression for the vectorized filter's tie handling)."""
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 4, size=(300, 4)).astype(np.float64) * np.pi
+        rdt = RDT(LinearScanIndex(data), variant=variant)
+        query_indices = np.arange(0, 300, 7)
+        batch = rdt.query_batch(query_indices=query_indices, k=5, t=6.0)
+        for qi, batched in zip(query_indices, batch):
+            single = rdt.query(query_index=int(qi), k=5, t=6.0)
+            assert_single_batch_parity(single, batched)
+
+    @pytest.mark.parametrize("offset", [1e6, 1e8])
+    @pytest.mark.parametrize("variant", ["rdt", "rdt+"])
+    def test_far_from_origin_parity(self, variant, offset):
+        """Un-normalized data far from the origin amplifies dot-expansion
+        cancellation; parity must survive it (regression for the centered
+        Euclidean pairwise kernel)."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(250, 6)) + offset
+        rdt = RDT(LinearScanIndex(data), variant=variant)
+        query_indices = np.arange(0, 250, 11)
+        batch = rdt.query_batch(query_indices=query_indices, k=5, t=6.0)
+        for qi, batched in zip(query_indices, batch):
+            single = rdt.query(query_index=int(qi), k=5, t=6.0)
+            assert_single_batch_parity(single, batched)
+
+    def test_non_conservative_parity(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian)
+        rdt = RDT(index, conservative=False)
+        for qi in range(0, 60, 13):
+            single = rdt.query(query_index=qi, k=5, t=3.0)
+            batched = rdt.query_batch(query_indices=[qi], k=5, t=3.0)[0]
+            assert_single_batch_parity(single, batched)
+
+
+class TestFilterModes:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_sequential_mode_matches_default(self, backend, small_gaussian):
+        index = BACKENDS[backend](small_gaussian)
+        rdt = RDT(index)
+        query_indices = np.arange(0, 100, 9)
+        auto = rdt.query_batch(query_indices=query_indices, k=5, t=4.0)
+        sequential = rdt.query_batch(
+            query_indices=query_indices, k=5, t=4.0, filter_mode="sequential"
+        )
+        for a, s in zip(auto, sequential):
+            assert np.array_equal(a.ids, s.ids)
+            assert np.array_equal(a.lazy_accepted_ids, s.lazy_accepted_ids)
+            for field in PARITY_FIELDS:
+                assert getattr(a.stats, field) == getattr(s.stats, field), field
+
+    def test_vectorized_mode_rejects_rdt_plus(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian), variant="rdt+")
+        with pytest.raises(ValueError, match="vectorized"):
+            rdt.query_batch(query_indices=[0], k=5, t=3.0, filter_mode="vectorized")
+
+    def test_unknown_mode_rejected(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        with pytest.raises(ValueError, match="filter_mode"):
+            rdt.query_batch(query_indices=[0], k=5, t=3.0, filter_mode="turbo")
+
+
+class TestRawPointQueries:
+    @pytest.mark.parametrize("variant", ["rdt", "rdt+"])
+    def test_raw_points_parity(self, variant, small_gaussian, rng):
+        index = LinearScanIndex(small_gaussian)
+        rdt = RDT(index, variant=variant)
+        queries = rng.normal(size=(15, small_gaussian.shape[1]))
+        batch = rdt.query_batch(queries, k=5, t=3.0)
+        for query, batched in zip(queries, batch):
+            single = rdt.query(query, k=5, t=3.0)
+            assert_single_batch_parity(single, batched)
+
+    def test_member_exclusion_only_for_indices(self, small_gaussian):
+        """A member passed as a raw point is *not* excluded from its answer."""
+        index = LinearScanIndex(small_gaussian)
+        rdt = RDT(index)
+        as_point = rdt.query_batch(small_gaussian[:1], k=5, t=50.0)[0]
+        as_member = rdt.query_batch(query_indices=[0], k=5, t=50.0)[0]
+        assert 0 in as_point.ids  # a point is its own 1-NN's witness
+        assert 0 not in as_member.ids
+
+
+class TestQueryAll:
+    def test_matches_batch_over_active_ids(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian[:120])
+        rdt = RDT(index)
+        all_results = rdt.query_all(k=5, t=4.0)
+        assert sorted(all_results) == list(range(120))
+        batch = rdt.query_batch(
+            query_indices=index.active_ids(), k=5, t=4.0
+        )
+        for pid, batched in zip(index.active_ids(), batch):
+            assert np.array_equal(all_results[int(pid)].ids, batched.ids)
+
+    def test_respects_removals(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian[:80])
+        index.remove(7)
+        index.remove(20)
+        rdt = RDT(index)
+        all_results = rdt.query_all(k=4, t=4.0)
+        assert 7 not in all_results and 20 not in all_results
+        for result in all_results.values():
+            assert 7 not in result.ids and 20 not in result.ids
+        single = rdt.query(query_index=3, k=4, t=4.0)
+        assert_single_batch_parity(single, all_results[3])
+
+
+class TestBatchStatsAccounting:
+    def test_per_query_stats_are_populated(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian)
+        rdt = RDT(index)
+        batch = rdt.query_batch(query_indices=np.arange(30), k=5, t=4.0)
+        assert sum(r.stats.num_distance_calls for r in batch) > 0
+        for result in batch:
+            stats = result.stats
+            assert stats.num_retrieved >= stats.num_candidates
+            assert (
+                stats.num_lazy_accepts + stats.num_lazy_rejects + stats.num_verified
+                == stats.num_generated
+            )
+            assert stats.terminated_by in ("omega", "rank-cap", "exhausted")
+            assert stats.filter_seconds >= 0.0 and stats.refine_seconds >= 0.0
+
+    def test_distance_call_parity_on_linear_scan(self, small_gaussian):
+        """On the scan backend the batched kernels do the same distance work
+        per query as the looped path, minus the witness restructuring — so
+        refinement-only configurations agree exactly."""
+        index = LinearScanIndex(small_gaussian)
+        rdt = RDT(index, use_witnesses=False)
+        qi = 13
+        single = rdt.query(query_index=qi, k=5, t=2.0)
+        # a singleton batch shares nothing, so attribution is exact
+        batched = rdt.query_batch(query_indices=[qi], k=5, t=2.0)[0]
+        assert batched.stats.num_verified == single.stats.num_verified
+
+
+class TestValidation:
+    def test_requires_exactly_one_input(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        with pytest.raises(ValueError, match="exactly one"):
+            rdt.query_batch(k=5, t=3.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            rdt.query_batch(
+                small_gaussian[:3], query_indices=[0, 1, 2], k=5, t=3.0
+            )
+
+    def test_empty_batches(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        assert rdt.query_batch(query_indices=[], k=5, t=3.0) == []
+        assert (
+            rdt.query_batch(np.empty((0, small_gaussian.shape[1])), k=5, t=3.0)
+            == []
+        )
+
+    def test_rejects_bad_shapes(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian))
+        with pytest.raises(ValueError, match="shape"):
+            rdt.query_batch(np.zeros((3, small_gaussian.shape[1] + 2)), k=5, t=3.0)
+        with pytest.raises(ValueError):
+            rdt.query_batch(query_indices=[[0, 1]], k=5, t=3.0)
+
+    def test_inactive_query_index_raises(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian[:40])
+        index.remove(5)
+        rdt = RDT(index)
+        with pytest.raises(KeyError):
+            rdt.query_batch(query_indices=[5], k=3, t=3.0)
+
+    def test_out_of_range_query_index_raises(self, small_gaussian):
+        rdt = RDT(LinearScanIndex(small_gaussian[:40]))
+        with pytest.raises(IndexError):
+            rdt.query_batch(query_indices=[99], k=3, t=3.0)
+
+    def test_empty_active_set_matches_loop(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian[:3])
+        for i in range(3):
+            index.remove(i)
+        rdt = RDT(index)
+        query = np.zeros((1, small_gaussian.shape[1]))
+        batched = rdt.query_batch(query, k=2, t=4.0)[0]
+        single = rdt.query(query[0], k=2, t=4.0)
+        assert_single_batch_parity(single, batched)
+        assert batched.stats.terminated_by == "exhausted"
+
+
+class TestCorrectnessAgainstTruth:
+    def test_large_t_batch_is_exact(self, small_gaussian, naive_k5):
+        """With a generous scale the batch must reproduce the exact answer."""
+        index = LinearScanIndex(small_gaussian)
+        rdt = RDT(index)
+        query_indices = np.arange(0, 300, 23)
+        batch = rdt.query_batch(query_indices=query_indices, k=5, t=200.0)
+        for qi, result in zip(query_indices, batch):
+            expected = naive_k5.query(query_index=int(qi))
+            assert np.array_equal(result.ids, expected)

@@ -1,0 +1,185 @@
+"""Conformance tests for the batched ``Index.knn_distances`` capability.
+
+The batched form must agree with the per-point ``knn_distance`` path on
+every registered backend — including per-row member exclusion and the
+fewer-than-k ``inf`` convention — since the batched RkNN engine's
+refinement phase decides result membership through it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.indexes import INDEX_REGISTRY, LinearScanIndex, build_index
+from repro.indexes.bulk_knn import bulk_knn_distances, chunked_knn_distances
+from repro.distances import get_metric
+
+INDEX_NAMES = sorted(INDEX_REGISTRY)
+
+
+@pytest.fixture(scope="module", params=INDEX_NAMES)
+def index_and_data(request, small_gaussian):
+    return build_index(request.param, small_gaussian), small_gaussian
+
+
+class TestAgainstPerPointPath:
+    @pytest.mark.parametrize("k", [1, 4, 9])
+    def test_matches_knn_distance(self, index_and_data, k, rng):
+        index, data = index_and_data
+        queries = rng.normal(size=(20, data.shape[1]))
+        got = index.knn_distances(queries, k)
+        expected = np.array([index.knn_distance(q, k) for q in queries])
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_member_rows_with_exclusion(self, index_and_data):
+        index, data = index_and_data
+        rows = np.arange(0, 40, 3)
+        got = index.knn_distances(data[rows], 5, exclude_indices=rows)
+        expected = np.array(
+            [index.knn_distance(data[i], 5, exclude_index=int(i)) for i in rows]
+        )
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_negative_exclusion_means_no_exclusion(self, index_and_data):
+        index, data = index_and_data
+        rows = np.arange(6)
+        none_excluded = index.knn_distances(
+            data[rows], 3, exclude_indices=np.full(6, -1)
+        )
+        plain = index.knn_distances(data[rows], 3)
+        assert np.array_equal(none_excluded, plain)
+
+    def test_mixed_exclusions(self, index_and_data):
+        index, data = index_and_data
+        rows = np.array([4, 9, 14])
+        exclude = np.array([4, -1, 14])
+        got = index.knn_distances(data[rows], 4, exclude_indices=exclude)
+        expected = np.array(
+            [
+                index.knn_distance(data[4], 4, exclude_index=4),
+                index.knn_distance(data[9], 4),
+                index.knn_distance(data[14], 4, exclude_index=14),
+            ]
+        )
+        assert np.allclose(got, expected, rtol=1e-9)
+
+
+class TestFewerThanKConvention:
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_k_beyond_size_is_inf(self, index_name, small_gaussian):
+        index = build_index(index_name, small_gaussian[:5])
+        got = index.knn_distances(small_gaussian[10:14], 9)
+        assert np.all(np.isinf(got))
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_exclusion_tips_row_under_k(self, index_name, small_gaussian):
+        index = build_index(index_name, small_gaussian[:4])
+        rows = np.array([0, 1])
+        at_limit = index.knn_distances(small_gaussian[rows], 4)
+        assert np.all(np.isfinite(at_limit))
+        excluded = index.knn_distances(
+            small_gaussian[rows], 4, exclude_indices=rows
+        )
+        assert np.all(np.isinf(excluded))
+
+
+class TestShapesAndValidation:
+    def test_single_row_promoted(self, index_and_data):
+        index, data = index_and_data
+        got = index.knn_distances(data[3], 5)
+        assert got.shape == (1,)
+        assert got[0] == pytest.approx(index.knn_distance(data[3], 5), rel=1e-9)
+
+    def test_wrong_dim_raises(self, index_and_data):
+        index, _ = index_and_data
+        with pytest.raises(ValueError, match="shape"):
+            index.knn_distances(np.zeros((3, index.dim + 1)), 2)
+
+    def test_empty_batch(self, index_and_data):
+        index, _ = index_and_data
+        got = index.knn_distances(np.empty((0, index.dim)), 3)
+        assert got.shape == (0,)
+
+
+class TestTieRobustness:
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_heavy_ties_match_linear_scan(self, index_name, duplicated_points):
+        index = build_index(index_name, duplicated_points)
+        reference = LinearScanIndex(duplicated_points)
+        rows = np.arange(0, 30, 2)
+        got = index.knn_distances(duplicated_points[rows], 6, exclude_indices=rows)
+        expected = reference.knn_distances(
+            duplicated_points[rows], 6, exclude_indices=rows
+        )
+        assert np.allclose(got, expected, rtol=1e-9)
+
+
+class TestToPointMany:
+    @pytest.mark.parametrize("metric_name", ["euclidean", "manhattan", "chebyshev"])
+    def test_columns_bit_identical_to_to_point(self, metric_name, rng):
+        """The batched filter's tie decisions rely on exact column
+        equivalence between to_point_many and per-point to_point."""
+        metric = get_metric(metric_name)
+        X = rng.normal(size=(60, 5)) * np.pi + 1e5
+        got = metric.to_point_many(X, X[:20])
+        expected = np.stack([metric.to_point(X, X[j]) for j in range(20)], axis=1)
+        assert np.array_equal(got, expected)
+
+
+class TestRemovalAwareness:
+    def test_removed_points_are_not_neighbors(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian[:50])
+        before = index.knn_distances(small_gaussian[:3], 5)
+        nearest_of_zero = int(index.knn(small_gaussian[0], 1)[0][0])
+        index.remove(nearest_of_zero)
+        after = index.knn_distances(small_gaussian[:3], 5)
+        assert np.all(after >= before - 1e-12)
+        expected = np.array(
+            [index.knn_distance(small_gaussian[i], 5) for i in range(3)]
+        )
+        assert np.allclose(after, expected, rtol=1e-9)
+
+
+class TestSharedKernel:
+    def test_bulk_knn_distances_via_kernel_matches_loop(self, tiny_plane):
+        metric = get_metric("euclidean")
+        got = bulk_knn_distances(tiny_plane, 4, metric=metric)
+        index = LinearScanIndex(tiny_plane)
+        expected = np.array(
+            [
+                index.knn_distance(tiny_plane[i], 4, exclude_index=i)
+                for i in range(len(tiny_plane))
+            ]
+        )
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_chunk_size_invariance(self, small_gaussian):
+        metric = get_metric("euclidean")
+        ids = np.arange(small_gaussian.shape[0], dtype=np.intp)
+        a = chunked_knn_distances(
+            small_gaussian, small_gaussian, 5, metric,
+            point_ids=ids, exclude_ids=ids, chunk_size=7,
+        )
+        b = chunked_knn_distances(
+            small_gaussian, small_gaussian, 5, metric,
+            point_ids=ids, exclude_ids=ids, chunk_size=4096,
+        )
+        # BLAS matmul results are not bit-stable across block shapes, so
+        # chunk invariance holds to kernel round-off, not exactly.
+        assert np.allclose(a, b, rtol=1e-12, atol=1e-15)
+
+    def test_mismatched_exclude_length_raises(self, small_gaussian):
+        metric = get_metric("euclidean")
+        ids = np.arange(small_gaussian.shape[0], dtype=np.intp)
+        with pytest.raises(ValueError, match="one entry per query row"):
+            chunked_knn_distances(
+                small_gaussian[:10], small_gaussian, 3, metric,
+                point_ids=ids, exclude_ids=ids[:4],
+            )
+
+    def test_exclude_requires_point_ids(self, small_gaussian):
+        metric = get_metric("euclidean")
+        with pytest.raises(ValueError, match="point_ids"):
+            chunked_knn_distances(
+                small_gaussian[:3], small_gaussian, 2, metric,
+                exclude_ids=np.array([0, 1, 2]),
+            )

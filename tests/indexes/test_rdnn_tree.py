@@ -49,7 +49,7 @@ class TestConstruction:
     def test_precomputed_distances_accepted(self, small_gaussian):
         dk = bulk_knn_distances(small_gaussian, 5)
         tree = RdNNTreeIndex(small_gaussian, k=5, knn_distances=dk)
-        assert np.array_equal(tree.knn_distances, dk)
+        assert np.array_equal(tree.kth_distances, dk)
 
     def test_wrong_shape_distances_rejected(self, small_gaussian):
         with pytest.raises(ValueError, match="one entry per point"):
@@ -63,7 +63,7 @@ class TestConstruction:
             node = stack.pop()
             for entry in node.entries:
                 if entry.is_point:
-                    assert tree.knn_distances[entry.point_id] <= tree.max_dk(node) + 1e-12
+                    assert tree.kth_distances[entry.point_id] <= tree.max_dk(node) + 1e-12
                 else:
                     assert tree.max_dk(entry.child) <= tree.max_dk(node) + 1e-12
                     stack.append(entry.child)

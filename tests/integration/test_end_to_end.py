@@ -20,6 +20,8 @@ from repro.indexes import (
     RStarTreeIndex,
 )
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def fct_workload():
