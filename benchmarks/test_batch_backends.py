@@ -1,0 +1,106 @@
+"""Pruned batched kNN — per-backend speedup over the chunked default.
+
+Every tree backend overrides ``Index.knn_distances`` with a pruned block
+traversal (``repro.indexes.batch_tools``); before this, only linear-scan
+and ball-tree had batch paths and the five other backends silently fell
+back to the quadratic chunked pairwise scan.  This benchmark times both
+paths on the workload the batched RkNN engine issues — the k-th NN
+distances of a large block of member rows, self-excluded — over a
+clustered dataset big enough (n >= 5000) for pruning to matter, verifies
+parity, and records the per-backend speedups to
+``benchmarks/results/batch_backends.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.datasets import gaussian_mixture
+from repro.indexes import INDEX_REGISTRY, build_index
+from repro.indexes.base import Index
+
+pytestmark = pytest.mark.slow
+
+N = 8000
+M = 2000
+DIM = 8
+K = 10
+
+#: Backends with a pruned override (linear-scan's override is a gather
+#: skip over the same chunked kernel, so it is not expected to "win").
+TREE_BACKENDS = sorted(name for name in INDEX_REGISTRY if name != "linear-scan")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(N, dim=DIM, n_clusters=10, separation=8.0, seed=5)
+    rows = np.linspace(0, N - 1, M).astype(np.intp)
+    return data, data[rows], rows
+
+
+def best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    """Best wall-clock of ``repeats`` runs — the assertion below compares
+    single measurements on shared CI runners, where one scheduler hiccup
+    would otherwise flake the scheduled job."""
+    best_seconds, result = np.inf, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    return best_seconds, result
+
+
+def test_pruned_batch_beats_chunked_default(workload):
+    data, queries, exclude = workload
+    lines = [
+        f"Pruned batched knn_distances vs chunked default "
+        f"(n={N}, m={M} member rows, d={DIM}, k={K}, self-excluded)",
+        f"{'backend':14s} {'build':>8s} {'chunked':>10s} {'pruned':>10s} "
+        f"{'speedup':>8s}",
+    ]
+    speedups = {}
+    for name in TREE_BACKENDS:
+        started = time.perf_counter()
+        index = build_index(name, data)
+        build_seconds = time.perf_counter() - started
+
+        chunked_seconds, reference = best_of(
+            lambda: Index.knn_distances(index, queries, K, exclude)
+        )
+        pruned_seconds, pruned = best_of(
+            lambda: index.knn_distances(queries, K, exclude_indices=exclude)
+        )
+
+        assert np.allclose(pruned, reference, rtol=1e-9), name
+        speedups[name] = chunked_seconds / pruned_seconds
+        lines.append(
+            f"{name:14s} {build_seconds:7.2f}s {chunked_seconds * 1e3:8.1f}ms "
+            f"{pruned_seconds * 1e3:8.1f}ms {speedups[name]:7.2f}x"
+        )
+    record("batch_backends", "\n".join(lines))
+    # Every pruned override must beat the chunked scan on this workload.
+    for name, speedup in speedups.items():
+        assert speedup > 1.0, f"{name} pruned path slower than chunked default"
+
+
+def test_batched_join_over_tree_backend(workload):
+    """End-to-end: the sequential-filter join over a pruning backend uses
+    the pruned refinement and matches the linear-scan join exactly."""
+    from repro.mining import rknn_self_join
+    from repro.indexes import KDTreeIndex, LinearScanIndex
+
+    data, _, _ = workload
+    subset = np.arange(0, N, 40, dtype=np.intp)
+    tree_join = rknn_self_join(
+        KDTreeIndex(data), k=K, t=4.0, point_ids=subset, filter_mode="sequential"
+    )
+    scan_join = rknn_self_join(LinearScanIndex(data), k=K, t=4.0, point_ids=subset)
+    assert tree_join.neighborhoods.keys() == scan_join.neighborhoods.keys()
+    for pid in subset:
+        assert np.array_equal(
+            tree_join.neighborhoods[int(pid)], scan_join.neighborhoods[int(pid)]
+        )

@@ -48,7 +48,14 @@ from repro.indexes import (
     bulk_knn,
     bulk_knn_distances,
 )
-from repro.core import RDT, QueryStats, RkNNResult, suggest_scale
+from repro.core import (
+    RDT,
+    BichromaticRDT,
+    QueryStats,
+    RkNNResult,
+    bichromatic_brute_force,
+    suggest_scale,
+)
 from repro.baselines import SFT, TPL, MRkNNCoP, NaiveRkNN, RdNN, rknn_brute_force
 from repro.lid import (
     estimate_id,
@@ -61,6 +68,7 @@ from repro.lid import (
 from repro.datasets import load_standin
 from repro.evaluation import (
     GroundTruth,
+    run_bichromatic_batched,
     run_method,
     run_method_batched,
     run_tradeoff,
@@ -103,6 +111,8 @@ __all__ = [
     "bulk_knn_distances",
     # core algorithm
     "RDT",
+    "BichromaticRDT",
+    "bichromatic_brute_force",
     "RkNNResult",
     "QueryStats",
     "suggest_scale",
@@ -125,6 +135,7 @@ __all__ = [
     "GroundTruth",
     "run_method",
     "run_method_batched",
+    "run_bichromatic_batched",
     "run_tradeoff",
     "run_tradeoff_batched",
     # mining applications

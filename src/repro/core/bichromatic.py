@@ -24,6 +24,18 @@ client.  The Lemma 1 rank cap does not transfer across colors (a member
 client's position in the client stream is unconstrained by service
 geometry), so termination is by ``omega`` or exhaustion only: large ``t``
 degenerates to an exact full scan.
+
+**Batched execution** — :meth:`BichromaticRDT.query_batch` answers many
+prospective service locations in one pass.  The two-color filter recursion
+is order-dependent (every retrieved service immediately reshapes the
+witness counts of every pending client), so the filter runs per query; the
+refinement, however, is shared by the whole batch: all undecided clients
+are verified with **one** batched k-th-NN-distance call against the service
+index (:meth:`~repro.indexes.Index.knn_distances`), deduplicated by client
+id — a client's k-th NN distance over ``S`` does not depend on which query
+asked, so each distinct client is verified exactly once per batch.  The
+single-query :meth:`~BichromaticRDT.query` routes through the same
+verifier, so batched and looped answers are decided by identical kernels.
 """
 
 from __future__ import annotations
@@ -36,8 +48,13 @@ from repro.core.result import QueryStats, RkNNResult
 from repro.core.termination import DimensionalTest
 from repro.distances import Metric
 from repro.indexes.base import Index
-from repro.utils.tolerance import dist_le
-from repro.utils.validation import as_query_point, check_k, check_scale_parameter
+from repro.utils.tolerance import dist_le_many
+from repro.utils.validation import (
+    as_query_point,
+    as_query_rows,
+    check_k,
+    check_scale_parameter,
+)
 
 __all__ = ["BichromaticRDT", "bichromatic_brute_force"]
 
@@ -67,6 +84,7 @@ class _BichromaticStore:
     """Client candidates witnessed by services, behind a shared frontier."""
 
     def __init__(self, dim: int, metric: Metric, k: int) -> None:
+        self._dim = dim
         self._metric = metric
         self._k = k
         self.client_ids: list[int] = []
@@ -116,6 +134,12 @@ class _BichromaticStore:
         needs_verification = ~accepted & (witnesses < self._k)
         return accepted, needs_verification
 
+    def client_rows(self, slots: np.ndarray) -> np.ndarray:
+        """The candidate point matrix for the given slot positions."""
+        if slots.shape[0] == 0:
+            return np.empty((0, self._dim), dtype=np.float64)
+        return np.asarray([self.client_points[int(s)] for s in slots])
+
 
 class BichromaticRDT:
     """Dimensional-testing BRkNN over two incremental-NN indexes."""
@@ -134,10 +158,47 @@ class BichromaticRDT:
         k = check_k(k, n=self.services.size, name="k")
         t = check_scale_parameter(t)
         query_point = as_query_point(query, dim=self.clients.dim)
+        stats = QueryStats()
+        store = self._filter_one(query_point, k, t, stats)
+        return self._refine_batch([store], k, t, [stats])[0]
+
+    def query_batch(self, queries, *, k: int, t: float) -> list[RkNNResult]:
+        """Answer many bichromatic queries with one shared refinement pass.
+
+        ``queries`` is an ``(m, dim)`` array of prospective service
+        locations (bichromatic queries are never members of either set).
+        Returns one :class:`~repro.core.result.RkNNResult` per row, in
+        input order, with decisions identical to a loop of :meth:`query`
+        calls.  The two-color filter runs per query (its witness recursion
+        is order-dependent, like RDT+'s); refinement issues a single
+        batched :meth:`~repro.indexes.Index.knn_distances` call over the
+        *distinct* undecided clients of the entire batch — deduplicated by
+        client id, since a client's k-th NN distance over the service set
+        is query-independent.  Per-query :class:`QueryStats` survive
+        batching: semantic counters match looped execution, while the
+        shared verification's wall-clock time and distance calls are
+        attributed per query in proportion to its verified candidates.
+        """
+        k = check_k(k, n=self.services.size, name="k")
+        t = check_scale_parameter(t)
+        query_rows = as_query_rows(queries, dim=self.clients.dim, name="queries")
+        if query_rows.shape[0] == 0:
+            return []
+        stats_list = [QueryStats() for _ in range(query_rows.shape[0])]
+        stores = [
+            self._filter_one(query_rows[row], k, t, stats)
+            for row, stats in enumerate(stats_list)
+        ]
+        return self._refine_batch(stores, k, t, stats_list)
+
+    # ------------------------------------------------------------------
+    # Phase 1: the two-color expanding search
+    # ------------------------------------------------------------------
+    def _filter_one(
+        self, query_point: np.ndarray, k: int, t: float, stats: QueryStats
+    ) -> _BichromaticStore:
         metric = self.clients.metric
         calls_before = metric.num_calls
-
-        stats = QueryStats()
         started = time.perf_counter()
         store = _BichromaticStore(self.clients.dim, metric, k)
         test = DimensionalTest(k, t, self.services.size, conservative=True)
@@ -178,31 +239,98 @@ class BichromaticRDT:
         stats.num_retrieved = service_rank
         stats.num_candidates = len(store.client_ids)
         stats.filter_seconds = time.perf_counter() - started
-
-        # Refinement: verify undecided clients against the service set.
-        started = time.perf_counter()
-        accepted, needs_verification = store.masks()
-        ids = np.asarray(store.client_ids, dtype=np.intp)
-        qdists = np.asarray(store.client_qdists)
-        final = accepted.copy()
-        for slot in np.flatnonzero(needs_verification):
-            kth = self.services.knn_distance(store.client_points[slot], k)
-            stats.num_verified += 1
-            if dist_le(float(qdists[slot]), kth):
-                final[slot] = True
-                stats.num_verified_hits += 1
-        stats.num_lazy_accepts = int(np.count_nonzero(accepted))
-        stats.num_lazy_rejects = int(
-            np.count_nonzero(~accepted & ~needs_verification)
-        )
-        stats.refine_seconds = time.perf_counter() - started
         stats.num_distance_calls = metric.num_calls - calls_before
         stats.omega = test.omega
         stats.terminated_by = test.terminated_by or "unknown"
-        return RkNNResult(
-            ids=np.sort(ids[final]).astype(np.intp),
-            k=k,
-            t=t,
-            lazy_accepted_ids=np.sort(ids[accepted]).astype(np.intp),
-            stats=stats,
-        )
+        return store
+
+    # ------------------------------------------------------------------
+    # Phase 2: shared, deduplicated verification
+    # ------------------------------------------------------------------
+    def _refine_batch(
+        self,
+        stores: list[_BichromaticStore],
+        k: int,
+        t: float,
+        stats_list: list[QueryStats],
+    ) -> list[RkNNResult]:
+        """Verify the undecided clients of one or more stores in one call.
+
+        Distinct undecided clients across the whole batch are verified
+        with a single batched k-th-NN-distance query against the service
+        index (no exclusion — the query is not a service), and the answers
+        are scattered back to every occurrence.
+        """
+        service_metric = self.services.metric
+        accepted_list: list[np.ndarray] = []
+        slots_list: list[np.ndarray] = []
+        for store in stores:
+            accepted, needs_verification = store.masks()
+            accepted_list.append(accepted)
+            slots_list.append(np.flatnonzero(needs_verification))
+        row_counts = [int(slots.shape[0]) for slots in slots_list]
+        total_rows = sum(row_counts)
+
+        hits_list: list[np.ndarray] = [
+            np.zeros(count, dtype=bool) for count in row_counts
+        ]
+        shared_seconds = 0.0
+        shared_calls = 0
+        if total_rows:
+            rows = np.concatenate(
+                [s.client_rows(sl) for s, sl in zip(stores, slots_list)], axis=0
+            )
+            client_ids = np.concatenate(
+                [
+                    np.asarray(s.client_ids, dtype=np.intp)[sl]
+                    for s, sl in zip(stores, slots_list)
+                ]
+            )
+            qdists = np.concatenate(
+                [
+                    np.asarray(s.client_qdists, dtype=np.float64)[sl]
+                    for s, sl in zip(stores, slots_list)
+                ]
+            )
+            started = time.perf_counter()
+            calls_before = service_metric.num_calls
+            unique_ids, first_rows, inverse = np.unique(
+                client_ids, return_index=True, return_inverse=True
+            )
+            kth_unique = self.services.knn_distances(rows[first_rows], k)
+            kth_dists = kth_unique[inverse]
+            shared_calls = service_metric.num_calls - calls_before
+            shared_seconds = time.perf_counter() - started
+            hits = dist_le_many(qdists, kth_dists)
+            offset = 0
+            for i, count in enumerate(row_counts):
+                hits_list[i] = hits[offset : offset + count]
+                offset += count
+
+        results: list[RkNNResult] = []
+        for store, accepted, slots, hits, stats in zip(
+            stores, accepted_list, slots_list, hits_list, stats_list
+        ):
+            ids = np.asarray(store.client_ids, dtype=np.intp)
+            final = accepted.copy()
+            final[slots[hits]] = True
+            stats.num_verified = int(slots.shape[0])
+            stats.num_verified_hits = int(np.count_nonzero(hits))
+            stats.num_lazy_accepts = int(np.count_nonzero(accepted))
+            undecided = np.zeros(ids.shape[0], dtype=bool)
+            undecided[slots] = True
+            stats.num_lazy_rejects = int(np.count_nonzero(~accepted & ~undecided))
+            if total_rows:
+                fraction = slots.shape[0] / total_rows
+                stats.refine_seconds = shared_seconds * fraction
+                stats.num_distance_calls += int(round(shared_calls * fraction))
+            results.append(
+                RkNNResult(
+                    ids=np.sort(ids[final]).astype(np.intp),
+                    k=k,
+                    t=t,
+                    lazy_accepted_ids=np.sort(ids[accepted]).astype(np.intp),
+                    stats=stats,
+                )
+            )
+        return results

@@ -87,6 +87,24 @@ class Metric:
         self.num_calls += X.shape[0] * Y.shape[0]
         return self._dist_matrix(X, Y)
 
+    def paired(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Row-wise distances ``d(X[i], Y[i])`` between equal-shape matrices.
+
+        The pruned batched tree searches use this to evaluate one lower
+        bound per query in a single kernel call (each query row is paired
+        with its own closest box/ball point).  Implemented through the same
+        difference kernel as :meth:`to_point`, so bound values share that
+        kernel's round-off behavior.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if X.shape != Y.shape:
+            raise ValueError(
+                f"paired distances need equal shapes, got {X.shape} and {Y.shape}"
+            )
+        self.num_calls += X.shape[0]
+        return self._diff_kernel((X - Y)[:, None, :])[:, 0]
+
     def to_point_many(self, X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
         """Distance matrix ``D[i, j] = d(X[i], Ys[j])``, to_point-consistent.
 

@@ -12,6 +12,7 @@ from repro.evaluation.runner import (
     MethodRun,
     QueryRecord,
     TradeoffCurve,
+    run_bichromatic_batched,
     run_method,
     run_method_batched,
     run_tradeoff,
@@ -30,6 +31,7 @@ __all__ = [
     "TradeoffCurve",
     "run_method",
     "run_method_batched",
+    "run_bichromatic_batched",
     "run_tradeoff",
     "run_tradeoff_batched",
     "format_table",

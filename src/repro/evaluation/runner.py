@@ -33,6 +33,7 @@ __all__ = [
     "TradeoffCurve",
     "run_method",
     "run_method_batched",
+    "run_bichromatic_batched",
     "run_tradeoff",
     "run_tradeoff_batched",
 ]
@@ -180,6 +181,51 @@ def run_method_batched(
                 precision=precision(expected, ids),
                 # Raw-id returns carry no timing; record them as 0 rather
                 # than crashing (mirrors run_method's _result_ids tolerance).
+                seconds=result.stats.total_seconds if is_full_result else 0.0,
+                result=result if keep_results and is_full_result else None,
+            )
+        )
+    return run
+
+
+def run_bichromatic_batched(
+    name: str,
+    batch_fn: Callable[[np.ndarray], Sequence[RkNNResult]],
+    query_points: np.ndarray,
+    truth_fn: Callable[[np.ndarray], np.ndarray],
+    k: int,
+    parameter: float = float("nan"),
+    keep_results: bool = False,
+) -> MethodRun:
+    """Evaluate a batched bichromatic method over raw query points.
+
+    Bichromatic queries are prospective service locations, not members of
+    either color, so the workload is an ``(m, dim)`` array of points
+    rather than member ids; records carry the query's row number.
+    ``batch_fn`` maps the whole array to one result per row (e.g. a bound
+    :meth:`~repro.core.BichromaticRDT.query_batch`) and ``truth_fn`` maps
+    one query point to its exact BRkNN ids (e.g. a partial of
+    :func:`~repro.core.bichromatic_brute_force`).  Timing follows
+    :func:`run_method_batched`: per-record seconds come from the engine's
+    own per-query attribution of the shared batched work.
+    """
+    query_points = np.asarray(query_points, dtype=np.float64)
+    run = MethodRun(method=name, k=k, parameter=parameter)
+    results = batch_fn(query_points)
+    if len(results) != query_points.shape[0]:
+        raise ValueError(
+            f"batch_fn returned {len(results)} results for "
+            f"{query_points.shape[0]} queries"
+        )
+    for row, result in enumerate(results):
+        ids = _result_ids(result)
+        expected = truth_fn(query_points[row])
+        is_full_result = isinstance(result, RkNNResult)
+        run.records.append(
+            QueryRecord(
+                query_index=row,
+                recall=recall(expected, ids),
+                precision=precision(expected, ids),
                 seconds=result.stats.total_seconds if is_full_result else 0.0,
                 result=result if keep_results and is_full_result else None,
             )

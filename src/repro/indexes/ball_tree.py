@@ -22,6 +22,11 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.indexes.base import Index
+from repro.indexes.batch_tools import (
+    KSmallestKeeper,
+    check_exclude_indices,
+    mask_excluded,
+)
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.validation import (
     as_query_point,
@@ -116,84 +121,61 @@ class BallTreeIndex(Index):
     def knn_distances(
         self, query_points, k: int, exclude_indices=None
     ) -> np.ndarray:
-        """Batched k-th NN distances using leaf-level ball pruning.
+        """Batched k-th NN distances via a pruned block traversal.
 
-        Query-to-leaf-centroid distances for the whole batch are computed
-        with one pairwise kernel; each row then visits its leaves in
-        ascending lower-bound order and stops as soon as the running k-th
-        best distance rules out every remaining leaf.  This keeps the
-        tree's pruning (unlike the chunked full scan of the base class)
-        while replacing the per-point best-first heap with vectorized
-        per-leaf work.
+        The batch walks the tree together: each node computes the active
+        block's distances to both children's centroids with one kernel,
+        lowers them by the covering radii into subtree bounds, and
+        deactivates query rows whose running k-th smallest distance
+        (shared :class:`~repro.indexes.batch_tools.KSmallestKeeper` pool)
+        already prunes the subtree.  The child preferred by the majority
+        of rows is descended first so radii shrink before the far side is
+        attempted — the tree's pruning survives batching while all
+        distance work stays in vectorized per-node blocks.
         """
         k = check_k(k)
-        query_points = as_query_rows(query_points, dim=self.dim)
-        if exclude_indices is None:
-            exclude = np.full(query_points.shape[0], -1, dtype=np.intp)
+        queries = as_query_rows(query_points, dim=self.dim)
+        m = queries.shape[0]
+        exclude = check_exclude_indices(exclude_indices, m)
+        keeper = KSmallestKeeper(m, k)
+        if m and self.size:
+            rows = np.arange(m, dtype=np.intp)
+            self._batch_visit(self._root, rows, np.zeros(m), queries, exclude, keeper)
+        return keeper.kth
+
+    def _batch_visit(
+        self,
+        node: _Node,
+        rows: np.ndarray,
+        bounds: np.ndarray,
+        queries: np.ndarray,
+        exclude: np.ndarray,
+        keeper: KSmallestKeeper,
+    ) -> None:
+        alive = bounds < keeper.kth[rows]
+        rows = rows[alive]
+        if rows.shape[0] == 0:
+            return
+        if node.is_leaf:
+            ids = np.asarray(
+                [i for i in node.point_ids if self._active[i]], dtype=np.intp
+            )
+            if ids.shape[0]:
+                cand = self.metric.pairwise(queries[rows], self._points[ids])
+                mask_excluded(cand, ids, exclude[rows])
+                keeper.update(rows, cand)
+            return
+        centroids = np.stack([node.left.centroid, node.right.centroid])
+        to_centroid = self.metric.pairwise(queries[rows], centroids)
+        left_bounds = np.maximum(0.0, to_centroid[:, 0] - node.left.radius)
+        right_bounds = np.maximum(0.0, to_centroid[:, 1] - node.right.radius)
+        left_votes = np.count_nonzero(to_centroid[:, 0] <= to_centroid[:, 1])
+        if 2 * left_votes >= rows.shape[0]:
+            order = ((node.left, left_bounds), (node.right, right_bounds))
         else:
-            exclude = np.asarray(exclude_indices, dtype=np.intp)
-            if exclude.shape != (query_points.shape[0],):
-                raise ValueError(
-                    f"exclude_indices must have one entry per query row, got "
-                    f"shape {exclude.shape} for {query_points.shape[0]} rows"
-                )
-
-        leaves = self._collect_leaves()
-        m = query_points.shape[0]
-        out = np.full(m, np.inf, dtype=np.float64)
-        if not leaves:
-            return out
-        centroids = np.stack([leaf[0] for leaf in leaves])
-        radii = np.asarray([leaf[1] for leaf in leaves])
-        leaf_ids = [leaf[2] for leaf in leaves]
-        leaf_points = [self._points[ids] for ids in leaf_ids]
-
-        to_centroid = self.metric.pairwise(query_points, centroids)
-        lower = np.maximum(0.0, to_centroid - radii[None, :])
-        visit_order = np.argsort(lower, axis=1)
-
-        for row in range(m):
-            query = query_points[row]
-            bounds = lower[row]
-            order = visit_order[row]
-            collected: list[np.ndarray] = []
-            n_collected = 0
-            kth = np.inf
-            for leaf in order:
-                if bounds[leaf] > kth:
-                    break
-                ids = leaf_ids[leaf]
-                dists = self.metric.to_point(leaf_points[leaf], query)
-                if exclude[row] >= 0:
-                    dists = dists[ids != exclude[row]]
-                collected.append(dists)
-                n_collected += dists.shape[0]
-                if n_collected >= k:
-                    # Keep only the running k smallest between leaves.
-                    merged = np.concatenate(collected)
-                    merged = np.partition(merged, k - 1)[:k]
-                    kth = float(merged[k - 1])
-                    collected = [merged]
-                    n_collected = k
-            out[row] = kth
-        return out
-
-    def _collect_leaves(self) -> list[tuple[np.ndarray, float, np.ndarray]]:
-        """All non-empty leaves as ``(centroid, radius, active point ids)``."""
-        leaves = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                ids = np.asarray(
-                    [i for i in node.point_ids if self._active[i]], dtype=np.intp
-                )
-                if ids.shape[0]:
-                    leaves.append((node.centroid, node.radius, ids))
-            else:
-                stack.append(node.left)
-                stack.append(node.right)
-        return leaves
+            order = ((node.right, right_bounds), (node.left, left_bounds))
+        for child, child_bounds in order:
+            self._batch_visit(child, rows, child_bounds, queries, exclude, keeper)
 
     def range_count(self, query, radius: float) -> int:
         query = as_query_point(query, dim=self.dim)

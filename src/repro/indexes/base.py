@@ -167,11 +167,12 @@ class Index:
         ``n`` distance calls per row even on backends whose per-point
         ``knn_distance`` would prune most of the data, trading the
         machine-independent call metric for (much) lower interpreter
-        overhead.  Pruning subclasses may override with a batch search
-        that keeps their asymptotics (see ``BallTreeIndex``) but must
-        preserve the semantics (values may differ from the per-point
-        path only by kernel round-off, which the tolerance policy in
-        :mod:`repro.utils.tolerance` absorbs).
+        overhead.  Every tree backend overrides this with a pruned block
+        traversal built on :mod:`repro.indexes.batch_tools` that keeps
+        its asymptotics (see the capability matrix in DESIGN.md); an
+        override must preserve the semantics (values may differ from the
+        per-point path only by kernel round-off, which the tolerance
+        policy in :mod:`repro.utils.tolerance` absorbs).
         """
         from repro.indexes.bulk_knn import chunked_knn_distances
 

@@ -1,0 +1,108 @@
+"""Shared machinery for pruned batched kNN searches over tree indexes.
+
+Every tree backend answers the batched :meth:`repro.indexes.Index.knn_distances`
+capability with the same scheme: a depth-first block traversal that carries
+the *active* query rows of the batch down the tree, evaluates each node's
+lower bound for the whole block in one vectorized kernel, and deactivates
+rows whose current k-th smallest distance already prunes the subtree.  The
+per-row shrinking pruning radii live in one shared :class:`KSmallestKeeper`
+pool; the backends differ only in how a node's lower bound is computed
+(box clamp for KD/R*, triangle inequality for the metric trees).
+
+Semantics match the chunked pairwise default (``DESIGN.md``): per-row
+``exclude_indices`` with negative entries meaning "exclude nothing", and
+``inf`` for rows with fewer than ``k`` eligible points — the keeper's
+buffers start at ``inf``, so underfull rows report ``inf`` for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import Metric
+
+__all__ = [
+    "KSmallestKeeper",
+    "check_exclude_indices",
+    "mask_excluded",
+    "box_lower_bounds",
+]
+
+
+class KSmallestKeeper:
+    """Running k-smallest distance pool for a block of ``m`` queries.
+
+    Maintains, per query row, the ``k`` smallest candidate distances seen
+    so far (unsorted) and the current k-th smallest in :attr:`kth` — the
+    per-row pruning radius the tree traversals test their node bounds
+    against.  Rows that have collected fewer than ``k`` finite candidates
+    keep ``inf`` entries in their buffer, so their radius is ``inf`` and
+    they are never pruned (matching the fewer-than-k convention).
+    """
+
+    def __init__(self, m: int, k: int) -> None:
+        self.k = int(k)
+        self._best = np.full((m, self.k), np.inf, dtype=np.float64)
+        #: Current k-th smallest distance per row (the pruning radius).
+        self.kth = np.full(m, np.inf, dtype=np.float64)
+
+    def update(self, rows: np.ndarray, cand: np.ndarray) -> None:
+        """Merge candidate distances ``cand[(len(rows), c)]`` into the pool.
+
+        ``cand`` may contain ``inf`` entries (masked exclusions or removed
+        points); they never displace finite candidates.
+        """
+        if cand.shape[1] == 0 or rows.shape[0] == 0:
+            return
+        k = self.k
+        merged = np.concatenate([self._best[rows], cand], axis=1)
+        best = np.partition(merged, k - 1, axis=1)[:, :k]
+        self._best[rows] = best
+        self.kth[rows] = best.max(axis=1)
+
+
+def check_exclude_indices(exclude_indices, m: int) -> np.ndarray:
+    """Validate per-row exclusions; ``None`` becomes all ``-1`` (no exclusion)."""
+    if exclude_indices is None:
+        return np.full(m, -1, dtype=np.intp)
+    exclude = np.asarray(exclude_indices, dtype=np.intp)
+    if exclude.shape != (m,):
+        raise ValueError(
+            f"exclude_indices must have one entry per query row, got "
+            f"shape {exclude.shape} for {m} rows"
+        )
+    return exclude
+
+
+def mask_excluded(
+    cand: np.ndarray, ids: np.ndarray, exclude_rows: np.ndarray
+) -> None:
+    """Set each row's excluded candidate column to ``inf``, in place.
+
+    ``cand`` is a ``(r, c)`` distance block whose columns are labelled by
+    the point ids ``ids``; ``exclude_rows`` holds one excluded id per row
+    (negative entries never match a point id, excluding nothing).
+    """
+    if exclude_rows.shape[0] and np.any(exclude_rows >= 0):
+        cand[ids[None, :] == exclude_rows[:, None]] = np.inf
+
+
+def box_lower_bounds(
+    metric: Metric, queries: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Lower bounds from each query row to one or more axis-aligned boxes.
+
+    The closest point of a box under any Minkowski metric is the
+    coordinate-wise clamp of the query, so ``d(q, clip(q, lo, hi))`` is an
+    exact lower bound for every point inside.  ``lo``/``hi`` may be a
+    single box (``(dim,)`` → returns ``(r,)``) or a stack of ``E`` boxes
+    (``(E, dim)`` → returns ``(r, E)``); either way the whole block is one
+    :meth:`~repro.distances.Metric.paired` kernel call.
+    """
+    if lo.ndim == 1:
+        clipped = np.clip(queries, lo, hi)
+        return metric.paired(queries, clipped)
+    clipped = np.clip(queries[:, None, :], lo[None, :, :], hi[None, :, :])
+    r, e, dim = clipped.shape
+    flat_q = np.broadcast_to(queries[:, None, :], clipped.shape).reshape(r * e, dim)
+    return metric.paired(flat_q, clipped.reshape(r * e, dim)).reshape(r, e)

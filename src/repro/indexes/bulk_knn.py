@@ -22,10 +22,8 @@ from repro.utils.validation import as_dataset, check_k
 
 __all__ = ["bulk_knn_distances", "bulk_knn", "chunked_knn_distances"]
 
-#: Default number of query rows per pairwise block.
-DEFAULT_CHUNK_SIZE = 1024
-
-#: Peak doubles per pairwise block when the chunk size adapts to ``n``.
+#: Peak doubles per pairwise block; every bulk entry point sizes its chunks
+#: from this shared envelope via :func:`adaptive_chunk_size`.
 BLOCK_BUDGET = 8 * 1024 * 1024
 
 
@@ -92,15 +90,27 @@ def chunked_knn_distances(
                 f"exclude_ids must have one entry per query row, got shape "
                 f"{exclude_ids.shape} for {m} rows"
             )
-        # Column position of each row's excluded id (n = not present).
-        col_of_id = np.full(int(point_ids.max(initial=-1)) + 2, n, dtype=np.intp)
-        col_of_id[point_ids] = np.arange(n, dtype=np.intp)
-        lookup = np.where(
-            (exclude_ids >= 0) & (exclude_ids < col_of_id.shape[0] - 1),
-            exclude_ids,
-            col_of_id.shape[0] - 1,
+        # Column position of each row's excluded id (n = not present),
+        # found by binary search over the sorted id labels.  Ids are never
+        # reused, so after heavy insert/remove churn the id space is much
+        # larger than ``n``; a dense id->column table would cost O(max_id)
+        # memory per call, unbounded by the live set.
+        point_ids = np.asarray(point_ids)
+        if point_ids.shape[0] > 1 and np.any(np.diff(point_ids) < 0):
+            order = np.argsort(point_ids, kind="stable")
+            sorted_ids = point_ids[order]
+        else:
+            order = None
+            sorted_ids = point_ids
+        pos = np.searchsorted(sorted_ids, exclude_ids)
+        pos_in_range = np.minimum(pos, n - 1)
+        found = (
+            (exclude_ids >= 0)
+            & (pos < n)
+            & (sorted_ids[pos_in_range] == exclude_ids)
         )
-        exclude_cols = col_of_id[lookup]
+        cols = pos_in_range if order is None else order[pos_in_range]
+        exclude_cols = np.where(found, cols, n)
     else:
         exclude_cols = None
     for start, stop in _chunk_rows(m, chunk_size):
@@ -122,18 +132,23 @@ def bulk_knn(
     data,
     k: int,
     metric: str | Metric | None = None,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(ids, dists)``, each of shape ``(n, k)``.
 
     Row ``i`` holds the ids / distances of the ``k`` nearest neighbors of
     point ``i`` among the *other* points, in ascending distance order with
-    ties broken by ascending id.
+    ties broken by ascending id.  ``chunk_size=None`` (default) adapts the
+    block size to ``n`` via :func:`adaptive_chunk_size`, so the large-``n``
+    precompute paths (RdNN-Tree, MRkNNCoP, exact ground truth) stay inside
+    the shared :data:`BLOCK_BUDGET` memory envelope.
     """
     points = as_dataset(data)
     n = points.shape[0]
     k = check_k(k, n=n - 1, name="k")
     metric = get_metric(metric)
+    if chunk_size is None:
+        chunk_size = adaptive_chunk_size(n)
     all_ids = np.empty((n, k), dtype=np.intp)
     all_dists = np.empty((n, k), dtype=np.float64)
     for start, stop in _chunk_rows(n, chunk_size):
@@ -157,9 +172,14 @@ def bulk_knn_distances(
     data,
     k: int,
     metric: str | Metric | None = None,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
-    """Return the ``(n,)`` array of k-th NN distances (self excluded)."""
+    """Return the ``(n,)`` array of k-th NN distances (self excluded).
+
+    ``chunk_size=None`` (default) adapts to ``n`` via
+    :func:`adaptive_chunk_size` — the same memory-budget policy as every
+    other bulk path.
+    """
     points = as_dataset(data)
     n = points.shape[0]
     k = check_k(k, n=n - 1, name="k")

@@ -33,8 +33,13 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.indexes.base import Index
+from repro.indexes.batch_tools import (
+    KSmallestKeeper,
+    check_exclude_indices,
+    mask_excluded,
+)
 from repro.utils.priority_queue import MinPriorityQueue
-from repro.utils.validation import as_query_point
+from repro.utils.validation import as_query_point, as_query_rows, check_k
 
 __all__ = ["CoverTreeIndex"]
 
@@ -64,6 +69,7 @@ class CoverTreeIndex(Index):
         super().__init__(data, metric)
         self._root: Optional[_Node] = None
         self._nodes: dict[int, _Node] = {}
+        self._batch_sizes: Optional[dict[int, int]] = None
         for point_id in range(self._points.shape[0]):
             self._insert_id(point_id)
 
@@ -129,6 +135,107 @@ class CoverTreeIndex(Index):
                 if child.children:
                     queue.push(max(0.0, d_child - child.maxdist), ("node", child))
 
+    def knn_distances(
+        self, query_points, k: int, exclude_indices=None
+    ) -> np.ndarray:
+        """Batched k-th NN distances via a pruned block traversal.
+
+        Each visited node evaluates the whole active block against all of
+        its children's points with one pairwise kernel — those distances
+        both feed the shared
+        :class:`~repro.indexes.batch_tools.KSmallestKeeper` pool (every
+        cover-tree node *is* a data point) and, lowered by each child's
+        ``maxdist``, bound its subtree.  Query rows whose running k-th
+        smallest distance already prunes a subtree are deactivated before
+        descending; children are visited in ascending mean distance so
+        radii shrink before the far subtrees are attempted.  Because each
+        node holds exactly one point, a node-by-node descent would pay
+        interpreter overhead per *point*; subtrees that shrink below
+        ``_FLAT_SUBTREE`` descendants are therefore evaluated as one
+        pairwise block instead (their entry bound has already been
+        checked, so this only trades pruning granularity for kernel
+        width).  Removal is eager in this tree, so every node in it is an
+        active point.
+        """
+        k = check_k(k)
+        queries = as_query_rows(query_points, dim=self.dim)
+        m = queries.shape[0]
+        exclude = check_exclude_indices(exclude_indices, m)
+        keeper = KSmallestKeeper(m, k)
+        if m and self._root is not None:
+            if self._batch_sizes is None:
+                # Cached until the next insert/remove: rebuilding this
+                # O(n) table per call would tax every single-query
+                # refinement with an interpreted full-tree walk.
+                self._batch_sizes = {}
+                self._subtree_sizes(self._root, self._batch_sizes)
+            sizes = self._batch_sizes
+            rows = np.arange(m, dtype=np.intp)
+            d_root = self.metric.to_point(queries, self._points[self._root.point_id])
+            cand = d_root[:, None].copy()
+            mask_excluded(
+                cand, np.asarray([self._root.point_id], dtype=np.intp), exclude
+            )
+            keeper.update(rows, cand)
+            self._batch_visit(
+                self._root, rows, d_root, queries, exclude, keeper, sizes
+            )
+        return keeper.kth
+
+    #: Subtrees with at most this many descendants are evaluated as one
+    #: pairwise block instead of being descended node by node.
+    _FLAT_SUBTREE = 192
+
+    def _subtree_sizes(self, root: _Node, sizes: dict[int, int]) -> None:
+        """Post-order subtree point counts, keyed by ``id(node)``."""
+        stack: list[tuple[_Node, bool]] = [(root, False)]
+        while stack:
+            node, ready = stack.pop()
+            if ready:
+                sizes[id(node)] = 1 + sum(
+                    sizes[id(child)] for child in node.children
+                )
+            else:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+
+    def _batch_visit(
+        self,
+        node: _Node,
+        rows: np.ndarray,
+        d_node: np.ndarray,
+        queries: np.ndarray,
+        exclude: np.ndarray,
+        keeper: KSmallestKeeper,
+        sizes: dict[int, int],
+    ) -> None:
+        if not node.children:
+            return
+        alive = (d_node - node.maxdist) < keeper.kth[rows]
+        rows = rows[alive]
+        if rows.shape[0] == 0:
+            return
+        if sizes[id(node)] - 1 <= self._FLAT_SUBTREE:
+            collected: list[int] = []
+            self._collect_subtree(node, collected)
+            ids = np.asarray(collected[1:], dtype=np.intp)  # node itself is done
+            cand = self.metric.pairwise(queries[rows], self._points[ids])
+            mask_excluded(cand, ids, exclude[rows])
+            keeper.update(rows, cand)
+            return
+        child_ids = np.asarray([c.point_id for c in node.children], dtype=np.intp)
+        dists = self.metric.pairwise(queries[rows], self._points[child_ids])
+        cand = dists.copy()
+        mask_excluded(cand, child_ids, exclude[rows])
+        keeper.update(rows, cand)
+        for col in np.argsort(dists.mean(axis=0)):
+            child = node.children[col]
+            if child.children:
+                self._batch_visit(
+                    child, rows, dists[:, col], queries, exclude, keeper, sizes
+                )
+
     def range_count(self, query, radius: float) -> int:
         """Count points within ``radius`` using the maxdist pruning bound."""
         query = as_query_point(query, dim=self.dim)
@@ -154,9 +261,11 @@ class CoverTreeIndex(Index):
     def insert(self, point) -> int:
         point_id = self._append_point(point)
         self._insert_id(point_id)
+        self._batch_sizes = None  # structure changed; see knn_distances
         return point_id
 
     def remove(self, index: int) -> None:
+        self._batch_sizes = None  # structure changed; see knn_distances
         self._deactivate(index)
         node = self._nodes.pop(index)
         orphans: list[int] = []

@@ -14,8 +14,18 @@ coordinate-wise clamp of the query, so the same code is exact for Euclidean,
 Manhattan, Chebyshev and general Minkowski metrics.
 
 Inserts are supported (descend to the leaf and append, splitting oversized
-leaves); removals deactivate the point in place.  Neither operation
-rebalances, which mirrors how KD-trees are deployed in practice.
+leaves).  Removals deactivate the point in place and the tree compacts
+itself once tombstones outnumber the configured live fraction: a full
+rebuild over the surviving ids purges dead leaf slots and re-tightens every
+bounding box (boxes only ever grow under inserts, so without compaction a
+long insert/remove churn leaves the tree scanning tombstones and pruning
+against stale volumes on every query).
+
+Batched ``knn_distances`` queries run a pruned block traversal: one
+``clip`` + metric kernel evaluates the box lower bound of a node for every
+active query row at once, and rows whose running k-th smallest distance
+(shared :class:`~repro.indexes.batch_tools.KSmallestKeeper` pool) already
+prunes the subtree are deactivated on entry.
 """
 
 from __future__ import annotations
@@ -26,8 +36,19 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.indexes.base import Index
+from repro.indexes.batch_tools import (
+    KSmallestKeeper,
+    box_lower_bounds,
+    check_exclude_indices,
+    mask_excluded,
+)
 from repro.utils.priority_queue import MinPriorityQueue
-from repro.utils.validation import as_query_point, check_k, check_positive_int
+from repro.utils.validation import (
+    as_query_point,
+    as_query_rows,
+    check_k,
+    check_positive_int,
+)
 
 __all__ = ["KDTreeIndex"]
 
@@ -56,11 +77,16 @@ class KDTreeIndex(Index):
     supports_insert = True
     supports_remove = True
 
+    #: Rebuild the tree once the live fraction of ids stored in it drops
+    #: below this threshold (see :meth:`remove`).
+    compaction_threshold = 0.5
+
     def __init__(self, data, metric=None, leaf_size: int = 16) -> None:
         super().__init__(data, metric)
         self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
         ids = np.arange(self._points.shape[0], dtype=np.intp)
         self._root = self._build(ids)
+        self._tombstones = 0  # removed ids still stored in tree leaves
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,6 +156,70 @@ class KDTreeIndex(Index):
                 break
         return np.asarray(ids, dtype=np.intp), np.asarray(dists, dtype=np.float64)
 
+    def knn_distances(
+        self, query_points, k: int, exclude_indices=None
+    ) -> np.ndarray:
+        """Batched k-th NN distances via a pruned block traversal.
+
+        The whole batch walks the tree together: each node evaluates its
+        box lower bound for every still-active query row with one
+        ``clip`` + metric kernel, rows whose running k-th smallest
+        distance rules the subtree out are dropped on entry, and leaves
+        feed a single pairwise block into the shared
+        :class:`~repro.indexes.batch_tools.KSmallestKeeper` pool.  The
+        child on the side of the majority of rows is descended first so
+        pruning radii shrink before the far side is attempted.
+        """
+        k = check_k(k)
+        queries = as_query_rows(query_points, dim=self.dim)
+        m = queries.shape[0]
+        exclude = check_exclude_indices(exclude_indices, m)
+        keeper = KSmallestKeeper(m, k)
+        if m and self.size:
+            all_active = bool(self._active.all())
+            self._batch_visit(
+                self._root,
+                np.arange(m, dtype=np.intp),
+                queries,
+                exclude,
+                keeper,
+                all_active,
+            )
+        return keeper.kth
+
+    def _batch_visit(
+        self,
+        node: _Node,
+        rows: np.ndarray,
+        queries: np.ndarray,
+        exclude: np.ndarray,
+        keeper: KSmallestKeeper,
+        all_active: bool,
+    ) -> None:
+        bounds = box_lower_bounds(self.metric, queries[rows], node.lo, node.hi)
+        rows = rows[bounds < keeper.kth[rows]]
+        if rows.shape[0] == 0:
+            return
+        if node.is_leaf:
+            if all_active:
+                ids = np.asarray(node.point_ids, dtype=np.intp)
+            else:
+                ids = np.asarray(
+                    [i for i in node.point_ids if self._active[i]], dtype=np.intp
+                )
+            if ids.shape[0]:
+                cand = self.metric.pairwise(queries[rows], self._points[ids])
+                mask_excluded(cand, ids, exclude[rows])
+                keeper.update(rows, cand)
+            return
+        left_votes = np.count_nonzero(queries[rows, node.axis] <= node.split)
+        if 2 * left_votes >= rows.shape[0]:
+            first, second = node.left, node.right
+        else:
+            first, second = node.right, node.left
+        self._batch_visit(first, rows, queries, exclude, keeper, all_active)
+        self._batch_visit(second, rows, queries, exclude, keeper, all_active)
+
     def range_count(self, query, radius: float) -> int:
         """Count points within ``radius`` by pruning whole boxes."""
         query = as_query_point(query, dim=self.dim)
@@ -176,4 +266,19 @@ class KDTreeIndex(Index):
         return point_id
 
     def remove(self, index: int) -> None:
+        """Deactivate a point; compact the tree when tombstones pile up.
+
+        Leaves keep the ids of removed points (every query re-filters
+        them) and bounding boxes never shrink, so a long churn of inserts
+        and removals would otherwise decay both scan and pruning
+        performance without bound.  Once live ids fall below
+        ``compaction_threshold`` of everything stored in the tree, the
+        tree is rebuilt over the survivors — amortized O(log n) per
+        removal — which purges tombstones and re-tightens every box.
+        """
         self._deactivate(index)
+        self._tombstones += 1
+        live = self.size
+        if live and live < self.compaction_threshold * (live + self._tombstones):
+            self._root = self._build(self.active_ids())
+            self._tombstones = 0

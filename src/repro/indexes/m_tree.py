@@ -26,9 +26,19 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.indexes.base import Index
+from repro.indexes.batch_tools import (
+    KSmallestKeeper,
+    check_exclude_indices,
+    mask_excluded,
+)
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import as_query_point, check_positive_int
+from repro.utils.validation import (
+    as_query_point,
+    as_query_rows,
+    check_k,
+    check_positive_int,
+)
 
 __all__ = ["MTreeIndex"]
 
@@ -215,6 +225,68 @@ class MTreeIndex(Index):
                         queue.push(max(0.0, d - entry.radius), entry.child)
             else:
                 yield item, key
+
+    def knn_distances(
+        self, query_points, k: int, exclude_indices=None
+    ) -> np.ndarray:
+        """Batched k-th NN distances via a pruned block traversal.
+
+        Each visited node evaluates the active query block against all of
+        its entry centers with one pairwise kernel.  Leaf entries feed the
+        shared :class:`~repro.indexes.batch_tools.KSmallestKeeper` pool
+        directly (removed points' columns are masked to ``inf`` — removal
+        is lazy here); routing entries lower the center distances by their
+        covering radius to bound the subtree, and query rows whose running
+        k-th smallest distance already prunes it are deactivated before
+        descending.  Subtrees are visited in ascending mean bound so radii
+        shrink before the far ones are attempted.
+        """
+        k = check_k(k)
+        queries = as_query_rows(query_points, dim=self.dim)
+        m = queries.shape[0]
+        exclude = check_exclude_indices(exclude_indices, m)
+        keeper = KSmallestKeeper(m, k)
+        if m and self.size:
+            rows = np.arange(m, dtype=np.intp)
+            self._batch_visit(self._root, rows, np.zeros(m), queries, exclude, keeper)
+        return keeper.kth
+
+    def _batch_visit(
+        self,
+        node: _MNode,
+        rows: np.ndarray,
+        bounds: np.ndarray,
+        queries: np.ndarray,
+        exclude: np.ndarray,
+        keeper: KSmallestKeeper,
+    ) -> None:
+        alive = bounds < keeper.kth[rows]
+        rows = rows[alive]
+        if rows.shape[0] == 0 or not node.entries:
+            return
+        center_ids = np.asarray(
+            [entry.center_id for entry in node.entries], dtype=np.intp
+        )
+        dists = self.metric.pairwise(queries[rows], self._points[center_ids])
+        if node.is_leaf:
+            cand = dists
+            inactive = ~self._active[center_ids]
+            if inactive.any():
+                cand[:, inactive] = np.inf
+            mask_excluded(cand, center_ids, exclude[rows])
+            keeper.update(rows, cand)
+            return
+        radii = np.asarray([entry.radius for entry in node.entries])
+        child_bounds = np.maximum(0.0, dists - radii[None, :])
+        for col in np.argsort(child_bounds.mean(axis=0)):
+            self._batch_visit(
+                node.entries[col].child,
+                rows,
+                child_bounds[:, col],
+                queries,
+                exclude,
+                keeper,
+            )
 
     def range_count(self, query, radius: float) -> int:
         query = as_query_point(query, dim=self.dim)

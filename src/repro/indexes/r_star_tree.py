@@ -31,8 +31,19 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.indexes.base import Index
+from repro.indexes.batch_tools import (
+    KSmallestKeeper,
+    box_lower_bounds,
+    check_exclude_indices,
+    mask_excluded,
+)
 from repro.utils.priority_queue import MinPriorityQueue
-from repro.utils.validation import as_query_point, check_positive_int
+from repro.utils.validation import (
+    as_query_point,
+    as_query_rows,
+    check_k,
+    check_positive_int,
+)
 
 __all__ = ["RStarTreeIndex"]
 
@@ -372,6 +383,64 @@ class RStarTreeIndex(Index):
                         queue.push(bound, entry.child)
             else:
                 yield item, key
+
+    def knn_distances(
+        self, query_points, k: int, exclude_indices=None
+    ) -> np.ndarray:
+        """Batched k-th NN distances via a pruned block traversal.
+
+        Internal nodes evaluate the MBR lower bounds of *all* their
+        entries for the whole active query block with one ``clip`` +
+        metric kernel (:func:`~repro.indexes.batch_tools.box_lower_bounds`);
+        each subtree is then visited in ascending mean bound with only the
+        rows its bound still beats — the per-row radii come from the
+        shared :class:`~repro.indexes.batch_tools.KSmallestKeeper` pool
+        and shrink as leaves are consumed.  Removed points (lazy removal)
+        are skipped at the leaves.
+        """
+        k = check_k(k)
+        queries = as_query_rows(query_points, dim=self.dim)
+        m = queries.shape[0]
+        exclude = check_exclude_indices(exclude_indices, m)
+        keeper = KSmallestKeeper(m, k)
+        if m and self.size:
+            rows = np.arange(m, dtype=np.intp)
+            self._batch_visit(self._root, rows, queries, exclude, keeper)
+        return keeper.kth
+
+    def _batch_visit(
+        self,
+        node: _RNode,
+        rows: np.ndarray,
+        queries: np.ndarray,
+        exclude: np.ndarray,
+        keeper: KSmallestKeeper,
+    ) -> None:
+        if node.is_leaf:
+            ids = np.asarray(
+                [
+                    entry.point_id
+                    for entry in node.entries
+                    if self._active[entry.point_id]
+                ],
+                dtype=np.intp,
+            )
+            if ids.shape[0]:
+                cand = self.metric.pairwise(queries[rows], self._points[ids])
+                mask_excluded(cand, ids, exclude[rows])
+                keeper.update(rows, cand)
+            return
+        if not node.entries:
+            return
+        los = np.stack([entry.lo for entry in node.entries])
+        his = np.stack([entry.hi for entry in node.entries])
+        bounds = box_lower_bounds(self.metric, queries[rows], los, his)
+        for col in np.argsort(bounds.mean(axis=0)):
+            sub = rows[bounds[:, col] < keeper.kth[rows]]
+            if sub.shape[0]:
+                self._batch_visit(
+                    node.entries[col].child, sub, queries, exclude, keeper
+                )
 
     def range_count(self, query, radius: float) -> int:
         query = as_query_point(query, dim=self.dim)

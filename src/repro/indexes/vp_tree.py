@@ -26,9 +26,19 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.indexes.base import Index
+from repro.indexes.batch_tools import (
+    KSmallestKeeper,
+    check_exclude_indices,
+    mask_excluded,
+)
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import as_query_point, check_positive_int
+from repro.utils.validation import (
+    as_query_point,
+    as_query_rows,
+    check_k,
+    check_positive_int,
+)
 
 __all__ = ["VPTreeIndex"]
 
@@ -122,3 +132,68 @@ class VPTreeIndex(Index):
                 queue.push(outer_bound, (node.outer, outer_bound))
             else:
                 yield item, key
+
+    def knn_distances(
+        self, query_points, k: int, exclude_indices=None
+    ) -> np.ndarray:
+        """Batched k-th NN distances via a pruned block traversal.
+
+        The batch descends the tree together: each node computes the
+        block's distances to its vantage point with one ``to_point``
+        kernel, derives the triangle-inequality bounds for both children,
+        and deactivates query rows whose running k-th smallest distance
+        (shared :class:`~repro.indexes.batch_tools.KSmallestKeeper` pool)
+        already prunes the subtree.  The child preferred by the majority
+        of rows is descended first so radii shrink early.
+        """
+        k = check_k(k)
+        queries = as_query_rows(query_points, dim=self.dim)
+        m = queries.shape[0]
+        exclude = check_exclude_indices(exclude_indices, m)
+        keeper = KSmallestKeeper(m, k)
+        if m and self.size:
+            rows = np.arange(m, dtype=np.intp)
+            self._batch_visit(
+                self._root, rows, np.zeros(m), queries, exclude, keeper
+            )
+        return keeper.kth
+
+    def _batch_visit(
+        self,
+        node: _Node,
+        rows: np.ndarray,
+        bounds: np.ndarray,
+        queries: np.ndarray,
+        exclude: np.ndarray,
+        keeper: KSmallestKeeper,
+    ) -> None:
+        alive = bounds < keeper.kth[rows]
+        rows = rows[alive]
+        if rows.shape[0] == 0:
+            return
+        bounds = bounds[alive]
+        if node.is_leaf:
+            ids = np.asarray(
+                [i for i in node.point_ids if self._active[i]], dtype=np.intp
+            )
+            if ids.shape[0]:
+                cand = self.metric.pairwise(queries[rows], self._points[ids])
+                mask_excluded(cand, ids, exclude[rows])
+                keeper.update(rows, cand)
+            return
+        d_vp = self.metric.to_point(queries[rows], self._points[node.vantage_id])
+        if self._active[node.vantage_id]:
+            cand = d_vp[:, None].copy()
+            mask_excluded(
+                cand, np.asarray([node.vantage_id], dtype=np.intp), exclude[rows]
+            )
+            keeper.update(rows, cand)
+        inner_bounds = np.maximum(bounds, d_vp - node.mu)
+        outer_bounds = np.maximum(bounds, node.mu - d_vp)
+        inner_votes = np.count_nonzero(d_vp <= node.mu)
+        if 2 * inner_votes >= rows.shape[0]:
+            order = ((node.inner, inner_bounds), (node.outer, outer_bounds))
+        else:
+            order = ((node.outer, outer_bounds), (node.inner, inner_bounds))
+        for child, child_bounds in order:
+            self._batch_visit(child, rows, child_bounds, queries, exclude, keeper)

@@ -61,6 +61,7 @@ def rknn_self_join(
     t: float,
     variant: str = "rdt",
     point_ids=None,
+    filter_mode: str = "auto",
 ) -> RkNNJoinResult:
     """Compute the reverse-kNN set of every (or each given) indexed point.
 
@@ -80,6 +81,12 @@ def rknn_self_join(
         Optional subset of point ids to join; defaults to all active points
         (useful after dynamic updates, when only the affected neighborhoods
         need recomputation).
+    filter_mode:
+        Forwarded to :meth:`RDT.query_batch`.  ``"sequential"`` keeps the
+        index-driven per-query filter, which pays off on very large
+        datasets behind a pruning tree backend — the batched refinement
+        then also runs through the backend's pruned ``knn_distances``
+        override, so the whole join stays subquadratic.
     """
     k = check_k(k)
     t = check_scale_parameter(t)
@@ -91,7 +98,9 @@ def rknn_self_join(
     totals = result.totals
     # One batched pass over the whole workload: the join is exactly the
     # all-points mode the batch engine's vectorized phases exist for.
-    answers = rdt.query_batch(query_indices=point_ids, k=k, t=t)
+    answers = rdt.query_batch(
+        query_indices=point_ids, k=k, t=t, filter_mode=filter_mode
+    )
     for pid, answer in zip(point_ids, answers):
         result.neighborhoods[int(pid)] = answer.ids
         stats = answer.stats

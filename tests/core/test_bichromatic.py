@@ -102,6 +102,102 @@ class TestBichromaticValidation:
             br.query(np.zeros(3), k=len(services) + 1, t=2.0)
 
 
+class TestQueryBatch:
+    def test_matches_looped_query(self, service_scenario, rng):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        queries = rng.normal(size=(12, 3))
+        for t in (1.5, 6.0, 100.0):
+            batch = br.query_batch(queries, k=5, t=t)
+            assert len(batch) == 12
+            for row, result in enumerate(batch):
+                single = br.query(queries[row], k=5, t=t)
+                assert np.array_equal(result.ids, single.ids)
+                assert np.array_equal(
+                    result.lazy_accepted_ids, single.lazy_accepted_ids
+                )
+                assert result.stats.num_retrieved == single.stats.num_retrieved
+                assert result.stats.num_candidates == single.stats.num_candidates
+                assert result.stats.num_verified == single.stats.num_verified
+                assert result.stats.terminated_by == single.stats.terminated_by
+
+    def test_exact_at_huge_t(self, service_scenario, rng):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        queries = rng.normal(size=(8, 3))
+        batch = br.query_batch(queries, k=5, t=100.0)
+        for row, result in enumerate(batch):
+            expected = bichromatic_brute_force(
+                clients, services, queries[row], k=5
+            )
+            assert np.array_equal(result.ids, expected)
+
+    def test_ties_and_duplicates_match_loop(self):
+        rng = np.random.default_rng(55)
+        clients = rng.integers(0, 3, size=(150, 2)).astype(np.float64)
+        services = rng.integers(0, 3, size=(60, 2)).astype(np.float64)
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        queries = rng.integers(0, 3, size=(10, 2)).astype(np.float64)
+        for t in (2.0, 100.0):
+            batch = br.query_batch(queries, k=3, t=t)
+            for row, result in enumerate(batch):
+                single = br.query(queries[row], k=3, t=t)
+                assert np.array_equal(result.ids, single.ids)
+                assert np.array_equal(
+                    result.lazy_accepted_ids, single.lazy_accepted_ids
+                )
+
+    def test_tree_backed_service_index(self, service_scenario, rng):
+        """The batched verification rides the service backend's pruned
+        knn_distances override; answers must not depend on the backend."""
+        clients, services = service_scenario
+        reference = BichromaticRDT(
+            LinearScanIndex(clients), LinearScanIndex(services)
+        )
+        tree_backed = BichromaticRDT(
+            CoverTreeIndex(clients), CoverTreeIndex(services)
+        )
+        queries = rng.normal(size=(6, 3))
+        expected = reference.query_batch(queries, k=4, t=8.0)
+        got = tree_backed.query_batch(queries, k=4, t=8.0)
+        for ref, res in zip(expected, got):
+            assert np.array_equal(ref.ids, res.ids)
+
+    def test_verification_deduplicates_shared_clients(self, service_scenario):
+        """Nearby queries share undecided clients; the batch must verify
+        each distinct client once, so total verification cost is below the
+        sum of the looped per-query verifications.  A small ``t`` makes
+        the scan terminate by omega with pending candidates — the regime
+        that actually produces undecided clients (an exhaustive scan
+        decides everyone lazily)."""
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        base = np.array([0.1, 0.0, -0.1])
+        queries = np.stack([base + 1e-3 * i for i in range(6)])
+        service_metric = br.services.metric
+        before = service_metric.num_calls
+        batch = br.query_batch(queries, k=5, t=2.0)
+        batched_calls = service_metric.num_calls - before
+        before = service_metric.num_calls
+        looped = [br.query(q, k=5, t=2.0) for q in queries]
+        looped_calls = service_metric.num_calls - before
+        total_verified = sum(r.stats.num_verified for r in batch)
+        assert total_verified > 0
+        assert total_verified == sum(r.stats.num_verified for r in looped)
+        assert batched_calls < looped_calls
+
+    def test_empty_batch(self, service_scenario):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        assert br.query_batch(np.empty((0, 3)), k=5, t=2.0) == []
+
+    def test_wrong_dimension_raises(self, service_scenario):
+        clients, services = service_scenario
+        br = BichromaticRDT(LinearScanIndex(clients), LinearScanIndex(services))
+        with pytest.raises(ValueError, match="shape"):
+            br.query_batch(np.zeros((4, 5)), k=5, t=2.0)
+
+
 class TestAsymmetricScenarios:
     def test_dense_clients_sparse_services(self, rng):
         """The motivating scenario: few facilities, many customers."""

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import RDT
+from repro.core import RDT, BichromaticRDT, bichromatic_brute_force
 from repro.evaluation import (
     GroundTruth,
     MethodRun,
@@ -13,6 +13,7 @@ from repro.evaluation import (
     queries_per_budget,
     render_curves,
     render_kv_section,
+    run_bichromatic_batched,
     run_method,
     run_tradeoff,
     sample_query_indices,
@@ -78,6 +79,37 @@ class TestRunner:
             k=5,
         )
         assert run.mean_recall == 1.0
+
+    def test_bichromatic_batched_scores_one_at_huge_t(self, rng):
+        clients = rng.normal(size=(120, 2))
+        services = rng.normal(size=(50, 2))
+        engine = BichromaticRDT(
+            LinearScanIndex(clients), LinearScanIndex(services)
+        )
+        queries = rng.normal(size=(8, 2))
+        run = run_bichromatic_batched(
+            "brdt",
+            lambda pts: engine.query_batch(pts, k=4, t=100.0),
+            queries,
+            lambda q: bichromatic_brute_force(clients, services, q, k=4),
+            k=4,
+            parameter=100.0,
+        )
+        assert len(run.records) == 8
+        assert run.mean_recall == 1.0
+        assert run.mean_precision == 1.0
+        assert [r.query_index for r in run.records] == list(range(8))
+
+    def test_bichromatic_batched_length_mismatch_raises(self, rng):
+        queries = rng.normal(size=(3, 2))
+        with pytest.raises(ValueError, match="results"):
+            run_bichromatic_batched(
+                "broken",
+                lambda pts: [],
+                queries,
+                lambda q: np.array([], dtype=np.intp),
+                k=2,
+            )
 
     def test_tradeoff_shape(self, small_gaussian):
         truth = GroundTruth(small_gaussian)

@@ -1,0 +1,111 @@
+"""Cross-backend parity for the pruned batched ``knn_distances`` overrides.
+
+Every index backend now answers the batched kNN-distance capability with
+its own pruned block traversal (``repro.indexes.batch_tools``).  These
+tests pin each override to the chunked pairwise default of the base class
+— the reference semantics the batched RkNN engine was validated against —
+including per-row exclusions, tie-heavy data, duplicates, and post-removal
+state, and pin ``RDT.query_batch`` over every tree backend to a loop of
+single ``query()`` calls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RDT
+from repro.indexes import INDEX_REGISTRY, build_index
+from repro.indexes.base import Index
+
+INDEX_NAMES = sorted(INDEX_REGISTRY)
+TREE_NAMES = [name for name in INDEX_NAMES if name != "linear-scan"]
+
+
+def chunked_reference(index, queries, k, exclude_indices=None):
+    """The base-class chunked pairwise scan, bypassing any override."""
+    return Index.knn_distances(index, queries, k, exclude_indices)
+
+
+@pytest.fixture(scope="module", params=INDEX_NAMES)
+def backend(request, small_gaussian):
+    return build_index(request.param, small_gaussian), small_gaussian
+
+
+class TestAgainstChunkedDefault:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_raw_queries(self, backend, k, rng):
+        index, data = backend
+        queries = rng.normal(size=(25, data.shape[1]))
+        got = index.knn_distances(queries, k)
+        expected = chunked_reference(index, queries, k)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_member_rows_with_exclusion(self, backend):
+        index, data = backend
+        rows = np.arange(0, 60, 4)
+        got = index.knn_distances(data[rows], 5, exclude_indices=rows)
+        expected = chunked_reference(index, data[rows], 5, exclude_indices=rows)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_mixed_and_absent_exclusions(self, backend):
+        index, data = backend
+        rows = np.array([2, 7, 11, 13])
+        # One real exclusion, one no-op, one id that is not indexed at all.
+        exclude = np.array([2, -1, 10 ** 6, 13])
+        got = index.knn_distances(data[rows], 4, exclude_indices=exclude)
+        expected = chunked_reference(index, data[rows], 4, exclude_indices=exclude)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_k_exceeding_size_is_inf(self, backend, small_gaussian):
+        index, _ = backend
+        got = index.knn_distances(small_gaussian[:6], index.size + 3)
+        assert np.all(np.isinf(got))
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+class TestDegenerateData:
+    def test_ties_and_duplicates(self, name, duplicated_points):
+        index = build_index(name, duplicated_points)
+        rows = np.arange(0, duplicated_points.shape[0], 5)
+        got = index.knn_distances(
+            duplicated_points[rows], 6, exclude_indices=rows
+        )
+        expected = chunked_reference(
+            index, duplicated_points[rows], 6, exclude_indices=rows
+        )
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_post_removal_state(self, name, small_gaussian):
+        index = build_index(name, small_gaussian[:80])
+        if not index.supports_remove:
+            pytest.skip(f"{name} does not support removal")
+        for victim in (3, 17, 40, 41, 42, 79):
+            index.remove(victim)
+        queries = small_gaussian[80:110]
+        got = index.knn_distances(queries, 4)
+        expected = chunked_reference(index, queries, 4)
+        assert np.allclose(got, expected, rtol=1e-9)
+        # Excluding a surviving member must still work after removals.
+        rows = np.array([0, 10, 50])
+        got = index.knn_distances(
+            small_gaussian[rows], 4, exclude_indices=rows
+        )
+        expected = chunked_reference(
+            index, small_gaussian[rows], 4, exclude_indices=rows
+        )
+        assert np.allclose(got, expected, rtol=1e-9)
+
+
+@pytest.mark.parametrize("name", TREE_NAMES)
+@pytest.mark.parametrize("filter_mode", ["auto", "sequential"])
+def test_rdt_query_batch_matches_loop(name, filter_mode, medium_mixture):
+    """The batched engine's refinement rides the pruned overrides; results
+    must stay identical to looped single queries on every tree backend."""
+    index = build_index(name, medium_mixture[:300])
+    rdt = RDT(index)
+    ids = np.arange(0, 300, 7, dtype=np.intp)
+    batch = rdt.query_batch(query_indices=ids, k=5, t=4.0, filter_mode=filter_mode)
+    for qi, result in zip(ids, batch):
+        single = rdt.query(query_index=int(qi), k=5, t=4.0)
+        assert np.array_equal(result.ids, single.ids)
+        assert result.stats.num_candidates == single.stats.num_candidates
+        assert result.stats.num_verified == single.stats.num_verified

@@ -8,6 +8,7 @@ from hypothesis.extra.numpy import arrays
 
 from repro.distances import get_metric
 from repro.indexes import bulk_knn, bulk_knn_distances
+from repro.indexes.bulk_knn import adaptive_chunk_size, chunked_knn_distances
 
 
 def loop_reference(points, k, metric):
@@ -56,6 +57,65 @@ class TestBulkKnnDistances:
         points = np.vstack([np.zeros((3, 2)), np.ones((2, 2))])
         dists = bulk_knn_distances(points, 2)
         assert dists[0] == pytest.approx(0.0)  # two other copies at distance 0
+
+
+class TestSparseIdExclusion:
+    def test_huge_ids_do_not_allocate_dense_tables(self):
+        """Ids are never reused, so after heavy churn the id space dwarfs
+        the live set; the exclusion lookup must stay O(n), not O(max_id).
+        A dense id->column table for these labels would need ~8 GB."""
+        rng = np.random.default_rng(8)
+        points = rng.normal(size=(6, 2))
+        point_ids = np.array([3, 7, 512, 10**6, 10**9 - 1, 10**9], dtype=np.intp)
+        metric = get_metric(None)
+        exclude = np.array([10**9, -1, 7, 4, 10**6, 10**9 - 1], dtype=np.intp)
+        got = chunked_knn_distances(
+            points, points, 2, metric, point_ids=point_ids, exclude_ids=exclude
+        )
+        for row in range(6):
+            d = metric.to_point(points, points[row])
+            if exclude[row] >= 0 and exclude[row] in point_ids:
+                d = d[point_ids != exclude[row]]
+            assert got[row] == pytest.approx(np.sort(d)[1], rel=1e-9)
+
+    def test_unsorted_point_ids(self):
+        rng = np.random.default_rng(9)
+        points = rng.normal(size=(5, 2))
+        point_ids = np.array([40, 2, 99, 7, 11], dtype=np.intp)
+        metric = get_metric(None)
+        exclude = np.array([99, 2, -1, 40, 11], dtype=np.intp)
+        got = chunked_knn_distances(
+            points, points, 1, metric, point_ids=point_ids, exclude_ids=exclude
+        )
+        for row in range(5):
+            d = metric.to_point(points, points[row])
+            d = d[point_ids != exclude[row]]
+            assert got[row] == pytest.approx(np.sort(d)[0], rel=1e-9, abs=1e-12)
+
+
+class TestAdaptiveChunkPolicy:
+    def test_default_matches_explicit_adaptive_size(self, small_gaussian):
+        n = small_gaussian.shape[0]
+        auto = bulk_knn_distances(small_gaussian, 5)
+        explicit = bulk_knn_distances(
+            small_gaussian, 5, chunk_size=adaptive_chunk_size(n)
+        )
+        assert np.array_equal(auto, explicit)
+
+    def test_bulk_knn_default_matches_explicit_adaptive_size(self, tiny_plane):
+        n = tiny_plane.shape[0]
+        auto_ids, auto_dists = bulk_knn(tiny_plane, 4)
+        ids, dists = bulk_knn(tiny_plane, 4, chunk_size=adaptive_chunk_size(n))
+        assert np.array_equal(auto_ids, ids)
+        assert np.array_equal(auto_dists, dists)
+
+    def test_adaptive_size_bounds_block_memory(self):
+        from repro.indexes.bulk_knn import BLOCK_BUDGET
+
+        for n in (1, 100, 10**5, 10**8):
+            chunk = adaptive_chunk_size(n)
+            assert chunk >= 16
+            assert chunk == 16 or chunk * n <= BLOCK_BUDGET
 
 
 class TestBulkKnnFull:

@@ -100,6 +100,77 @@ class TestStaticIndexRefusals:
             index.remove(0)
 
 
+class TestKDTreeCompaction:
+    """KD-tree removal must not decay the structure without bound.
+
+    ``remove`` only deactivates a point, so leaves accumulate tombstone
+    ids and bounding boxes never tighten after insert-driven growth; the
+    tree therefore rebuilds itself once the live fraction of stored ids
+    drops below ``compaction_threshold``.  An insert/remove churn loop
+    must keep leaf occupancy proportional to the live set while answering
+    every query like a fresh linear scan.
+    """
+
+    @staticmethod
+    def stored_leaf_ids(index):
+        total = 0
+        stack = [index._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += len(node.point_ids)
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return total
+
+    def test_churn_keeps_leaf_occupancy_bounded(self):
+        rng = np.random.default_rng(123)
+        points = rng.normal(size=(120, 3))
+        index = KDTreeIndex(points, leaf_size=8)
+        store = [points[i] for i in range(120)]
+        alive = list(range(120))
+        for step in range(400):
+            victim = alive.pop(step % len(alive))
+            index.remove(victim)
+            new_point = rng.normal(size=3)
+            new_id = index.insert(new_point)
+            store.append(new_point)
+            alive.append(new_id)
+            stored = self.stored_leaf_ids(index)
+            # The live fraction of stored ids never drops below the
+            # compaction threshold (up to the one removal that trips it).
+            assert stored <= index.size / index.compaction_threshold + 1
+        all_points = np.asarray(store)
+        survivors = np.asarray(sorted(alive))
+        assert index.size == 120
+        assert_same_answers(index, all_points, survivors)
+
+    def test_removal_only_churn_compacts_to_live_set(self):
+        rng = np.random.default_rng(321)
+        points = rng.normal(size=(200, 2))
+        index = KDTreeIndex(points)
+        for victim in range(150):
+            index.remove(victim)
+        assert index.size == 50
+        assert self.stored_leaf_ids(index) <= 100
+        survivors = np.arange(150, 200)
+        assert_same_answers(index, points, survivors)
+
+    def test_batched_queries_after_churn_match_chunked_default(self):
+        from repro.indexes.base import Index
+
+        rng = np.random.default_rng(77)
+        points = rng.normal(size=(150, 3))
+        index = KDTreeIndex(points)
+        for victim in range(0, 150, 2):
+            index.remove(victim)
+        queries = rng.normal(size=(20, 3))
+        got = index.knn_distances(queries, 5)
+        expected = Index.knn_distances(index, queries, 5)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+
 class TestInterleavedMutations:
     @pytest.mark.parametrize(
         "cls", [LinearScanIndex, KDTreeIndex, CoverTreeIndex], ids=lambda c: c.name
