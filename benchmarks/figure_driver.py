@@ -15,7 +15,6 @@ module-level size constants — nothing else changes.
 from __future__ import annotations
 
 import pathlib
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,9 +28,11 @@ from repro.evaluation import (
     render_curves,
     run_method,
     run_method_batched,
+    run_precompute_suite,
     run_tradeoff,
     run_tradeoff_batched,
     sample_query_indices,
+    write_bench_json,
 )
 from repro.indexes import LinearScanIndex, RdNNTreeIndex, RStarTreeIndex
 
@@ -42,11 +43,19 @@ T_GRID = (2.0, 4.0, 6.0, 9.0)
 ALPHA_GRID = (1.0, 2.0, 4.0, 8.0, 16.0)
 
 
-def record(name: str, text: str) -> pathlib.Path:
-    """Write one experiment's rendered output and echo it."""
+def record(name: str, text: str, data: dict | None = None) -> pathlib.Path:
+    """Write one experiment's rendered output and echo it.
+
+    ``data`` is an optional machine-readable twin: when given, it is
+    serialized (stable key order) to ``results/<name>.json`` next to the
+    text table, so perf trajectories can be diffed across PRs instead of
+    re-parsed out of formatted text.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if data is not None:
+        write_bench_json(RESULTS_DIR / f"{name}.json", {"benchmark": name, **data})
     print(f"\n=== {name} ===\n{text}\n")
     return path
 
@@ -167,21 +176,24 @@ def _run_exact_competitors(
 ) -> None:
     data, truth, queries = art.data, art.truth, art.queries
 
-    started = time.perf_counter()
-    cop = MRkNNCoP(data, k_max=max(ks))
-    cop_build = time.perf_counter() - started
-    art.precompute_rows.append(("MRkNNCoP", cop_build))
-
-    started = time.perf_counter()
-    rdnn_trees = {k: RdNNTreeIndex(data, k=k) for k in ks}
-    rdnn_build = time.perf_counter() - started
-    art.precompute_rows.append((f"RdNN-Tree (x{len(ks)} trees)", rdnn_build))
-
-    tpl = None
+    # Every competitor's preprocessing runs through the uniform harness
+    # timer (Figure 8's precompute columns come from these reports).
+    builders = {
+        "MRkNNCoP": lambda: MRkNNCoP(data, k_max=max(ks)),
+        f"RdNN-Tree (x{len(ks)} trees)": lambda: {
+            k: RdNNTreeIndex(data, k=k) for k in ks
+        },
+    }
     if include_tpl_for_k:
-        started = time.perf_counter()
-        tpl = TPL(RStarTreeIndex(data))
-        art.precompute_rows.append(("TPL (R*-tree)", time.perf_counter() - started))
+        builders["TPL (R*-tree)"] = lambda: TPL(RStarTreeIndex(data))
+    reports = run_precompute_suite(builders, keep_artifacts=True)
+    artifacts = {report.method: report.artifact for report in reports}
+    cop = artifacts["MRkNNCoP"]
+    rdnn_trees = artifacts[f"RdNN-Tree (x{len(ks)} trees)"]
+    tpl = artifacts.get("TPL (R*-tree)")
+    art.precompute_rows.extend(
+        (report.method, report.seconds) for report in reports
+    )
     art.precompute_rows.append(("RDT/RDT+/SFT (forward index)", 0.0))
 
     for k in ks:

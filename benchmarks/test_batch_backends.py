@@ -63,6 +63,7 @@ def test_pruned_batch_beats_chunked_default(workload):
         f"{'speedup':>8s}",
     ]
     speedups = {}
+    rows = {}
     for name in TREE_BACKENDS:
         started = time.perf_counter()
         index = build_index(name, data)
@@ -77,11 +78,21 @@ def test_pruned_batch_beats_chunked_default(workload):
 
         assert np.allclose(pruned, reference, rtol=1e-9), name
         speedups[name] = chunked_seconds / pruned_seconds
+        rows[name] = {
+            "build_seconds": build_seconds,
+            "chunked_ms": chunked_seconds * 1e3,
+            "pruned_ms": pruned_seconds * 1e3,
+            "speedup": speedups[name],
+        }
         lines.append(
             f"{name:14s} {build_seconds:7.2f}s {chunked_seconds * 1e3:8.1f}ms "
             f"{pruned_seconds * 1e3:8.1f}ms {speedups[name]:7.2f}x"
         )
-    record("batch_backends", "\n".join(lines))
+    record(
+        "batch_backends",
+        "\n".join(lines),
+        data={"n": N, "m": M, "dim": DIM, "k": K, "backends": rows},
+    )
     # Every pruned override must beat the chunked scan on this workload.
     for name, speedup in speedups.items():
         assert speedup > 1.0, f"{name} pruned path slower than chunked default"

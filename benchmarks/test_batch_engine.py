@@ -61,7 +61,19 @@ def test_batch_speedup_recorded(workload):
         f"-> {batch_seconds:7.2f} s total",
         f"speedup               : {speedup:8.1f} x",
     ]
-    record("batch_speedup", "\n".join(lines))
+    record(
+        "batch_speedup",
+        "\n".join(lines),
+        data={
+            "n": N,
+            "dim": DIM,
+            "k": K,
+            "t": T,
+            "looped_ms_per_query": per_query * 1e3,
+            "batched_ms_per_query": batch_seconds / N * 1e3,
+            "speedup": speedup,
+        },
+    )
 
     # Identical answers on the sampled queries.
     for qi, single in zip(sample, looped):

@@ -1,0 +1,129 @@
+"""Preprocessing benchmark — vectorized bulk builds vs the insert loops.
+
+The paper's scalability story (Figures 8–9) is about *preprocessing* cost,
+and after the query side went batched and pruned, index construction was
+the dominant wall-clock cost of tree-backed runs: the M-tree and cover
+tree were built by n sequential scalar-descent inserts.  Every backend now
+constructs through a vectorized bulk path (sampled-pivot partitioning for
+the M-tree, divide-and-conquer covering for the cover tree, index-array
+partitioning for KD/VP/ball, the vectorized STR packer for the R*-tree)
+with the insert loops retained as baselines.
+
+This module records the construction-cost trajectory: build seconds per
+backend at multiple n through the uniform
+:func:`~repro.evaluation.run_precompute_suite` timer, bulk-vs-insert
+speedups for every backend that keeps both paths, and bulk-vs-insert
+query parity.  Results go to ``benchmarks/results/build_backends.txt``
+(+ ``.json`` twin) and to the repo-root ``BENCH_build.json``, the
+machine-readable record future PRs diff against.  The acceptance gate is
+a >= 5x bulk speedup for the M-tree and the cover tree at n = 8000.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.datasets import gaussian_mixture
+from repro.evaluation import (
+    BuildRecord,
+    bench_payload,
+    index_builders,
+    run_precompute_suite,
+    write_bench_json,
+)
+from repro.indexes import INDEX_REGISTRY, build_index
+
+pytestmark = pytest.mark.slow
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_build.json"
+
+N_GRID = (2000, 8000)
+DIM = 8
+K = 10
+#: The acceptance gate: minimum bulk-over-insert speedup at max(N_GRID)
+#: for the backends whose construction the overhaul targeted.
+GATED_BACKENDS = {"m-tree": 5.0, "cover-tree": 5.0}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return gaussian_mixture(
+        max(N_GRID), dim=DIM, n_clusters=10, separation=8.0, seed=5
+    )
+
+
+def _records_for(data, n: int) -> list[BuildRecord]:
+    builders = index_builders(data[:n], include_insert_paths=True)
+    reports = run_precompute_suite(builders)
+    records = []
+    for report in reports:
+        backend, _, suffix = report.method.partition("[")
+        mode = "insert" if suffix else "bulk"
+        records.append(
+            BuildRecord(
+                backend=backend, n=n, dim=DIM, mode=mode, seconds=report.seconds
+            )
+        )
+    return records
+
+
+def test_build_trajectory_recorded(dataset):
+    records: list[BuildRecord] = []
+    for n in N_GRID:
+        records.extend(_records_for(dataset, n))
+    payload = bench_payload(
+        records, extra={"dim": DIM, "gates": dict(GATED_BACKENDS)}
+    )
+    write_bench_json(BENCH_PATH, payload)
+
+    lines = [
+        f"Index construction — bulk path vs insert-loop baseline "
+        f"(d={DIM}, n in {list(N_GRID)})",
+        f"{'backend':14s} {'n':>6s} {'bulk':>10s} {'insert':>10s} {'speedup':>8s}",
+    ]
+    by_key: dict[tuple[str, int], dict[str, float]] = {}
+    for rec in records:
+        by_key.setdefault((rec.backend, rec.n), {})[rec.mode] = rec.seconds
+    for (backend, n), modes in sorted(by_key.items()):
+        bulk_ms = modes["bulk"] * 1e3
+        if "insert" in modes:
+            insert_ms = modes["insert"] * 1e3
+            speedup = f"{modes['insert'] / modes['bulk']:7.2f}x"
+            lines.append(
+                f"{backend:14s} {n:6d} {bulk_ms:8.1f}ms {insert_ms:8.1f}ms {speedup}"
+            )
+        else:
+            lines.append(f"{backend:14s} {n:6d} {bulk_ms:8.1f}ms {'-':>10s} {'-':>8s}")
+    record(
+        "build_backends",
+        "\n".join(lines),
+        data={k: v for k, v in payload.items() if k != "benchmark"},
+    )
+
+    speedups = payload["bulk_speedup"]
+    n_max = max(N_GRID)
+    for backend, floor in GATED_BACKENDS.items():
+        measured = speedups[f"{backend}@{n_max}"]
+        assert measured >= floor, (
+            f"{backend} bulk build only {measured:.1f}x over the insert loop "
+            f"at n={n_max} (gate: {floor}x)"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(GATED_BACKENDS) + ["r-star-tree"])
+def test_bulk_and_insert_builds_answer_identically(name, dataset):
+    """The two construction paths of each dual-path backend must serve
+    identical k-th NN distances on the benchmark workload."""
+    from repro.evaluation.precompute import INSERT_PATH_FLAGS
+
+    data = dataset[:2000]
+    bulk = build_index(name, data)
+    insert_built = build_index(name, data, **INSERT_PATH_FLAGS[name])
+    rows = np.arange(0, data.shape[0], 17, dtype=np.intp)
+    got = bulk.knn_distances(data[rows], K, exclude_indices=rows)
+    expected = insert_built.knn_distances(data[rows], K, exclude_indices=rows)
+    assert np.allclose(got, expected, rtol=1e-9)

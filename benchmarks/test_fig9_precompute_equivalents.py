@@ -14,7 +14,6 @@ scalability argument.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 import pytest
@@ -26,6 +25,7 @@ from repro.datasets import imagenet_standin
 from repro.evaluation import (
     GroundTruth,
     format_table,
+    measure_precompute,
     queries_per_budget,
     run_method,
     sample_query_indices,
@@ -52,9 +52,8 @@ def fig9():
         truth = GroundTruth(data)
         queries = sample_query_indices(n, N_QUERIES, seed=9)
 
-        started = time.perf_counter()
-        tree = RdNNTreeIndex(data, k=K)
-        rdnn_budget = time.perf_counter() - started
+        report = measure_precompute("RdNN-Tree", lambda: RdNNTreeIndex(data, k=K))
+        tree, rdnn_budget = report.artifact, report.seconds
         precompute_calls = float(n) * float(n)  # the kNN self-join
 
         rdt_plus = RDT(LinearScanIndex(data), variant="rdt+")

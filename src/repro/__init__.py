@@ -68,9 +68,12 @@ from repro.lid import (
 from repro.datasets import load_standin
 from repro.evaluation import (
     GroundTruth,
+    index_builders,
+    measure_precompute,
     run_bichromatic_batched,
     run_method,
     run_method_batched,
+    run_precompute_suite,
     run_tradeoff,
     run_tradeoff_batched,
 )
@@ -136,8 +139,11 @@ __all__ = [
     "run_method",
     "run_method_batched",
     "run_bichromatic_batched",
+    "run_precompute_suite",
     "run_tradeoff",
     "run_tradeoff_batched",
+    "index_builders",
+    "measure_precompute",
     # mining applications
     "rknn_self_join",
     "odin_scores",

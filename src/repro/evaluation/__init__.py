@@ -3,9 +3,13 @@
 from repro.evaluation.ground_truth import GroundTruth, sample_query_indices
 from repro.evaluation.metrics import f1_score, precision, recall, set_metrics
 from repro.evaluation.precompute import (
+    BuildRecord,
     PrecomputeReport,
+    bench_payload,
+    index_builders,
     measure_precompute,
     queries_per_budget,
+    write_bench_json,
 )
 from repro.evaluation.reporting import format_table, render_curves, render_kv_section
 from repro.evaluation.runner import (
@@ -15,6 +19,7 @@ from repro.evaluation.runner import (
     run_bichromatic_batched,
     run_method,
     run_method_batched,
+    run_precompute_suite,
     run_tradeoff,
     run_tradeoff_batched,
 )
@@ -32,12 +37,17 @@ __all__ = [
     "run_method",
     "run_method_batched",
     "run_bichromatic_batched",
+    "run_precompute_suite",
     "run_tradeoff",
     "run_tradeoff_batched",
     "format_table",
     "render_curves",
     "render_kv_section",
     "PrecomputeReport",
+    "BuildRecord",
+    "bench_payload",
+    "index_builders",
     "measure_precompute",
     "queries_per_budget",
+    "write_bench_json",
 ]

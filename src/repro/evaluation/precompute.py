@@ -1,20 +1,48 @@
-"""Preprocessing-cost accounting (Figures 8 and 9).
+"""Preprocessing-cost accounting and the build benchmark harness (Figures 8–9).
 
 The paper's scalability argument is a cost-model comparison: the exact
 competitors spend enormous effort *before the first query* (kNN self-joins,
 per-k tree builds), while RDT's preprocessing is just the forward index.
-These helpers time method construction uniformly and express the gap the
-way Figure 9 does — "how many RDT+ queries could have been answered during
-the time the RdNN-tree spent precomputing?".
+After the query side went batched and pruned, that forward-index build
+became the dominant wall-clock cost of tree-backed runs — so this module
+is both the uniform timer the Figure 9 experiments always used and the
+harness that tracks construction cost itself:
+
+``measure_precompute``
+    Times one method's full preprocessing (index builds, kNN tables, fits).
+    Driven over whole suites by :func:`repro.evaluation.runner.run_precompute_suite`.
+
+``index_builders``
+    One zero-argument builder per index backend — the bulk path by default,
+    optionally alongside the scalar insert-loop baselines (``<name>[insert]``)
+    for every backend that keeps one — so a benchmark or experiment can
+    hand the whole backend roster to ``run_precompute_suite``.
+
+``BuildRecord`` / ``write_bench_json``
+    The machine-readable trajectory: ``benchmarks/test_build_backends.py``
+    records one ``BuildRecord`` per (backend, n, mode) and serializes them
+    to ``BENCH_build.json`` so construction-cost changes are diffable
+    across PRs, the same way ``benchmarks/results/*.json`` twins the
+    rendered figure tables.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import asdict, dataclass
+from typing import Callable, Mapping, Sequence
 
-__all__ = ["PrecomputeReport", "measure_precompute", "queries_per_budget"]
+__all__ = [
+    "PrecomputeReport",
+    "BuildRecord",
+    "measure_precompute",
+    "queries_per_budget",
+    "index_builders",
+    "bench_payload",
+    "write_bench_json",
+]
 
 
 @dataclass
@@ -24,6 +52,21 @@ class PrecomputeReport:
     method: str
     seconds: float
     artifact: object = None
+
+
+@dataclass
+class BuildRecord:
+    """One timed index construction: backend, dataset size, and path used.
+
+    ``mode`` is ``"bulk"`` for the vectorized bulk-load/batch construction
+    and ``"insert"`` for the point-at-a-time insert-loop baseline.
+    """
+
+    backend: str
+    n: int
+    dim: int
+    mode: str
+    seconds: float
 
 
 def measure_precompute(method: str, build: Callable[[], object]) -> PrecomputeReport:
@@ -40,3 +83,90 @@ def queries_per_budget(budget_seconds: float, mean_query_seconds: float) -> floa
     if mean_query_seconds <= 0.0:
         return float("inf")
     return budget_seconds / mean_query_seconds
+
+
+#: Constructor flags selecting the scalar insert-loop path of each backend
+#: that still keeps one (the bulk path is the constructor default).
+INSERT_PATH_FLAGS: dict[str, dict[str, bool]] = {
+    "m-tree": {"bulk_build": False},
+    "cover-tree": {"batch_build": False},
+    "r-star-tree": {"bulk_load": False},
+}
+
+
+def index_builders(
+    data,
+    metric=None,
+    backends: Sequence[str] | None = None,
+    include_insert_paths: bool = False,
+    **kwargs,
+) -> dict[str, Callable[[], object]]:
+    """Zero-argument builders for every index backend over ``data``.
+
+    Keys are registry names (``kd-tree``, ``m-tree``, ...); when
+    ``include_insert_paths`` is set, every backend with a retained
+    insert-loop baseline additionally appears as ``"<name>[insert]"``.
+    The result plugs directly into
+    :func:`repro.evaluation.runner.run_precompute_suite`.
+    """
+    from repro.indexes import INDEX_REGISTRY
+
+    names = list(backends) if backends is not None else sorted(INDEX_REGISTRY)
+    builders: dict[str, Callable[[], object]] = {}
+    for name in names:
+        if name not in INDEX_REGISTRY:
+            raise ValueError(
+                f"unknown index {name!r}; known: {sorted(INDEX_REGISTRY)}"
+            )
+        builders[name] = _make_builder(name, data, metric, {}, kwargs)
+        if include_insert_paths and name in INSERT_PATH_FLAGS:
+            builders[f"{name}[insert]"] = _make_builder(
+                name, data, metric, INSERT_PATH_FLAGS[name], kwargs
+            )
+    return builders
+
+
+def _make_builder(name, data, metric, flags, kwargs) -> Callable[[], object]:
+    from repro.indexes import build_index
+
+    def build():
+        return build_index(name, data, metric=metric, **flags, **kwargs)
+
+    return build
+
+
+def bench_payload(
+    records: Sequence[BuildRecord], extra: Mapping[str, object] | None = None
+) -> dict:
+    """Assemble the ``BENCH_build.json`` document from build records.
+
+    Besides the raw records, the payload carries the derived
+    ``bulk_speedup`` map — insert-loop seconds over bulk seconds for every
+    (backend, n) measured both ways — which is the number the acceptance
+    gate and the cross-PR trajectory read.
+    """
+    speedups: dict[str, float] = {}
+    by_key: dict[tuple[str, int], dict[str, float]] = {}
+    for record in records:
+        by_key.setdefault((record.backend, record.n), {})[record.mode] = (
+            record.seconds
+        )
+    for (backend, n), modes in sorted(by_key.items()):
+        if "bulk" in modes and "insert" in modes and modes["bulk"] > 0.0:
+            speedups[f"{backend}@{n}"] = modes["insert"] / modes["bulk"]
+    payload: dict[str, object] = {
+        "benchmark": "build_backends",
+        "schema_version": 1,
+        "records": [asdict(record) for record in records],
+        "bulk_speedup": speedups,
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(path, payload: Mapping[str, object]) -> pathlib.Path:
+    """Write a benchmark payload as stable, diffable JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

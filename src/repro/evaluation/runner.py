@@ -13,19 +13,27 @@ whole workload is answered in one engine call, and per-query seconds are
 taken from the engine's own :class:`~repro.core.result.QueryStats` (which
 attribute the shared vectorized work to each query) rather than from a
 wall clock around each interpreter-level call.
+
+The runner also drives the *preprocessing* side of the experiments:
+:func:`run_precompute_suite` times a whole roster of method/backend
+builders (see :func:`repro.evaluation.precompute.index_builders`)
+uniformly, which is how Figure 8/9 budgets and the build-trajectory
+benchmark (``benchmarks/test_build_backends.py`` → ``BENCH_build.json``)
+are produced.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.result import RkNNResult
 from repro.evaluation.ground_truth import GroundTruth
 from repro.evaluation.metrics import precision, recall
+from repro.evaluation.precompute import PrecomputeReport, measure_precompute
 
 __all__ = [
     "QueryRecord",
@@ -34,6 +42,7 @@ __all__ = [
     "run_method",
     "run_method_batched",
     "run_bichromatic_batched",
+    "run_precompute_suite",
     "run_tradeoff",
     "run_tradeoff_batched",
 ]
@@ -231,6 +240,29 @@ def run_bichromatic_batched(
             )
         )
     return run
+
+
+def run_precompute_suite(
+    builders: Mapping[str, Callable[[], object]],
+    keep_artifacts: bool = False,
+) -> list[PrecomputeReport]:
+    """Time every builder in a method/backend roster uniformly.
+
+    ``builders`` maps a display name to a zero-argument callable that
+    performs the method's full preprocessing and returns its artifact —
+    typically :func:`repro.evaluation.precompute.index_builders` for the
+    index backends, extended with entries for precomputation-heavy
+    baselines (RdNN-tree kNN tables, MRkNNCoP fits).  Reports come back in
+    roster order.  Artifacts are dropped by default so a sweep over large
+    ``n`` does not hold every built index alive at once.
+    """
+    reports: list[PrecomputeReport] = []
+    for name, build in builders.items():
+        report = measure_precompute(name, build)
+        if not keep_artifacts:
+            report.artifact = None
+        reports.append(report)
+    return reports
 
 
 def run_tradeoff(

@@ -27,6 +27,7 @@ from repro.indexes.batch_tools import (
     check_exclude_indices,
     mask_excluded,
 )
+from repro.indexes.build_tools import apply_partition, subtree_point_ids
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.validation import (
     as_query_point,
@@ -65,21 +66,29 @@ class BallTreeIndex(Index):
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _make_node(self, ids: np.ndarray) -> _Node:
-        pts = self._points[ids]
-        centroid = pts.mean(axis=0)
-        radius = float(self.metric.to_point(pts, centroid).max())
-        return _Node(centroid=centroid, radius=radius)
-
     def _build(self, ids: np.ndarray) -> _Node:
-        node = self._make_node(ids)
-        if ids.shape[0] <= self.leaf_size:
-            node.point_ids = [int(i) for i in ids]
+        """Build a subtree over ``ids`` by index-array partitioning.
+
+        One permutation array is partitioned in place; nodes are ranges of
+        it, so the only per-node allocations are the centroid/seed
+        distance columns (one gather each) and the leaf id lists.  Seeds,
+        masks, and id orderings match the historical copying build, so
+        tree structures are unchanged.
+        """
+        perm = np.array(ids, dtype=np.intp)
+        return self._build_range(perm, 0, perm.shape[0])
+
+    def _build_range(self, perm: np.ndarray, start: int, end: int) -> _Node:
+        view = perm[start:end]
+        pts = self._points[view]
+        centroid = pts.mean(axis=0)
+        from_centroid = self.metric.to_point(pts, centroid)
+        node = _Node(centroid=centroid, radius=float(from_centroid.max()))
+        if end - start <= self.leaf_size:
+            node.point_ids = view.tolist()
             return node
-        pts = self._points[ids]
         # Bouncing-ball seeds: a point far from the centroid, then the
         # point farthest from it.
-        from_centroid = self.metric.to_point(pts, node.centroid)
         seed_a = int(np.argmax(from_centroid))
         from_a = self.metric.to_point(pts, pts[seed_a])
         seed_b = int(np.argmax(from_a))
@@ -87,11 +96,34 @@ class BallTreeIndex(Index):
         left_mask = from_a <= from_b
         if left_mask.all() or not left_mask.any():
             # Duplicate-heavy region: no separating pair exists.
-            node.point_ids = [int(i) for i in ids]
+            node.point_ids = view.tolist()
             return node
-        node.left = self._build(ids[left_mask])
-        node.right = self._build(ids[~left_mask])
+        n_left = apply_partition(view, left_mask)
+        node.left = self._build_range(perm, start, start + n_left)
+        node.right = self._build_range(perm, start + n_left, end)
         return node
+
+    def check_invariants(self) -> None:
+        """Verify ball coverage and id-coverage invariants."""
+        seen: list[int] = []
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                seen.extend(node.point_ids)
+                ids = np.asarray(node.point_ids, dtype=np.intp)
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+                ids = subtree_point_ids(node)
+            if ids.shape[0]:
+                dists = self.metric.to_point(self._points[ids], node.centroid)
+                assert float(dists.max()) <= node.radius + 1e-9, (
+                    "ball radius does not cover subtree points"
+                )
+        assert sorted(seen) == list(range(self._points.shape[0])), (
+            "leaves do not store every id exactly once"
+        )
 
     # ------------------------------------------------------------------
     # Search

@@ -1,0 +1,68 @@
+"""Shared machinery for vectorized tree construction.
+
+The static space-partitioning builds (KD, VP, ball) all recurse the same
+way: a single permutation array of point ids is partitioned *in place*, and
+each node is described by a ``(start, end)`` range of that array instead of
+its own freshly-copied Python id list.  The only per-node allocations left
+are the gathers the node's geometry genuinely needs (bounding boxes,
+centroids, distance columns) and the leaf id lists the dynamic operations
+consume.
+
+``partition_median`` replaces ``np.median`` in the splitting rules.  It is
+bit-identical to ``np.median`` (middle element for odd counts, the exact
+midpoint ``(a + b) / 2`` of the two middle elements for even counts) but
+runs a single ``np.partition`` selection instead of a full sort-based
+median, and makes the determinism contract explicit: a bulk rebuild of the
+same ids always reproduces the same split values, hence the same tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["partition_median", "apply_partition", "subtree_point_ids"]
+
+
+def partition_median(values: np.ndarray) -> float:
+    """The median of a 1-D array via selection, bit-identical to ``np.median``."""
+    n = values.shape[0]
+    mid = n // 2
+    if n % 2:
+        return float(np.partition(values, mid)[mid])
+    part = np.partition(values, [mid - 1, mid])
+    return float((part[mid - 1] + part[mid]) / 2.0)
+
+
+def apply_partition(view: np.ndarray, mask: np.ndarray) -> int:
+    """Stably reorder ``view`` in place so ``mask`` rows precede the rest.
+
+    ``view`` is a slice of the build permutation; both sides keep their
+    relative order (matching the ``ids[mask]`` / ``ids[~mask]`` recursion
+    the copying builds used, so tree structures are unchanged).  Returns
+    the number of ``mask`` rows — the split position.
+    """
+    left = view[mask]
+    right = view[~mask]
+    split = left.shape[0]
+    view[:split] = left
+    view[split:] = right
+    return split
+
+
+def subtree_point_ids(node) -> np.ndarray:
+    """All point ids stored in the leaves under a binary-split node.
+
+    Works on any node shape exposing ``is_leaf`` / ``left`` / ``right`` /
+    ``point_ids`` (the KD and ball trees); the invariant checkers use it
+    to compare a node's cached geometry against its actual subtree.
+    """
+    ids: list[int] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            ids.extend(current.point_ids)
+        else:
+            stack.append(current.left)
+            stack.append(current.right)
+    return np.asarray(ids, dtype=np.intp)

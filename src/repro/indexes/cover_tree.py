@@ -65,13 +65,77 @@ class CoverTreeIndex(Index):
     supports_insert = True
     supports_remove = True
 
-    def __init__(self, data, metric=None) -> None:
+    def __init__(self, data, metric=None, batch_build: bool = True) -> None:
         super().__init__(data, metric)
         self._root: Optional[_Node] = None
         self._nodes: dict[int, _Node] = {}
         self._batch_sizes: Optional[dict[int, int]] = None
-        for point_id in range(self._points.shape[0]):
-            self._insert_id(point_id)
+        n = self._points.shape[0]
+        if batch_build and n > 1:
+            self._batch_build(np.arange(n, dtype=np.intp))
+        else:
+            for point_id in range(n):
+                self._insert_id(point_id)
+
+    # ------------------------------------------------------------------
+    # Batch construction (divide and conquer)
+    # ------------------------------------------------------------------
+    def _batch_build(self, ids: np.ndarray) -> None:
+        """Build the whole tree at once instead of n point-at-a-time descents.
+
+        Each node carves its block of subtree points into children with one
+        ``to_point`` kernel per child: the first unassigned point becomes a
+        child at ``level - 1`` and absorbs every remaining point within its
+        cover ball ``2 ** (level - 1)`` — those points can recursively live
+        under it, while the leftovers stay direct-child candidates of the
+        node (they are within ``covdist(node)`` by construction).  The
+        node's ``maxdist`` is the exact max of its block's distances, known
+        before the block is partitioned, so no bottom-up pass is needed.
+        Blocks at distance zero (exact duplicates) are chained one node per
+        level without any kernel calls — the same chain shape the
+        incremental path produces, minus its quadratic descent cost.
+        """
+        root_id = int(ids[0])
+        rest = ids[1:]
+        d_rest = self.metric.to_point(self._points[rest], self._points[root_id])
+        d_max = float(d_rest.max()) if rest.shape[0] else 0.0
+        level = max(0, int(math.ceil(math.log2(d_max)))) if d_max > 0.0 else 0
+        root = _Node(root_id, level=level)
+        self._root = root
+        self._nodes[root_id] = root
+        stack: list[tuple[_Node, np.ndarray, np.ndarray]] = [(root, rest, d_rest)]
+        while stack:
+            node, block, dists = stack.pop()
+            if block.shape[0] == 0:
+                continue
+            node.maxdist = float(dists.max())
+            remaining, d_remaining = block, dists
+            while remaining.shape[0]:
+                if float(d_remaining.max()) == 0.0:
+                    # Every remaining point duplicates the node's point:
+                    # chain them, one single-child node per level.
+                    chain = node
+                    for dup in remaining:
+                        child = _Node(int(dup), level=chain.level - 1, parent=chain)
+                        chain.children.append(child)
+                        self._nodes[int(dup)] = child
+                        chain = child
+                    break
+                child_id = int(remaining[0])
+                child = _Node(child_id, level=node.level - 1, parent=node)
+                node.children.append(child)
+                self._nodes[child_id] = child
+                rest_block = remaining[1:]
+                if rest_block.shape[0] == 0:
+                    break
+                d_child = self.metric.to_point(
+                    self._points[rest_block], self._points[child_id]
+                )
+                absorbed = d_child <= child.covdist()
+                stack.append((child, rest_block[absorbed], d_child[absorbed]))
+                remaining = rest_block[~absorbed]
+                d_remaining = d_remaining[1:][~absorbed]
+        self._batch_sizes = None
 
     # ------------------------------------------------------------------
     # Construction / maintenance

@@ -42,6 +42,11 @@ from repro.indexes.batch_tools import (
     check_exclude_indices,
     mask_excluded,
 )
+from repro.indexes.build_tools import (
+    apply_partition,
+    partition_median,
+    subtree_point_ids,
+)
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.validation import (
     as_query_point,
@@ -92,26 +97,75 @@ class KDTreeIndex(Index):
     # Construction
     # ------------------------------------------------------------------
     def _build(self, ids: np.ndarray) -> _Node:
-        pts = self._points[ids]
+        """Build a subtree over ``ids`` by index-array partitioning.
+
+        One permutation array is partitioned in place; nodes are ranges of
+        it, medians come from ``partition_median`` (selection, not a
+        sort), and no per-node Python id lists exist outside the leaves.
+        The recursion's split values and id orderings are identical to the
+        historical copying build, so tree structures are unchanged.
+        """
+        perm = np.array(ids, dtype=np.intp)
+        return self._build_range(perm, 0, perm.shape[0])
+
+    def _build_range(self, perm: np.ndarray, start: int, end: int) -> _Node:
+        view = perm[start:end]
+        pts = self._points[view]
         lo = pts.min(axis=0)
         hi = pts.max(axis=0)
-        if ids.shape[0] <= self.leaf_size:
-            return _Node(lo=lo, hi=hi, point_ids=[int(i) for i in ids])
+        if end - start <= self.leaf_size:
+            return _Node(lo=lo, hi=hi, point_ids=view.tolist())
         axis = int(np.argmax(hi - lo))
         if hi[axis] == lo[axis]:
             # All points identical along every axis: keep them in one leaf.
-            return _Node(lo=lo, hi=hi, point_ids=[int(i) for i in ids])
+            return _Node(lo=lo, hi=hi, point_ids=view.tolist())
         coords = pts[:, axis]
-        split = float(np.median(coords))
+        split = partition_median(coords)
         left_mask = coords <= split
         # A median equal to the maximum would send everything left; nudge the
         # split so both sides are non-empty.
         if left_mask.all():
             left_mask = coords < split
         node = _Node(lo=lo, hi=hi, axis=axis, split=split)
-        node.left = self._build(ids[left_mask])
-        node.right = self._build(ids[~left_mask])
+        n_left = apply_partition(view, left_mask)
+        node.left = self._build_range(perm, start, start + n_left)
+        node.right = self._build_range(perm, start + n_left, end)
         return node
+
+    def check_invariants(self) -> None:
+        """Verify box containment, split-side, and id-coverage invariants."""
+        seen: list[int] = []
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            assert (node.lo <= node.hi).all(), "inverted bounding box"
+            if node.is_leaf:
+                seen.extend(node.point_ids)
+                ids = np.asarray(node.point_ids, dtype=np.intp)
+                if ids.shape[0]:
+                    pts = self._points[ids]
+                    assert (pts >= node.lo - 1e-12).all(), "point below box"
+                    assert (pts <= node.hi + 1e-12).all(), "point above box"
+                continue
+            for child in (node.left, node.right):
+                assert (child.lo >= node.lo - 1e-12).all(), "box breach (lo)"
+                assert (child.hi <= node.hi + 1e-12).all(), "box breach (hi)"
+                stack.append(child)
+            # Split sides: the build sends `coords <= split` left and the
+            # insert path routes equal coordinates left, so left holds
+            # coords <= split and right holds coords >= split.
+            assert (
+                self._points[subtree_point_ids(node.left), node.axis]
+                <= node.split + 1e-12
+            ).all(), "left subtree crosses split"
+            assert (
+                self._points[subtree_point_ids(node.right), node.axis]
+                >= node.split - 1e-12
+            ).all(), "right subtree crosses split"
+        assert len(seen) == len(set(seen)), "id stored in more than one leaf"
+        stored = set(seen)
+        active = set(int(i) for i in self.active_ids())
+        assert active <= stored, "active point missing from tree leaves"
 
     # ------------------------------------------------------------------
     # Search

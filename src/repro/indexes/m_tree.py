@@ -12,6 +12,17 @@ enlargement; overflowing nodes are split with the mM_RAD promotion policy
 minimize the larger covering radius).  Splits propagate upward, growing a
 new root when the old one overflows, so the tree stays balanced.
 
+Construction defaults to a **bulk load** (``bulk_build=True``): sampled
+pivots recursively partition the whole id block into capacity-sized
+nodes, with every distance — assignment, covering radii, parent
+distances — produced by vectorized ``Metric.to_point`` columns instead
+of one scalar metric call per (point, node) pair.  Covering radii come
+out *exact* (the max of each pivot's distance column over its block)
+rather than the accumulated upper bounds the insert path maintains, so
+the bulk tree is at least as tight as an insert-built one; both answer
+identical queries.  The insert path remains for dynamic use and as the
+benchmark baseline (``benchmarks/test_build_backends.py``).
+
 The incremental search is best-first over the bound
 
     d(q, y) >= max(0, d(q, center) - radius)        for y under a routing entry,
@@ -81,15 +92,99 @@ class MTreeIndex(Index):
     supports_insert = True
     supports_remove = True  # lazy removal: points are masked, not detached
 
-    def __init__(self, data, metric=None, capacity: int = 32, seed=0) -> None:
+    def __init__(
+        self,
+        data,
+        metric=None,
+        capacity: int = 32,
+        seed=0,
+        bulk_build: bool = True,
+    ) -> None:
         super().__init__(data, metric)
         self.capacity = check_positive_int(capacity, name="capacity")
         if self.capacity < 4:
             raise ValueError(f"capacity must be >= 4, got {capacity}")
         self._rng = ensure_rng(seed)
         self._root = _MNode(is_leaf=True)
-        for point_id in range(self._points.shape[0]):
-            self._insert_id(point_id)
+        n = self._points.shape[0]
+        if bulk_build and n > self.capacity:
+            self._root = self._bulk_load(np.arange(n, dtype=np.intp))
+        else:
+            for point_id in range(n):
+                self._insert_id(point_id)
+
+    # ------------------------------------------------------------------
+    # Bulk loading (sampled-pivot recursive partitioning)
+    # ------------------------------------------------------------------
+    def _pivot_columns(self, ids: np.ndarray, pivots: np.ndarray) -> np.ndarray:
+        """Distances from every id row to every pivot, one ``to_point``
+        column per pivot.  Columns are bit-identical to scalar
+        ``_dist_ids`` calls (the invariant checker and the insert path
+        compare against the same kernel), which a ``pairwise`` block
+        would not guarantee."""
+        block = self._points[ids]
+        out = np.empty((ids.shape[0], pivots.shape[0]), dtype=np.float64)
+        for col, pivot in enumerate(pivots):
+            out[:, col] = self.metric.to_point(block, self._points[pivot])
+        return out
+
+    def _bulk_load(self, ids: np.ndarray) -> _MNode:
+        pivot = int(ids[self._rng.integers(ids.shape[0])])
+        d_pivot = self.metric.to_point(self._points[ids], self._points[pivot])
+        routing = self._bulk_subtree(ids, pivot, d_pivot)
+        root = routing.child
+        root.parent_entry = None  # the root carries no routing entry
+        return root
+
+    def _bulk_subtree(
+        self, ids: np.ndarray, pivot_id: int, d_pivot: np.ndarray
+    ) -> _Entry:
+        """Build a subtree over ``ids`` and return its routing entry.
+
+        ``d_pivot`` holds d(pivot, x) for every x in ``ids``; the covering
+        radius is its exact maximum.  The caller fills in
+        ``dist_to_parent``.
+        """
+        radius = float(d_pivot.max()) if d_pivot.shape[0] else 0.0
+        if ids.shape[0] <= self.capacity:
+            node = _MNode(is_leaf=True)
+            for pos in range(ids.shape[0]):
+                entry = _Entry(int(ids[pos]))
+                entry.dist_to_parent = float(d_pivot[pos])
+                node.entries.append(entry)
+            routing = _Entry(pivot_id, radius=radius, child=node)
+            node.parent_entry = routing
+            return routing
+        # Sample one pivot per child and assign every id to its nearest
+        # pivot with one distance column per pivot.
+        fanout = min(self.capacity, -(-ids.shape[0] // self.capacity))
+        pivot_pos = np.sort(
+            self._rng.choice(ids.shape[0], size=fanout, replace=False)
+        )
+        pivots = ids[pivot_pos]
+        dists = self._pivot_columns(ids, pivots)
+        assign = np.argmin(dists, axis=1)
+        groups = [np.flatnonzero(assign == col) for col in range(fanout)]
+        if max(group.shape[0] for group in groups) == ids.shape[0]:
+            # Degenerate geometry (e.g. all points identical): nearest-pivot
+            # assignment made no progress, so slice the block evenly instead.
+            groups = [g for g in np.array_split(np.arange(ids.shape[0]), fanout)]
+            pivot_pos = np.asarray([int(g[0]) for g in groups], dtype=np.intp)
+            pivots = ids[pivot_pos]
+            dists = self._pivot_columns(ids, pivots)
+        node = _MNode(is_leaf=False)
+        for col, group in enumerate(groups):
+            if group.shape[0] == 0:
+                continue
+            child_entry = self._bulk_subtree(
+                ids[group], int(pivots[col]), dists[group, col]
+            )
+            child_entry.dist_to_parent = float(d_pivot[pivot_pos[col]])
+            child_entry.child.parent_node = node
+            node.entries.append(child_entry)
+        routing = _Entry(pivot_id, radius=radius, child=node)
+        node.parent_entry = routing
+        return routing
 
     # ------------------------------------------------------------------
     # Construction / maintenance
@@ -97,26 +192,41 @@ class MTreeIndex(Index):
     def _dist_ids(self, a: int, b: int) -> float:
         return self.metric.distance(self._points[a], self._points[b])
 
+    def _entry_centers(self, entries: list[_Entry]) -> np.ndarray:
+        return np.fromiter(
+            (entry.center_id for entry in entries), np.intp, count=len(entries)
+        )
+
     def _insert_id(self, point_id: int) -> None:
+        point = self._points[point_id]
         node = self._root
-        # Descend to a leaf, enlarging covering radii along the way.
+        d_parent = 0.0
+        # Descend to a leaf, enlarging covering radii along the way.  Each
+        # level evaluates all entry centers with one to_point call; the
+        # chosen entry's distance is carried so neither the enlargement
+        # check nor the leaf entry's parent distance re-issues a call.
         while not node.is_leaf:
-            best: Optional[_Entry] = None
-            best_key = (1, np.inf)  # (needs enlargement?, distance or enlargement)
-            for entry in node.entries:
-                d = self._dist_ids(entry.center_id, point_id)
-                key = (0, d) if d <= entry.radius else (1, d - entry.radius)
-                if key < best_key:
-                    best, best_key = entry, key
-            d_center = self._dist_ids(best.center_id, point_id)
-            if d_center > best.radius:
-                best.radius = d_center
+            dists = self.metric.to_point(
+                self._points[self._entry_centers(node.entries)], point
+            )
+            radii = np.fromiter(
+                (entry.radius for entry in node.entries),
+                np.float64,
+                count=len(node.entries),
+            )
+            inside = dists <= radii
+            if inside.any():
+                best_col = int(np.argmin(np.where(inside, dists, np.inf)))
+            else:
+                best_col = int(np.argmin(dists - radii))
+            best = node.entries[best_col]
+            d_parent = float(dists[best_col])
+            if d_parent > best.radius:
+                best.radius = d_parent
             node = best.child
         entry = _Entry(point_id)
         if node.parent_entry is not None:
-            entry.dist_to_parent = self._dist_ids(
-                node.parent_entry.center_id, point_id
-            )
+            entry.dist_to_parent = d_parent
         node.entries.append(entry)
         if len(node.entries) > self.capacity:
             self._split(node)
@@ -125,12 +235,13 @@ class MTreeIndex(Index):
         entries = node.entries
         ids = [e.center_id for e in entries]
         promo_a, promo_b = self._promote(ids)
+        centers = self._points[self._entry_centers(entries)]
+        d_a = self.metric.to_point(centers, self._points[promo_a])
+        d_b = self.metric.to_point(centers, self._points[promo_b])
         group_a: list[_Entry] = []
         group_b: list[_Entry] = []
-        for entry in entries:
-            d_a = self._dist_ids(promo_a, entry.center_id)
-            d_b = self._dist_ids(promo_b, entry.center_id)
-            (group_a if d_a <= d_b else group_b).append(entry)
+        for pos, entry in enumerate(entries):
+            (group_a if d_a[pos] <= d_b[pos] else group_b).append(entry)
         # Guard against empty partitions under pathological ties.
         if not group_a:
             group_a.append(group_b.pop())
@@ -159,23 +270,25 @@ class MTreeIndex(Index):
         """mM_RAD-style promotion: sample pairs, pick the best separation."""
         n = len(ids)
         n_samples = min(10, n * (n - 1) // 2)
-        best_pair = (ids[0], ids[1])
-        best_score = -np.inf
-        for _ in range(n_samples):
-            i, j = self._rng.choice(n, size=2, replace=False)
-            a, b = ids[int(i)], ids[int(j)]
-            score = self._dist_ids(a, b)
-            if score > best_score:
-                best_pair, best_score = (a, b), score
-        return best_pair
+        pairs = [self._rng.choice(n, size=2, replace=False) for _ in range(n_samples)]
+        if not pairs:
+            return ids[0], ids[1]
+        left = np.asarray([ids[int(i)] for i, _ in pairs], dtype=np.intp)
+        right = np.asarray([ids[int(j)] for _, j in pairs], dtype=np.intp)
+        scores = self.metric.paired(self._points[left], self._points[right])
+        best = int(np.argmax(scores))
+        return int(left[best]), int(right[best])
 
     def _make_routing_entry(
         self, center_id: int, group: list[_Entry], child: _MNode
     ) -> _Entry:
         child.entries = group
+        dists = self.metric.to_point(
+            self._points[self._entry_centers(group)], self._points[center_id]
+        )
         radius = 0.0
-        for entry in group:
-            d = self._dist_ids(center_id, entry.center_id)
+        for pos, entry in enumerate(group):
+            d = float(dists[pos])
             entry.dist_to_parent = d
             reach = d if entry.is_leaf_entry else d + entry.radius
             if reach > radius:

@@ -105,6 +105,17 @@ def _overlap(
     return float(np.prod(inter))
 
 
+def _overlap_matrix(
+    lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray
+) -> np.ndarray:
+    """Pairwise overlap volumes between two stacks of boxes, ``(a, b)``."""
+    inter = np.minimum(hi_a[:, None, :], hi_b[None, :, :]) - np.maximum(
+        lo_a[:, None, :], lo_b[None, :, :]
+    )
+    positive = (inter > 0.0).all(axis=2)
+    return np.where(positive, np.prod(inter, axis=2), 0.0)
+
+
 class RStarTreeIndex(Index):
     """R*-tree over point data with incremental NN search."""
 
@@ -142,47 +153,68 @@ class RStarTreeIndex(Index):
         return _Entry(p.copy(), p.copy(), point_id=int(point_id))
 
     def _bulk_load(self, ids: np.ndarray) -> _RNode:
-        entries = [self._point_entry(int(i)) for i in ids]
-        level_nodes = self._pack_level(entries, is_leaf=True)
+        pts = self._points[ids]
+        tiles = self._str_tiles(pts)
+        level_nodes: list[_RNode] = []
+        los: list[np.ndarray] = []
+        his: list[np.ndarray] = []
+        for tile in tiles:
+            node = _RNode(is_leaf=True)
+            for i in tile:
+                self._attach(node, self._point_entry(int(ids[i])))
+            level_nodes.append(node)
+            tile_pts = pts[tile]
+            los.append(tile_pts.min(axis=0))
+            his.append(tile_pts.max(axis=0))
         self._height = 1
         while len(level_nodes) > 1:
-            upper_entries = []
-            for node in level_nodes:
-                lo, hi = _union(node.entries)
-                upper_entries.append(_Entry(lo, hi, child=node))
-            level_nodes = self._pack_level(upper_entries, is_leaf=False)
+            lo_arr = np.stack(los)
+            hi_arr = np.stack(his)
+            tiles = self._str_tiles((lo_arr + hi_arr) * 0.5)
+            next_nodes: list[_RNode] = []
+            next_los: list[np.ndarray] = []
+            next_his: list[np.ndarray] = []
+            for tile in tiles:
+                node = _RNode(is_leaf=False)
+                for i in tile:
+                    self._attach(
+                        node,
+                        _Entry(
+                            lo_arr[i].copy(), hi_arr[i].copy(), child=level_nodes[i]
+                        ),
+                    )
+                next_nodes.append(node)
+                next_los.append(lo_arr[tile].min(axis=0))
+                next_his.append(hi_arr[tile].max(axis=0))
+            level_nodes, los, his = next_nodes, next_los, next_his
             self._height += 1
         return level_nodes[0]
 
-    def _pack_level(self, entries: list[_Entry], is_leaf: bool) -> list[_RNode]:
-        """Tile entries into nodes of ~capacity size, sorted recursively."""
-        n = len(entries)
+    def _str_tiles(self, centers: np.ndarray) -> list[np.ndarray]:
+        """Sort-Tile-Recursive ordering over entry centers, fully vectorized.
+
+        Returns positional index arrays, one per node: entries sorted
+        stably by first-axis center, cut into ~sqrt(n/capacity) vertical
+        slabs, each slab sorted stably by the second axis and chunked into
+        capacity-sized runs.  The orderings are identical to the historical
+        entry-list packer, so bulk-loaded tree shapes are unchanged.
+        """
+        n = centers.shape[0]
         if n <= self.capacity:
-            node = _RNode(is_leaf)
-            for entry in entries:
-                self._attach(node, entry)
-            return [node]
-        centers = np.array([(e.lo + e.hi) * 0.5 for e in entries])
+            return [np.arange(n, dtype=np.intp)]
         n_nodes = math.ceil(n / self.capacity)
         order = np.argsort(centers[:, 0], kind="stable")
-        entries = [entries[i] for i in order]
-        centers = centers[order]
         # Number of vertical slabs ~ sqrt of the node count.
         n_slabs = max(1, int(math.ceil(math.sqrt(n_nodes))))
         slab_size = math.ceil(n / n_slabs)
-        nodes: list[_RNode] = []
         sort_dim = 1 if centers.shape[1] > 1 else 0
+        tiles: list[np.ndarray] = []
         for start in range(0, n, slab_size):
-            slab = entries[start : start + slab_size]
-            slab_centers = np.array([(e.lo + e.hi) * 0.5 for e in slab])
-            sub_order = np.argsort(slab_centers[:, sort_dim], kind="stable")
-            slab = [slab[i] for i in sub_order]
-            for node_start in range(0, len(slab), self.capacity):
-                node = _RNode(is_leaf)
-                for entry in slab[node_start : node_start + self.capacity]:
-                    self._attach(node, entry)
-                nodes.append(node)
-        return nodes
+            slab = order[start : start + slab_size]
+            slab = slab[np.argsort(centers[slab, sort_dim], kind="stable")]
+            for node_start in range(0, slab.shape[0], self.capacity):
+                tiles.append(slab[node_start : node_start + self.capacity])
+        return tiles
 
     def _attach(self, node: _RNode, entry: _Entry) -> None:
         node.entries.append(entry)
@@ -209,46 +241,47 @@ class RStarTreeIndex(Index):
             self._overflow(node, level)
 
     def _node_level(self, node: _RNode) -> int:
-        """Level of a node: leaves are level 0."""
-        level = 0
+        """Level of a node: leaves are level 0.
+
+        Derived from the maintained ``self._height`` and the node's depth
+        (parent-chain length) — O(1) for the root, where the insertion
+        descent starts, instead of the historical walk down child pointers
+        to a leaf on every single insert.
+        """
+        depth = 0
         current = node
-        while not current.is_leaf:
-            current = current.entries[0].child
-            level += 1
-        return level
+        while current.parent is not None:
+            depth += 1
+            current = current.parent
+        return self._height - 1 - depth
 
     def _choose_subtree(self, entry: _Entry, level: int) -> _RNode:
         node = self._root
         depth_remaining = self._node_level(node) - level
         while depth_remaining > 0:
             child_is_leaf = depth_remaining == 1 and node.entries[0].child.is_leaf
-            best = None
-            best_key = None
-            for candidate in node.entries:
-                lo = np.minimum(candidate.lo, entry.lo)
-                hi = np.maximum(candidate.hi, entry.hi)
-                enlargement = _area(lo, hi) - _area(candidate.lo, candidate.hi)
-                if child_is_leaf:
-                    # Minimum overlap enlargement among siblings.
-                    overlap_before = sum(
-                        _overlap(candidate.lo, candidate.hi, other.lo, other.hi)
-                        for other in node.entries
-                        if other is not candidate
-                    )
-                    overlap_after = sum(
-                        _overlap(lo, hi, other.lo, other.hi)
-                        for other in node.entries
-                        if other is not candidate
-                    )
-                    key = (
-                        overlap_after - overlap_before,
-                        enlargement,
-                        _area(candidate.lo, candidate.hi),
-                    )
-                else:
-                    key = (enlargement, _area(candidate.lo, candidate.hi), 0.0)
-                if best_key is None or key < best_key:
-                    best, best_key = candidate, key
+            los = np.stack([candidate.lo for candidate in node.entries])
+            his = np.stack([candidate.hi for candidate in node.entries])
+            enl_lo = np.minimum(los, entry.lo)
+            enl_hi = np.maximum(his, entry.hi)
+            areas = np.prod(his - los, axis=1)
+            enlargements = np.prod(enl_hi - enl_lo, axis=1) - areas
+            if child_is_leaf:
+                # Minimum overlap enlargement among siblings: each
+                # candidate's summed overlap with the other entries, before
+                # and after enlargement, in two (f, f) box-intersection
+                # kernels with the self-overlap diagonal removed.
+                before = _overlap_matrix(los, his, los, his)
+                after = _overlap_matrix(enl_lo, enl_hi, los, his)
+                overlap_growth = (
+                    after.sum(axis=1)
+                    - np.diagonal(after)
+                    - (before.sum(axis=1) - np.diagonal(before))
+                )
+                ranking = np.lexsort((areas, enlargements, overlap_growth))
+            else:
+                ranking = np.lexsort((areas, enlargements))
+            best = node.entries[int(ranking[0])]
             np.minimum(best.lo, entry.lo, out=best.lo)
             np.maximum(best.hi, entry.hi, out=best.hi)
             node = best.child

@@ -31,6 +31,7 @@ from repro.indexes.batch_tools import (
     check_exclude_indices,
     mask_excluded,
 )
+from repro.indexes.build_tools import partition_median
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import (
@@ -88,20 +89,79 @@ class VPTreeIndex(Index):
         return best_id
 
     def _build(self, ids: np.ndarray) -> _Node:
-        if ids.shape[0] <= self.leaf_size:
-            return _Node(point_ids=[int(i) for i in ids])
-        vantage_id = self._select_vantage(ids)
-        rest = ids[ids != vantage_id]
+        """Build a subtree over ``ids`` by index-array partitioning.
+
+        A single permutation array is reordered in place — vantage point
+        first, then the inner block, then the outer block — so each node is
+        a range of it; the only per-node allocations are the vantage
+        distance column and the leaf id lists.  Selection rule, median
+        values, and id orderings match the historical copying build.
+        """
+        perm = np.array(ids, dtype=np.intp)
+        return self._build_range(perm, 0, perm.shape[0])
+
+    def _build_range(self, perm: np.ndarray, start: int, end: int) -> _Node:
+        view = perm[start:end]
+        if end - start <= self.leaf_size:
+            return _Node(point_ids=view.tolist())
+        vantage_id = self._select_vantage(view)
+        rest = view[view != vantage_id]
         dists = self.metric.to_point(self._points[rest], self._points[vantage_id])
-        mu = float(np.median(dists))
+        mu = partition_median(dists)
         inner_mask = dists <= mu
         if inner_mask.all() or not inner_mask.any():
             # Degenerate distance distribution (e.g. duplicates): keep a leaf.
-            return _Node(point_ids=[int(i) for i in ids])
+            return _Node(point_ids=view.tolist())
         node = _Node(vantage_id=vantage_id, mu=mu)
-        node.inner = self._build(rest[inner_mask])
-        node.outer = self._build(rest[~inner_mask])
+        # Reorder the slice in place: vantage first, inner block, outer block.
+        n_inner = int(np.count_nonzero(inner_mask))
+        view[0] = vantage_id
+        view[1 : 1 + n_inner] = rest[inner_mask]
+        view[1 + n_inner :] = rest[~inner_mask]
+        node.inner = self._build_range(perm, start + 1, start + 1 + n_inner)
+        node.outer = self._build_range(perm, start + 1 + n_inner, end)
         return node
+
+    def check_invariants(self) -> None:
+        """Verify mu-partition and id-coverage invariants."""
+        seen: list[int] = []
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                seen.extend(node.point_ids)
+                continue
+            seen.append(node.vantage_id)
+            vantage = self._points[node.vantage_id]
+            for child, inner in ((node.inner, True), (node.outer, False)):
+                ids = self._subtree_ids(child)
+                if ids.shape[0]:
+                    dists = self.metric.to_point(self._points[ids], vantage)
+                    if inner:
+                        assert (dists <= node.mu + 1e-12).all(), (
+                            "inner subtree outside mu"
+                        )
+                    else:
+                        assert (dists > node.mu - 1e-12).all(), (
+                            "outer subtree inside mu"
+                        )
+                stack.append(child)
+        assert sorted(seen) == list(range(self._points.shape[0])), (
+            "tree does not store every id exactly once"
+        )
+
+    def _subtree_ids(self, node: _Node) -> np.ndarray:
+        ids: list[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                ids.extend(current.point_ids)
+            else:
+                ids.append(current.vantage_id)
+                stack.append(current.inner)
+                stack.append(current.outer)
+        return np.asarray(ids, dtype=np.intp)
 
     # ------------------------------------------------------------------
     # Search

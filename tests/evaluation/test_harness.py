@@ -1,22 +1,29 @@
 """Tests for ground truth, the runner, reporting and precompute accounting."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import RDT, BichromaticRDT, bichromatic_brute_force
 from repro.evaluation import (
+    BuildRecord,
     GroundTruth,
     MethodRun,
     TradeoffCurve,
+    bench_payload,
     format_table,
+    index_builders,
     measure_precompute,
     queries_per_budget,
     render_curves,
     render_kv_section,
     run_bichromatic_batched,
     run_method,
+    run_precompute_suite,
     run_tradeoff,
     sample_query_indices,
+    write_bench_json,
 )
 from repro.indexes import LinearScanIndex
 
@@ -161,3 +168,47 @@ class TestPrecompute:
     def test_queries_per_budget(self):
         assert queries_per_budget(10.0, 0.1) == pytest.approx(100.0)
         assert queries_per_budget(10.0, 0.0) == float("inf")
+
+    def test_index_builders_cover_registry(self, small_gaussian):
+        from repro.indexes import INDEX_REGISTRY, Index
+
+        builders = index_builders(small_gaussian[:60])
+        assert sorted(builders) == sorted(INDEX_REGISTRY)
+        index = builders["kd-tree"]()
+        assert isinstance(index, Index) and index.size == 60
+
+    def test_index_builders_insert_paths(self, small_gaussian):
+        builders = index_builders(
+            small_gaussian[:50],
+            backends=["m-tree", "kd-tree"],
+            include_insert_paths=True,
+        )
+        # kd-tree has no retained insert-loop constructor; m-tree does.
+        assert sorted(builders) == ["kd-tree", "m-tree", "m-tree[insert]"]
+        assert builders["m-tree[insert]"]().size == 50
+
+    def test_index_builders_rejects_unknown(self, small_gaussian):
+        with pytest.raises(ValueError, match="unknown index"):
+            index_builders(small_gaussian, backends=["b-tree"])
+
+    def test_run_precompute_suite_order_and_artifacts(self, small_gaussian):
+        builders = index_builders(small_gaussian[:40], backends=["kd-tree", "vp-tree"])
+        reports = run_precompute_suite(builders)
+        assert [r.method for r in reports] == ["kd-tree", "vp-tree"]
+        assert all(r.artifact is None and r.seconds > 0.0 for r in reports)
+        kept = run_precompute_suite(builders, keep_artifacts=True)
+        assert all(r.artifact is not None for r in kept)
+
+    def test_bench_payload_and_json_roundtrip(self, tmp_path):
+        records = [
+            BuildRecord(backend="m-tree", n=100, dim=4, mode="bulk", seconds=0.5),
+            BuildRecord(backend="m-tree", n=100, dim=4, mode="insert", seconds=5.0),
+            BuildRecord(backend="vp-tree", n=100, dim=4, mode="bulk", seconds=0.2),
+        ]
+        payload = bench_payload(records, extra={"note": "test"})
+        assert payload["bulk_speedup"] == {"m-tree@100": pytest.approx(10.0)}
+        assert payload["note"] == "test"
+        path = write_bench_json(tmp_path / "BENCH_build.json", payload)
+        loaded = json.loads(path.read_text())
+        assert loaded["records"][0]["backend"] == "m-tree"
+        assert loaded["schema_version"] == 1

@@ -1,0 +1,208 @@
+"""Bulk-vs-incremental construction parity for every tree backend.
+
+Every backend now constructs through a vectorized bulk path by default;
+the dynamic backends keep their insert loops.  These tests pin the
+contract the overhaul promised: a bulk-built tree passes its structural
+invariants, and — for every backend with both paths — answers ``knn``,
+``knn_distances``, and ``RDT.query_batch`` identically to an insert-built
+tree, including on tie-heavy data, exact duplicates, and post-removal
+states.  Tie groups are compared as sets: the library contract lets ties
+be *ordered* arbitrarily, but the distances and the membership of every
+tie group must agree between construction paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RDT
+from repro.indexes import (
+    INDEX_REGISTRY,
+    CoverTreeIndex,
+    KDTreeIndex,
+    MTreeIndex,
+    RStarTreeIndex,
+    build_index,
+)
+
+#: Backends with both a bulk and an insert-driven construction path, with
+#: factories for each.  KD has no constructor flag: its insert-built twin
+#: is seeded with one point and grown by inserts.
+DUAL_PATH = {
+    "m-tree": (
+        lambda data: MTreeIndex(data),
+        lambda data: MTreeIndex(data, bulk_build=False),
+    ),
+    "cover-tree": (
+        lambda data: CoverTreeIndex(data),
+        lambda data: CoverTreeIndex(data, batch_build=False),
+    ),
+    "r-star-tree": (
+        lambda data: RStarTreeIndex(data, capacity=8),
+        lambda data: RStarTreeIndex(data, capacity=8, bulk_load=False),
+    ),
+    "kd-tree": (
+        lambda data: KDTreeIndex(data, leaf_size=8),
+        lambda data: _insert_grown_kd(data),
+    ),
+}
+
+
+def _insert_grown_kd(data) -> KDTreeIndex:
+    index = KDTreeIndex(data[:1], leaf_size=8)
+    for row in data[1:]:
+        index.insert(row)
+    return index
+
+
+def assert_same_knn(result_a, result_b, tie_pool=None):
+    """Two kNN answers agree: equal distances, tie groups with equal id sets.
+
+    ``tie_pool`` maps a boundary distance to the set of *all* ids at that
+    distance; the trailing tie group may be truncated differently by the
+    two searches, so its ids only need to come from the same pool.
+    """
+    ids_a, dists_a = result_a
+    ids_b, dists_b = result_b
+    assert np.array_equal(dists_a, dists_b), "kNN distances differ"
+    groups_a = _tie_groups(ids_a, dists_a)
+    groups_b = _tie_groups(ids_b, dists_b)
+    assert groups_a.keys() == groups_b.keys()
+    boundary = dists_a[-1] if dists_a.shape[0] else None
+    for value, members_a in groups_a.items():
+        members_b = groups_b[value]
+        if value == boundary and tie_pool is not None:
+            pool = tie_pool.get(value, members_a | members_b)
+            assert members_a <= pool and members_b <= pool
+            assert len(members_a) == len(members_b)
+        else:
+            assert members_a == members_b, f"tie group at d={value} differs"
+
+
+def _tie_groups(ids, dists):
+    groups: dict[float, set[int]] = {}
+    for point_id, dist in zip(ids, dists):
+        groups.setdefault(float(dist), set()).add(int(point_id))
+    return groups
+
+
+def _tie_pool(index, query, exclude=frozenset()):
+    active = index.active_ids()
+    dists = index.metric.to_point(index.points[active], query)
+    pool: dict[float, set[int]] = {}
+    for point_id, dist in zip(active, dists):
+        if int(point_id) not in exclude:
+            pool.setdefault(float(dist), set()).add(int(point_id))
+    return pool
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_REGISTRY))
+class TestBulkBuildSmoke:
+    """Fast-tier gate: the default (bulk) build of every backend is sound."""
+
+    def test_invariants_at_small_n(self, name, medium_mixture):
+        index = build_index(name, medium_mixture[:150])
+        if hasattr(index, "check_invariants"):
+            index.check_invariants()
+        assert index.size == 150
+
+    def test_duplicates(self, name, duplicated_points):
+        index = build_index(name, duplicated_points)
+        if hasattr(index, "check_invariants"):
+            index.check_invariants()
+        _, dists = index.knn(duplicated_points[0], 10)
+        assert dists.shape[0] == 10 and dists[0] == 0.0
+
+
+@pytest.mark.parametrize("name", sorted(DUAL_PATH))
+class TestBulkVsInsertParity:
+    def build_pair(self, name, data):
+        bulk_factory, insert_factory = DUAL_PATH[name]
+        return bulk_factory(data), insert_factory(data)
+
+    def test_knn_parity(self, name, medium_mixture, rng):
+        data = medium_mixture[:400]
+        bulk, grown = self.build_pair(name, data)
+        if hasattr(bulk, "check_invariants"):
+            bulk.check_invariants()
+            grown.check_invariants()
+        for query in rng.normal(size=(10, data.shape[1])) * 3.0:
+            assert_same_knn(
+                bulk.knn(query, 12), grown.knn(query, 12), _tie_pool(bulk, query)
+            )
+
+    def test_knn_parity_on_ties_and_duplicates(self, name, duplicated_points):
+        bulk, grown = self.build_pair(name, duplicated_points)
+        for row in (0, 7, 55, 119):
+            query = duplicated_points[row]
+            pool = _tie_pool(bulk, query, exclude={row})
+            assert_same_knn(
+                bulk.knn(query, 15, exclude_index=row),
+                grown.knn(query, 15, exclude_index=row),
+                pool,
+            )
+
+    def test_knn_distances_parity(self, name, medium_mixture):
+        data = medium_mixture[:400]
+        bulk, grown = self.build_pair(name, data)
+        rows = np.arange(0, 400, 11, dtype=np.intp)
+        got = bulk.knn_distances(data[rows], 7, exclude_indices=rows)
+        expected = grown.knn_distances(data[rows], 7, exclude_indices=rows)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_knn_distances_parity_post_removal(self, name, medium_mixture):
+        data = medium_mixture[:300]
+        bulk, grown = self.build_pair(name, data)
+        if not bulk.supports_remove:
+            pytest.skip(f"{name} does not support removal")
+        for victim in (2, 3, 4, 150, 299):
+            bulk.remove(victim)
+            grown.remove(victim)
+        if hasattr(bulk, "check_invariants"):
+            bulk.check_invariants()
+        rows = np.array([0, 10, 100, 200], dtype=np.intp)
+        got = bulk.knn_distances(data[rows], 6, exclude_indices=rows)
+        expected = grown.knn_distances(data[rows], 6, exclude_indices=rows)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_rdt_query_batch_parity(self, name, medium_mixture):
+        data = medium_mixture[:300]
+        bulk, grown = self.build_pair(name, data)
+        query_ids = np.arange(0, 300, 13, dtype=np.intp)
+        batch_bulk = RDT(bulk).query_batch(query_indices=query_ids, k=5, t=4.0)
+        batch_grown = RDT(grown).query_batch(query_indices=query_ids, k=5, t=4.0)
+        for result_bulk, result_grown in zip(batch_bulk, batch_grown):
+            assert np.array_equal(result_bulk.ids, result_grown.ids)
+
+    def test_rdt_query_batch_parity_on_duplicates(self, name, duplicated_points):
+        bulk, grown = self.build_pair(name, duplicated_points)
+        query_ids = np.arange(0, duplicated_points.shape[0], 9, dtype=np.intp)
+        batch_bulk = RDT(bulk).query_batch(query_indices=query_ids, k=4, t=4.0)
+        batch_grown = RDT(grown).query_batch(query_indices=query_ids, k=4, t=4.0)
+        for result_bulk, result_grown in zip(batch_bulk, batch_grown):
+            assert np.array_equal(result_bulk.ids, result_grown.ids)
+
+
+class TestBulkThenDynamic:
+    """Bulk-built trees must keep their invariants under later mutation."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda data: MTreeIndex(data, capacity=5),
+            lambda data: CoverTreeIndex(data),
+            lambda data: RStarTreeIndex(data, capacity=4),
+            lambda data: KDTreeIndex(data, leaf_size=4),
+        ],
+        ids=["m-tree", "cover-tree", "r-star-tree", "kd-tree"],
+    )
+    def test_insert_then_remove_after_bulk_build(self, factory, rng):
+        index = factory(rng.normal(size=(120, 3)))
+        for row in rng.normal(size=(60, 3)):
+            index.insert(row)
+        index.check_invariants()
+        if index.supports_remove:
+            for victim in (0, 30, 100, 150):
+                index.remove(victim)
+            index.check_invariants()

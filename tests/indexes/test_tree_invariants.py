@@ -126,6 +126,35 @@ class TestRStarTreeInvariants:
         index.check_invariants()
         assert index._height > 1
 
+    @staticmethod
+    def _walk_down_level(index) -> int:
+        level, node = 0, index._root
+        while not node.is_leaf:
+            node = node.entries[0].child
+            level += 1
+        return level
+
+    def test_height_bumped_on_root_splits_in_pure_insert_path(self, rng):
+        """``_height`` must track every root split so levels can be derived
+        from it instead of walking child pointers to a leaf per insert."""
+        index = RStarTreeIndex(rng.normal(size=(1, 2)), capacity=4, bulk_load=False)
+        assert index._height == 1
+        seen_heights = {1}
+        for row in rng.normal(size=(300, 2)):
+            index.insert(row)
+            assert index._height - 1 == self._walk_down_level(index)
+            seen_heights.add(index._height)
+        assert max(seen_heights) >= 3, "workload never split the root twice"
+        index.check_invariants()
+
+    def test_height_consistent_after_bulk_load_and_inserts(self, rng):
+        index = RStarTreeIndex(rng.normal(size=(400, 3)), capacity=8)
+        assert index._height - 1 == self._walk_down_level(index)
+        for row in rng.normal(size=(50, 3)):
+            index.insert(row)
+        assert index._height - 1 == self._walk_down_level(index)
+        index.check_invariants()
+
     def test_duplicates(self, duplicated_points):
         RStarTreeIndex(duplicated_points, capacity=4).check_invariants()
 
