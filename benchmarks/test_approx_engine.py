@@ -1,0 +1,192 @@
+"""Approximate RkNN engine — recall/speedup tradeoff benchmark and gate.
+
+The workload approximation exists for: the all-points RkNN batch over a
+moderately sized, genuinely high-dimensional dataset (n=8000, d=16,
+k=10), answered once exactly (``RDT.query_batch``, the repository's
+batched exact engine) and then through both approximate strategies at a
+sweep of their knobs (``sample_size`` for the sampled estimator,
+``n_tables`` for the LSH filter).  Quality is scored against the
+brute-force oracle; time is the end-to-end wall clock of each batched
+call (:func:`repro.evaluation.run_approx_tradeoff`).
+
+The acceptance gate asserts that at least one strategy reaches
+recall >= 0.95 at a >= 3x speedup over the exact engine.  Results are
+recorded to ``benchmarks/results/approx_engine.{txt,json}`` and the
+repo-root trajectory file ``BENCH_approx.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import pytest
+
+from benchmarks.figure_driver import record
+from repro.approx import ApproxRkNN
+from repro.core import RDT
+from repro.datasets import gaussian_mixture
+from repro.evaluation import (
+    GroundTruth,
+    render_approx_tradeoffs,
+    run_approx_tradeoff,
+    write_bench_json,
+)
+from repro.indexes import LinearScanIndex
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+N = 8000
+DIM = 16
+K = 10
+T_EXACT_ENGINE = 4.0
+
+#: Strategy sweeps: (strategy, knob name, knob values, constructor kwargs).
+SWEEPS = [
+    ("sampled", "sample_size", (512, 1024, 2048), {"seed": 1}),
+    ("lsh", "n_tables", (4, 8), {"seed": 1}),
+]
+
+MIN_RECALL = 0.95
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(N, dim=DIM, n_clusters=8, separation=4.0, seed=11)
+    index = LinearScanIndex(data)
+    truth = GroundTruth(data)
+    queries = index.active_ids()
+    return index, truth, queries
+
+
+def test_approx_tradeoff_recorded(workload):
+    index, truth, queries = workload
+    rdt = RDT(index)
+    build_seconds: dict[str, dict[str, float]] = {}
+
+    def factory(strategy, knob, kwargs):
+        def for_parameter(value):
+            engine = ApproxRkNN(
+                index, strategy, **{knob: int(value)}, **kwargs
+            )
+            # Structure builds (hash tables / sampled kNN tables) are
+            # one-time preprocessing, timed separately from the query gate.
+            started = time.perf_counter()
+            engine.strategy.ensure_current()
+            if strategy == "sampled":
+                engine.strategy._table(K)
+            build_seconds[strategy][str(int(value))] = (
+                time.perf_counter() - started
+            )
+            return lambda qis: engine.query_batch(query_indices=qis, k=K)
+
+        return for_parameter
+
+    tradeoffs = []
+    exact_seconds = None
+    for strategy, knob, values, kwargs in SWEEPS:
+        build_seconds[strategy] = {}
+        tradeoff = run_approx_tradeoff(
+            strategy,
+            factory(strategy, knob, kwargs),
+            values,
+            queries,
+            truth,
+            K,
+            # The exact engine is timed once, on the first sweep, and the
+            # measured baseline is shared by every other strategy.
+            **(
+                {
+                    "exact_batch_fn": lambda qis: rdt.query_batch(
+                        query_indices=qis, k=K, t=T_EXACT_ENGINE
+                    )
+                }
+                if exact_seconds is None
+                else {"exact_seconds": exact_seconds}
+            ),
+        )
+        exact_seconds = tradeoff.exact_seconds
+        tradeoffs.append(tradeoff)
+
+    text = render_approx_tradeoffs(
+        f"Approximate RkNN engine — all-points workload "
+        f"(n={N}, d={DIM}, k={K}, exact t={T_EXACT_ENGINE})",
+        tradeoffs,
+    )
+
+    gated = {
+        tradeoff.method: tradeoff.best_gated(MIN_RECALL)
+        for tradeoff in tradeoffs
+    }
+    winners = {
+        name: run
+        for name, run in gated.items()
+        if run is not None and run.speedup >= MIN_SPEEDUP
+    }
+    payload = {
+        "schema_version": 1,
+        "workload": {"n": N, "dim": DIM, "k": K, "queries": int(len(queries))},
+        "exact_seconds": exact_seconds,
+        "strategies": {
+            tradeoff.method: {
+                "knob": knob,
+                "build_seconds": build_seconds[tradeoff.method],
+                "runs": [
+                    {
+                        "parameter": run.parameter,
+                        "recall": run.recall,
+                        "precision": run.precision,
+                        "seconds": run.seconds,
+                        "speedup": run.speedup,
+                    }
+                    for run in tradeoff.runs
+                ],
+            }
+            for tradeoff, (_, knob, _, _) in zip(tradeoffs, SWEEPS)
+        },
+        "gate": {
+            "min_recall": MIN_RECALL,
+            "min_speedup": MIN_SPEEDUP,
+            "passed_by": sorted(winners),
+            "best": {
+                name: {"recall": run.recall, "speedup": run.speedup}
+                for name, run in winners.items()
+            },
+        },
+    }
+    record("approx_engine", text, data=payload)
+    write_bench_json(
+        REPO_ROOT / "BENCH_approx.json",
+        {"benchmark": "approx_engine", **payload},
+    )
+
+    # The acceptance gate: at least one strategy must deliver the recall
+    # floor at the required batched-query speedup.
+    assert winners, (
+        f"no strategy reached recall >= {MIN_RECALL} at a "
+        f">= {MIN_SPEEDUP}x speedup; best gated runs: "
+        + ", ".join(
+            f"{name}: "
+            + (
+                f"recall {run.recall:.3f} at {run.speedup:.2f}x"
+                if run is not None
+                else "recall floor not met"
+            )
+            for name, run in sorted(gated.items())
+        )
+    )
+
+
+def test_sampled_strategy_recall_floor_is_exact(workload):
+    """On top of the statistical gate, the sampled strategy's recall is a
+    design guarantee — spot-check it at the smallest (loosest) sample."""
+    index, truth, _ = workload
+    engine = ApproxRkNN(index, "sampled", sample_size=256, seed=3)
+    queries = list(range(0, N, 500))
+    results = engine.query_batch(query_indices=queries, k=K)
+    for qi, result in zip(queries, results):
+        expected = set(truth.answer(qi, K).tolist())
+        assert expected <= set(result.ids.tolist())

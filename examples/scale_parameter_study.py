@@ -5,8 +5,10 @@ intrinsic dimensionality three ways, run RDT+ at each suggested t plus a
 sweep of manual values, and print the time/recall landscape so the
 tradeoff (and the MaxGED exactness threshold) is visible in one table.
 
-Run:  python examples/scale_parameter_study.py
+Run:  python examples/scale_parameter_study.py [--n 1500] [--k 10]
 """
+
+import argparse
 
 import numpy as np
 
@@ -17,10 +19,15 @@ from repro.lid import theorem1_scale
 
 
 def main() -> None:
-    data = load_standin("fct", n=1500, seed=1)
-    k = 10
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1500, help="dataset size")
+    parser.add_argument("--k", type=int, default=10, help="neighborhood size")
+    args = parser.parse_args()
+
+    data = load_standin("fct", n=args.n, seed=1)
+    k = args.k
     naive = NaiveRkNN(data, k=k)
-    queries = list(range(0, 1500, 150))
+    queries = list(range(0, args.n, max(1, args.n // 10)))
     truth = {qi: set(naive.query(query_index=qi).tolist()) for qi in queries}
 
     rdt_plus = RDT(LinearScanIndex(data), variant="rdt+")

@@ -11,9 +11,11 @@ This example maintains a sliding window over a drifting stream and, for
 each batch of arrivals, reports which resident points gained the new
 arrivals as reverse neighbors.
 
-Run:  python examples/streaming_updates.py
+Run:  python examples/streaming_updates.py [--window 600] [--batch 50]
+      [--rounds 6] [--k 8]
 """
 
+import argparse
 from collections import deque
 
 import numpy as np
@@ -21,41 +23,44 @@ import numpy as np
 from repro import RDT, CoverTreeIndex
 from repro.utils.rng import ensure_rng
 
-WINDOW = 600
-BATCH = 50
-ROUNDS = 6
-K = 8
-
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--window", type=int, default=600, help="window size")
+    parser.add_argument("--batch", type=int, default=50, help="arrivals per round")
+    parser.add_argument("--rounds", type=int, default=6, help="stream rounds")
+    parser.add_argument("--k", type=int, default=8, help="neighborhood size")
+    args = parser.parse_args()
+    window_size, batch, rounds, k = args.window, args.batch, args.rounds, args.k
+
     rng = ensure_rng(11)
     center = np.zeros(4)
 
-    initial = rng.normal(size=(WINDOW, 4))
+    initial = rng.normal(size=(window_size, 4))
     index = CoverTreeIndex(initial)
-    window: deque[int] = deque(range(WINDOW))
+    window: deque[int] = deque(range(window_size))
     rdt_plus = RDT(index, variant="rdt+")
 
-    print(f"sliding window of {WINDOW} points, batches of {BATCH}, k={K}")
-    for round_no in range(ROUNDS):
+    print(f"sliding window of {window_size} points, batches of {batch}, k={k}")
+    for round_no in range(rounds):
         center += rng.normal(scale=0.4, size=4)  # concept drift
         influenced: set[int] = set()
-        for _ in range(BATCH):
+        for _ in range(batch):
             point = center + rng.normal(size=4)
             new_id = index.insert(point)
             window.append(new_id)
             # Who is influenced by this arrival?  Its reverse neighbors.
-            result = rdt_plus.query(query_index=new_id, k=K, t=6.0)
+            result = rdt_plus.query(query_index=new_id, k=k, t=6.0)
             influenced.update(result.ids.tolist())
             expired = window.popleft()
             index.remove(expired)
         influenced &= set(window)
         print(
             f"round {round_no}: window={index.size}, "
-            f"{len(influenced)} resident points had their {K}-NN "
+            f"{len(influenced)} resident points had their {k}-NN "
             f"neighborhood changed by arrivals"
         )
-    if index.size != WINDOW:
+    if index.size != window_size:
         raise SystemExit("window size drifted — insert/remove mismatch")
     print("\nwindow maintained with pure index updates; no precomputed "
           "kNN tables were ever rebuilt.")

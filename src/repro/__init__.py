@@ -56,6 +56,13 @@ from repro.core import (
     bichromatic_brute_force,
     suggest_scale,
 )
+from repro.approx import (
+    APPROX_STRATEGIES,
+    ApproxRkNN,
+    LSHFilter,
+    SampledKNNEstimator,
+    build_strategy,
+)
 from repro.baselines import SFT, TPL, MRkNNCoP, NaiveRkNN, RdNN, rknn_brute_force
 from repro.lid import (
     estimate_id,
@@ -70,6 +77,7 @@ from repro.evaluation import (
     GroundTruth,
     index_builders,
     measure_precompute,
+    run_approx_tradeoff,
     run_bichromatic_batched,
     run_method,
     run_method_batched,
@@ -119,6 +127,12 @@ __all__ = [
     "RkNNResult",
     "QueryStats",
     "suggest_scale",
+    # approximate engine
+    "ApproxRkNN",
+    "APPROX_STRATEGIES",
+    "LSHFilter",
+    "SampledKNNEstimator",
+    "build_strategy",
     # baselines
     "NaiveRkNN",
     "rknn_brute_force",
@@ -138,6 +152,7 @@ __all__ = [
     "GroundTruth",
     "run_method",
     "run_method_batched",
+    "run_approx_tradeoff",
     "run_bichromatic_batched",
     "run_precompute_suite",
     "run_tradeoff",

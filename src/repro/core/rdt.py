@@ -78,9 +78,9 @@ from repro.utils.tolerance import DIST_RTOL as _DIST_RTOL
 from repro.utils.tolerance import dist_le_many
 from repro.utils.validation import (
     as_query_point,
-    as_query_rows,
     check_k,
     check_scale_parameter,
+    resolve_batch_queries,
 )
 
 __all__ = ["RDT", "VARIANTS"]
@@ -232,37 +232,11 @@ class RDT:
             )
         k = check_k(k)
         t = check_scale_parameter(t)
-        if (queries is None) == (query_indices is None):
-            raise ValueError("provide exactly one of `queries` or `query_indices`")
-        if query_indices is not None:
-            query_indices = np.asarray(query_indices, dtype=np.intp)
-            if query_indices.ndim != 1:
-                raise ValueError(
-                    f"query_indices must be 1-D, got shape {query_indices.shape}"
-                )
-            if query_indices.shape[0] == 0:
-                return []
-            # Vectorized equivalent of get_point per id: validate the whole
-            # batch, then gather the rows in one fancy-index copy.
-            total_rows = self.index.points.shape[0]
-            if int(query_indices.min()) < 0 or int(query_indices.max()) >= total_rows:
-                raise IndexError(
-                    f"query_indices out of range for index with {total_rows} rows"
-                )
-            active_mask = np.zeros(total_rows, dtype=bool)
-            active_mask[self.index.active_ids()] = True
-            inactive = np.flatnonzero(~active_mask[query_indices])
-            if inactive.shape[0]:
-                raise KeyError(
-                    f"point id {int(query_indices[inactive[0]])} has been removed"
-                )
-            query_points = self.index.points[query_indices]
-            exclude = query_indices
-        else:
-            query_points = as_query_rows(queries, dim=self.index.dim, name="queries")
-            if query_points.shape[0] == 0:
-                return []
-            exclude = np.full(query_points.shape[0], -1, dtype=np.intp)
+        query_points, exclude = resolve_batch_queries(
+            self.index, queries, query_indices
+        )
+        if query_points.shape[0] == 0:
+            return []
 
         stats_list = [QueryStats() for _ in range(query_points.shape[0])]
         if self.variant == "rdt" and filter_mode != "sequential":
@@ -454,7 +428,12 @@ class RDT:
         ratio = np.where(
             eligible, (ranks / termination_rank) ** inv_t - 1.0, np.inf
         )
-        bounds = np.where(eligible & (ratio > 0.0), group_dists / ratio, np.inf)
+        # Huge t underflows the ratio to exactly 0.0; divide only where the
+        # bound is defined instead of filtering a 0-division afterwards.
+        bounds = np.full(ratio.shape, np.inf)
+        np.divide(
+            group_dists, ratio, out=bounds, where=eligible & (ratio > 0.0)
+        )
         omega_run = np.minimum.accumulate(bounds)
         terminating = (group_dists > omega_run) | (ranks >= rank_cap)
         hits = np.flatnonzero(terminating)

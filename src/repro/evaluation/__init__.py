@@ -1,7 +1,13 @@
 """Evaluation harness: ground truth, metrics, tradeoff sweeps, reporting."""
 
 from repro.evaluation.ground_truth import GroundTruth, sample_query_indices
-from repro.evaluation.metrics import f1_score, precision, recall, set_metrics
+from repro.evaluation.metrics import (
+    f1_score,
+    precision,
+    recall,
+    set_metrics,
+    speedup,
+)
 from repro.evaluation.precompute import (
     BuildRecord,
     PrecomputeReport,
@@ -11,11 +17,19 @@ from repro.evaluation.precompute import (
     queries_per_budget,
     write_bench_json,
 )
-from repro.evaluation.reporting import format_table, render_curves, render_kv_section
+from repro.evaluation.reporting import (
+    format_table,
+    render_approx_tradeoffs,
+    render_curves,
+    render_kv_section,
+)
 from repro.evaluation.runner import (
+    ApproxRun,
+    ApproxTradeoff,
     MethodRun,
     QueryRecord,
     TradeoffCurve,
+    run_approx_tradeoff,
     run_bichromatic_batched,
     run_method,
     run_method_batched,
@@ -31,9 +45,13 @@ __all__ = [
     "precision",
     "f1_score",
     "set_metrics",
+    "speedup",
+    "ApproxRun",
+    "ApproxTradeoff",
     "MethodRun",
     "QueryRecord",
     "TradeoffCurve",
+    "run_approx_tradeoff",
     "run_method",
     "run_method_batched",
     "run_bichromatic_batched",
@@ -41,6 +59,7 @@ __all__ = [
     "run_tradeoff",
     "run_tradeoff_batched",
     "format_table",
+    "render_approx_tradeoffs",
     "render_curves",
     "render_kv_section",
     "PrecomputeReport",

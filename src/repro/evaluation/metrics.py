@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["recall", "precision", "f1_score", "set_metrics"]
+__all__ = ["recall", "precision", "f1_score", "set_metrics", "speedup"]
 
 
 def _as_set(ids) -> set[int]:
@@ -42,6 +42,18 @@ def f1_score(truth, result) -> float:
     if r + p == 0.0:
         return 0.0
     return 2.0 * r * p / (r + p)
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """Wall-clock speedup of a method over a baseline (``inf`` for 0s).
+
+    The approximate-search evaluation reports quality *against* time
+    saved, so the time axis is expressed relative to the exact engine's
+    cost on the same workload rather than as raw seconds.
+    """
+    if seconds <= 0.0:
+        return float("inf")
+    return float(baseline_seconds) / float(seconds)
 
 
 def set_metrics(truth, result) -> dict[str, float]:

@@ -10,9 +10,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.evaluation.runner import TradeoffCurve
+from repro.evaluation.runner import ApproxTradeoff, TradeoffCurve
 
-__all__ = ["format_table", "render_curves", "render_kv_section"]
+__all__ = [
+    "format_table",
+    "render_approx_tradeoffs",
+    "render_curves",
+    "render_kv_section",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -53,6 +58,38 @@ def render_curves(title: str, curves: Sequence[TradeoffCurve]) -> str:
         blocks.append(f"\n[{curve.method}, k={curve.k}]")
         blocks.append(
             format_table(["param", "recall", "precision", "mean_query_s"], rows)
+        )
+    return "\n".join(blocks)
+
+
+def render_approx_tradeoffs(
+    title: str, tradeoffs: Sequence[ApproxTradeoff]
+) -> str:
+    """Render approximate-search sweeps the way the Figure-8 columns read.
+
+    One row per (method, knob setting): quality columns first, then the
+    batched workload time and its speedup over the shared exact baseline.
+    """
+    blocks = [title]
+    for tradeoff in tradeoffs:
+        blocks.append(
+            f"\n[{tradeoff.method}, k={tradeoff.k}] "
+            f"exact engine: {tradeoff.exact_seconds:.3f} s"
+        )
+        rows = [
+            (
+                run.parameter,
+                run.recall,
+                run.precision,
+                run.seconds,
+                f"{run.speedup:.2f}x",
+            )
+            for run in tradeoff.runs
+        ]
+        blocks.append(
+            format_table(
+                ["param", "recall", "precision", "batch_s", "speedup"], rows
+            )
         )
     return "\n".join(blocks)
 

@@ -32,13 +32,16 @@ import numpy as np
 
 from repro.core.result import RkNNResult
 from repro.evaluation.ground_truth import GroundTruth
-from repro.evaluation.metrics import precision, recall
+from repro.evaluation.metrics import precision, recall, speedup
 from repro.evaluation.precompute import PrecomputeReport, measure_precompute
 
 __all__ = [
     "QueryRecord",
     "MethodRun",
     "TradeoffCurve",
+    "ApproxRun",
+    "ApproxTradeoff",
+    "run_approx_tradeoff",
     "run_method",
     "run_method_batched",
     "run_bichromatic_batched",
@@ -263,6 +266,119 @@ def run_precompute_suite(
             report.artifact = None
         reports.append(report)
     return reports
+
+
+@dataclass
+class ApproxRun:
+    """One approximate configuration measured against the exact engine.
+
+    Unlike :class:`MethodRun` (whose per-query seconds come from engine
+    stats attribution), the approximate sweep times the *whole batched
+    call* with a wall clock on both sides: the quantity being traded is
+    end-to-end workload time, and the exact/approximate engines must be
+    measured with the same instrument for the speedup to mean anything.
+    """
+
+    method: str
+    k: int
+    parameter: float
+    recall: float
+    precision: float
+    seconds: float
+    speedup: float
+
+
+@dataclass
+class ApproxTradeoff:
+    """An approximate method's recall/precision-vs-speedup sweep."""
+
+    method: str
+    k: int
+    #: wall-clock seconds of the exact engine on the same workload
+    exact_seconds: float
+    runs: list[ApproxRun] = field(default_factory=list)
+
+    def parameters(self) -> list[float]:
+        return [run.parameter for run in self.runs]
+
+    def recalls(self) -> list[float]:
+        return [run.recall for run in self.runs]
+
+    def speedups(self) -> list[float]:
+        return [run.speedup for run in self.runs]
+
+    def best_gated(
+        self, min_recall: float
+    ) -> ApproxRun | None:
+        """The fastest run meeting a recall floor (the gate the benchmark
+        asserts), or ``None`` if no setting clears it."""
+        eligible = [run for run in self.runs if run.recall >= min_recall]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda run: run.speedup)
+
+
+def run_approx_tradeoff(
+    name: str,
+    batch_fn_for_parameter: Callable[
+        [float], Callable[[Sequence[int]], Sequence[RkNNResult]]
+    ],
+    parameters: Sequence[float],
+    query_indices: Sequence[int],
+    truth: GroundTruth,
+    k: int,
+    *,
+    exact_batch_fn: Callable[[Sequence[int]], Sequence[RkNNResult]] | None = None,
+    exact_seconds: float | None = None,
+) -> ApproxTradeoff:
+    """Sweep an approximate method's knob against the exact engine.
+
+    ``batch_fn_for_parameter(p)`` returns the whole-workload batch
+    function for one setting of the strategy knob (``sample_size`` for
+    the sampled estimator, ``n_tables`` for LSH, ...).  The exact
+    baseline is either timed here (``exact_batch_fn``, e.g. a bound
+    ``RDT.query_batch``) or passed in as ``exact_seconds`` so several
+    strategies can share one measured baseline.  Ground truth is
+    precomputed outside every timed region.
+    """
+    if (exact_batch_fn is None) == (exact_seconds is None):
+        raise ValueError(
+            "provide exactly one of `exact_batch_fn` or `exact_seconds`"
+        )
+    answers = truth.answers(query_indices, k)
+    if exact_batch_fn is not None:
+        started = time.perf_counter()
+        exact_batch_fn(query_indices)
+        exact_seconds = time.perf_counter() - started
+    tradeoff = ApproxTradeoff(method=name, k=k, exact_seconds=float(exact_seconds))
+    for parameter in parameters:
+        batch_fn = batch_fn_for_parameter(float(parameter))
+        started = time.perf_counter()
+        results = batch_fn(query_indices)
+        elapsed = time.perf_counter() - started
+        if len(results) != len(query_indices):
+            raise ValueError(
+                f"batch_fn returned {len(results)} results for "
+                f"{len(query_indices)} queries"
+            )
+        recalls, precisions = [], []
+        for query_index, result in zip(query_indices, results):
+            ids = _result_ids(result)
+            expected = answers[int(query_index)]
+            recalls.append(recall(expected, ids))
+            precisions.append(precision(expected, ids))
+        tradeoff.runs.append(
+            ApproxRun(
+                method=name,
+                k=k,
+                parameter=float(parameter),
+                recall=float(np.mean(recalls)) if recalls else 1.0,
+                precision=float(np.mean(precisions)) if precisions else 1.0,
+                seconds=elapsed,
+                speedup=speedup(tradeoff.exact_seconds, elapsed),
+            )
+        )
+    return tradeoff
 
 
 def run_tradeoff(

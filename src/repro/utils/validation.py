@@ -17,6 +17,7 @@ __all__ = [
     "check_scale_parameter",
     "check_positive_int",
     "check_probability",
+    "resolve_batch_queries",
 ]
 
 
@@ -73,6 +74,59 @@ def as_query_rows(points, *, dim: int, name: str = "points") -> np.ndarray:
     if not np.isfinite(arr).all():
         raise ValueError(f"{name} contains NaN or infinite values")
     return arr
+
+
+def resolve_batch_queries(
+    index,
+    queries,
+    query_indices,
+    *,
+    queries_name: str = "queries",
+    indices_name: str = "query_indices",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve the library-wide batched-query calling convention.
+
+    Every batch engine (:meth:`repro.core.RDT.query_batch`,
+    :meth:`repro.approx.ApproxRkNN.query_batch`) accepts exactly one of
+    ``queries`` (an ``(m, dim)`` array of raw points) or ``query_indices``
+    (member point ids, each excluded from its own answer).  This helper
+    validates that convention against an :class:`repro.indexes.Index` and
+    returns ``(query_points, exclude)`` where ``exclude`` holds one member
+    id per row (``-1`` for raw points).  An empty batch yields two empty
+    arrays; callers short-circuit on ``query_points.shape[0] == 0``.
+    """
+    if (queries is None) == (query_indices is None):
+        raise ValueError(
+            f"provide exactly one of `{queries_name}` or `{indices_name}`"
+        )
+    if query_indices is not None:
+        query_indices = np.asarray(query_indices, dtype=np.intp)
+        if query_indices.ndim != 1:
+            raise ValueError(
+                f"{indices_name} must be 1-D, got shape {query_indices.shape}"
+            )
+        if query_indices.shape[0] == 0:
+            return np.empty((0, index.dim), dtype=np.float64), np.empty(
+                0, dtype=np.intp
+            )
+        # Vectorized equivalent of get_point per id: validate the whole
+        # batch, then gather the rows in one fancy-index copy.
+        total_rows = index.points.shape[0]
+        if int(query_indices.min()) < 0 or int(query_indices.max()) >= total_rows:
+            raise IndexError(
+                f"{indices_name} out of range for index with {total_rows} rows"
+            )
+        active_mask = np.zeros(total_rows, dtype=bool)
+        active_mask[index.active_ids()] = True
+        inactive = np.flatnonzero(~active_mask[query_indices])
+        if inactive.shape[0]:
+            raise KeyError(
+                f"point id {int(query_indices[inactive[0]])} has been removed"
+            )
+        return index.points[query_indices], query_indices
+    query_points = as_query_rows(queries, dim=index.dim, name=queries_name)
+    exclude = np.full(query_points.shape[0], -1, dtype=np.intp)
+    return query_points, exclude
 
 
 def check_k(k, *, n: int | None = None, name: str = "k") -> int:

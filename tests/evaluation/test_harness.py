@@ -212,3 +212,115 @@ class TestPrecompute:
         loaded = json.loads(path.read_text())
         assert loaded["records"][0]["backend"] == "m-tree"
         assert loaded["schema_version"] == 1
+
+
+class TestApproxTradeoff:
+    @pytest.fixture(scope="class")
+    def setting(self, medium_mixture):
+        from repro.approx import ApproxRkNN
+
+        data = medium_mixture[:300]
+        index = LinearScanIndex(data)
+        truth = GroundTruth(data)
+        queries = sample_query_indices(300, 24, seed=1)
+        rdt = RDT(index)
+
+        def for_parameter(sample_size):
+            engine = ApproxRkNN(
+                index, "sampled", sample_size=int(sample_size), seed=2
+            )
+            return lambda qis: engine.query_batch(query_indices=qis, k=4)
+
+        return index, truth, queries, rdt, for_parameter
+
+    def test_sweep_shapes_and_gating(self, setting):
+        from repro.evaluation import run_approx_tradeoff
+
+        index, truth, queries, rdt, for_parameter = setting
+        tradeoff = run_approx_tradeoff(
+            "sampled",
+            for_parameter,
+            (32, 128),
+            queries,
+            truth,
+            4,
+            exact_batch_fn=lambda qis: rdt.query_batch(
+                query_indices=qis, k=4, t=8.0
+            ),
+        )
+        assert tradeoff.exact_seconds > 0.0
+        assert tradeoff.parameters() == [32.0, 128.0]
+        assert all(0.0 <= r <= 1.0 for r in tradeoff.recalls())
+        # The sampled strategy's recall guarantee holds in the sweep too.
+        assert tradeoff.recalls() == [1.0, 1.0]
+        for run in tradeoff.runs:
+            assert run.seconds > 0.0
+            assert run.speedup == pytest.approx(
+                tradeoff.exact_seconds / run.seconds
+            )
+        best = tradeoff.best_gated(0.95)
+        assert best is not None and best.speedup == max(tradeoff.speedups())
+        assert tradeoff.best_gated(1.1) is None
+
+    def test_shared_exact_seconds(self, setting):
+        from repro.evaluation import run_approx_tradeoff
+
+        index, truth, queries, rdt, for_parameter = setting
+        tradeoff = run_approx_tradeoff(
+            "sampled", for_parameter, (64,), queries, truth, 4,
+            exact_seconds=2.0,
+        )
+        assert tradeoff.exact_seconds == 2.0
+
+    def test_baseline_argument_validation(self, setting):
+        from repro.evaluation import run_approx_tradeoff
+
+        index, truth, queries, rdt, for_parameter = setting
+        with pytest.raises(ValueError, match="exactly one"):
+            run_approx_tradeoff(
+                "sampled", for_parameter, (64,), queries, truth, 4
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            run_approx_tradeoff(
+                "sampled", for_parameter, (64,), queries, truth, 4,
+                exact_seconds=1.0,
+                exact_batch_fn=lambda qis: [],
+            )
+
+    def test_mismatched_result_count_raises(self, setting):
+        from repro.evaluation import run_approx_tradeoff
+
+        index, truth, queries, rdt, for_parameter = setting
+        with pytest.raises(ValueError, match="results for"):
+            run_approx_tradeoff(
+                "bad",
+                lambda p: (lambda qis: []),
+                (1,),
+                queries,
+                truth,
+                4,
+                exact_seconds=1.0,
+            )
+
+    def test_render_approx_tradeoffs(self, setting):
+        from repro.evaluation import render_approx_tradeoffs, run_approx_tradeoff
+
+        index, truth, queries, rdt, for_parameter = setting
+        tradeoff = run_approx_tradeoff(
+            "sampled", for_parameter, (32, 64), queries, truth, 4,
+            exact_seconds=1.0,
+        )
+        text = render_approx_tradeoffs("title line", [tradeoff])
+        assert text.startswith("title line")
+        assert "[sampled, k=4] exact engine: 1.000 s" in text
+        for column in ("param", "recall", "precision", "batch_s", "speedup"):
+            assert column in text
+        assert text.count("x") >= 2  # speedup cells carry the multiplier
+
+
+class TestSpeedupMetric:
+    def test_ratio_and_zero_handling(self):
+        from repro.evaluation import speedup
+
+        assert speedup(4.0, 2.0) == 2.0
+        assert speedup(1.0, 0.0) == float("inf")

@@ -82,6 +82,78 @@ class TestFewerThanKConvention:
         assert np.all(np.isinf(excluded))
 
 
+class TestFewerThanKAfterRemovals:
+    """Removal-induced underfull rows must report ``inf`` on every pruned
+    override, exactly like the chunked default (DESIGN.md fewer-than-k
+    convention).
+
+    Audit note: all keeper-based tree overrides inherit the convention
+    from ``KSmallestKeeper`` (buffers start at ``inf``, so a row that
+    never collects ``k`` finite candidates keeps an ``inf`` radius); the
+    scenarios here — bulk- and insert-built trees, lazy and eager
+    removal, mixed underfull/full batches — pin that this stays true for
+    every backend's own active-point filtering.
+    """
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_removals_tip_all_rows_under_k(self, index_name, small_gaussian):
+        index = build_index(index_name, small_gaussian[:12])
+        if not index.supports_remove:
+            pytest.skip(f"{index_name} does not support remove")
+        for i in range(9):  # 3 active points remain
+            index.remove(i)
+        got = index.knn_distances(small_gaussian[20:25], 4)
+        assert np.all(np.isinf(got))
+        # One fewer than the live count stays finite.
+        assert np.all(np.isfinite(index.knn_distances(small_gaussian[20:25], 3)))
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_exclusion_plus_removal_mixed_rows(self, index_name, small_gaussian):
+        """Member rows whose self-exclusion tips them under k get inf while
+        sibling rows in the same batch stay finite."""
+        index = build_index(index_name, small_gaussian[:10])
+        if not index.supports_remove:
+            pytest.skip(f"{index_name} does not support remove")
+        for i in range(6):  # active: 6, 7, 8, 9
+            index.remove(i)
+        rows = np.array([6, 7, 8])
+        exclude = np.array([6, -1, 8])
+        got = index.knn_distances(small_gaussian[rows], 4, exclude_indices=exclude)
+        assert np.isinf(got[0])  # 3 eligible after excluding itself
+        assert np.isfinite(got[1])  # full neighborhood of 4
+        assert np.isinf(got[2])
+
+    @pytest.mark.parametrize(
+        "index_name,flags",
+        [("m-tree", {"bulk_build": False}), ("cover-tree", {"batch_build": False}),
+         ("r-star-tree", {"bulk_load": False})],
+        ids=["m-tree[insert]", "cover-tree[insert]", "r-star-tree[insert]"],
+    )
+    def test_insert_built_trees_honor_convention(
+        self, index_name, flags, small_gaussian
+    ):
+        index = build_index(index_name, small_gaussian[:12], **flags)
+        for i in range(10):
+            index.remove(i)
+        got = index.knn_distances(small_gaussian[30:33], 3)
+        assert np.all(np.isinf(got))
+        assert np.all(np.isfinite(index.knn_distances(small_gaussian[30:33], 2)))
+
+    def test_all_points_removed_then_reinserted(self, small_gaussian):
+        """Churn down to k-1 live points through remove+insert cycles."""
+        index = build_index("kd-tree", small_gaussian[:8])
+        for i in range(8):
+            index.remove(i)
+        new_ids = [index.insert(small_gaussian[20 + j]) for j in range(3)]
+        got = index.knn_distances(small_gaussian[40:43], 4)
+        assert np.all(np.isinf(got))
+        excl = index.knn_distances(
+            small_gaussian[new_ids], 3, exclude_indices=np.asarray(new_ids)
+        )
+        assert np.all(np.isinf(excl))
+        assert np.all(np.isfinite(index.knn_distances(small_gaussian[40:43], 3)))
+
+
 class TestShapesAndValidation:
     def test_single_row_promoted(self, index_and_data):
         index, data = index_and_data

@@ -1,7 +1,9 @@
-"""Smoke coverage for the runnable examples.
+"""End-to-end coverage for the runnable examples.
 
-The full examples take minutes; here we compile all of them and execute the
-quickstart end-to-end (it is the one a new user will copy-paste first).
+All examples are compiled; the quickstart runs at its published size (it
+is the one a new user will copy-paste first), and every example exposing
+CLI size knobs additionally runs end-to-end at a tiny scale, asserting
+the output artifacts its docstring promises.
 """
 
 import pathlib
@@ -17,6 +19,17 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 
+def _run_example(name, *args, timeout=300):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
 def test_examples_directory_populated():
     names = {path.stem for path in ALL_EXAMPLES}
     assert {
@@ -26,6 +39,7 @@ def test_examples_directory_populated():
         "streaming_updates",
         "bichromatic_services",
         "scale_parameter_study",
+        "approximate_search",
     } <= names
 
 
@@ -35,12 +49,39 @@ def test_example_compiles(path):
 
 
 def test_quickstart_runs():
-    completed = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        capture_output=True,
-        text=True,
-        timeout=300,
+    stdout = _run_example("quickstart.py")
+    assert "RDT+" in stdout
+    assert "recall=1.00" in stdout
+
+
+def test_streaming_updates_runs_tiny():
+    stdout = _run_example(
+        "streaming_updates.py",
+        "--window", "80", "--batch", "8", "--rounds", "2", "--k", "4",
     )
-    assert completed.returncode == 0, completed.stderr
-    assert "RDT+" in completed.stdout
-    assert "recall=1.00" in completed.stdout
+    # The documented per-round report and the closing invariant line.
+    assert "sliding window of 80 points" in stdout
+    assert stdout.count("round ") == 2
+    assert "neighborhood changed by arrivals" in stdout
+    assert "no precomputed" in stdout
+
+
+def test_scale_parameter_study_runs_tiny():
+    stdout = _run_example("scale_parameter_study.py", "--n", "300", "--k", "5")
+    # The documented landscape table: manual sweep, all three estimators,
+    # and the Theorem 1 bound, with the table header intact.
+    assert "configuration" in stdout and "recall" in stdout
+    for row in ("manual t=1.0", "estimator mle", "estimator gp",
+                "estimator takens", "MaxGED (Theorem 1 bound)"):
+        assert row in stdout, f"missing row {row!r}"
+
+
+def test_approximate_search_runs_tiny():
+    stdout = _run_example(
+        "approximate_search.py", "--n", "600", "--dim", "6", "--k", "5",
+        "--queries", "120",
+    )
+    assert "Approximate RkNN sweep" in stdout
+    assert "[sampled, k=5]" in stdout and "[lsh, k=5]" in stdout
+    assert "speedup" in stdout
+    assert "sampled strategy at recall" in stdout

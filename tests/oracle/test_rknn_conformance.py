@@ -1,0 +1,210 @@
+"""Randomized brute-force oracle: the library-wide conformance backstop.
+
+Every engine path — each registry backend, looped and batched execution,
+bulk- and insert-built trees — must agree with the brute-force reference
+(:mod:`repro.baselines.naive`) on RkNN membership, on seeded *adversarial*
+workloads: tie-rich grids, exact duplicates, post-removal churn, far-from-
+origin offsets, one-dimensional and near-degenerate data.  Feature tests
+pin kernel-level details (bit-identical ties, stats attribution); this
+module pins the one thing every past and future execution strategy must
+preserve — the answer — in a single parametrized sweep, so a new backend
+or engine is conformance-tested by adding one entry, not a test file.
+
+Exactness argument for the RDT side: the scale parameter is set to
+``T_EXACT = 1e30``, for which ``(s/k')^(1/t)`` rounds to exactly 1.0 in
+float64, so the omega bound never tightens and the rank cap equals ``n``
+(``DimensionalTest`` treats t > 60 that way) — the filter provably
+retrieves *every* active point and the refinement decides membership
+exactly.  This holds on any data, including near-degenerate sets whose
+generalized expansion dimension exceeds any practical ``t`` (where merely
+"large" values like t=100 do miss members — that is a property of the
+algorithm, not a bug, which is why the oracle pins the exhaustive
+regime).
+
+The same workloads serve as the recall/precision oracle for the
+approximate subsystem (:mod:`repro.approx`): the sampled estimator's
+shortlist bound makes ``recall == 1`` a *deterministic* guarantee, and
+the LSH filter's verify-everything design makes ``precision == 1`` one;
+both are asserted exactly here, per workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx import ApproxRkNN
+from repro.baselines import NaiveRkNN
+from repro.core import RDT
+from repro.evaluation.metrics import precision as precision_metric
+from repro.evaluation.metrics import recall as recall_metric
+from repro.evaluation.precompute import INSERT_PATH_FLAGS
+from repro.indexes import INDEX_REGISTRY, build_index
+
+#: Scale parameter in the provably exhaustive regime (see module docstring).
+T_EXACT = 1e30
+K = 5
+#: Every N-th active point is additionally queried through the looped path.
+LOOP_STRIDE = 17
+
+
+def _gaussian(rng):
+    return rng.normal(size=(120, 4)), []
+
+
+def _tie_rich(rng):
+    """Integer grid: almost every distance is shared by many pairs."""
+    return rng.integers(0, 3, size=(110, 3)).astype(np.float64), []
+
+
+def _exact_duplicates(rng):
+    """Every point appears 2-4 times; duplicate groups straddle answers."""
+    base = rng.normal(size=(40, 3))
+    reps = rng.integers(2, 5, size=40)
+    return np.repeat(base, reps, axis=0), []
+
+
+def _post_removal_churn(rng):
+    """Duplicates + scattered removals, including partial duplicate groups."""
+    base = rng.normal(size=(50, 3))
+    data = np.repeat(base, 3, axis=0)
+    remove = rng.choice(data.shape[0], size=45, replace=False)
+    return data, remove.tolist()
+
+
+def _offset_1e6(rng):
+    """Small spread far from the origin: kernel-cancellation territory."""
+    return rng.normal(size=(120, 4)) + 1e6, []
+
+
+def _d1(rng):
+    """One-dimensional data with repeats — degenerate split geometry."""
+    values = rng.normal(size=(90, 1))
+    values[::7] = values[0]
+    return values, []
+
+
+def _near_degenerate(rng):
+    """A 1e-5-wide cluster plus far outliers: the expansion-dimension
+    blow-up shape that defeats any merely 'large' t (see docstring).
+
+    The cluster scale stays above the tolerance slack (1e-9 relative) on
+    purpose: below it, *true* distance gaps fall inside the tolerance
+    band and the strict witness rules provably diverge from the tolerant
+    brute-force boundary — outside the library's stated domain
+    (DESIGN.md tolerance policy)."""
+    cluster = rng.normal(scale=1e-5, size=(100, 3))
+    outliers = rng.normal(size=(8, 3)) + 2.0
+    return np.vstack([cluster, outliers]), []
+
+
+WORKLOADS = {
+    "gaussian": _gaussian,
+    "tie-rich": _tie_rich,
+    "exact-duplicates": _exact_duplicates,
+    "post-removal-churn": _post_removal_churn,
+    "offset-1e6": _offset_1e6,
+    "d1": _d1,
+    "near-degenerate": _near_degenerate,
+}
+
+#: (backend, constructor flags) — the bulk default plus every retained
+#: insert-loop construction path.
+BUILD_PATHS = [(name, {}) for name in sorted(INDEX_REGISTRY)] + [
+    (name, dict(flags)) for name, flags in sorted(INSERT_PATH_FLAGS.items())
+]
+
+_truth_cache: dict[str, tuple] = {}
+
+
+def _workload(name):
+    """Deterministic (data, remove_ids, active, truth) per workload."""
+    if name not in _truth_cache:
+        # Seed derived from the workload name only — stable across runs
+        # and interpreter sessions (unlike built-in hash()).
+        rng = np.random.default_rng(
+            np.frombuffer(name.encode().ljust(8, b"x")[:8], dtype=np.uint32)
+        )
+        data, remove_ids = WORKLOADS[name](rng)
+        mask = np.ones(data.shape[0], dtype=bool)
+        mask[np.asarray(remove_ids, dtype=np.intp)] = False
+        active = np.flatnonzero(mask)
+        naive = NaiveRkNN(data[active], k=K)
+        truth = {
+            int(active[local]): set(
+                active[naive.query(query_index=local)].tolist()
+            )
+            for local in range(active.shape[0])
+        }
+        _truth_cache[name] = (data, remove_ids, active, truth)
+    return _truth_cache[name]
+
+
+def _build(backend, flags, name):
+    data, remove_ids, active, truth = _workload(name)
+    index = build_index(backend, data, **flags)
+    if remove_ids and not index.supports_remove:
+        pytest.skip(f"{backend} does not support remove")
+    for point_id in remove_ids:
+        index.remove(int(point_id))
+    return index, active, truth
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize(
+    "backend,flags",
+    BUILD_PATHS,
+    ids=[
+        name + ("[insert]" if flags else "")
+        for name, flags in BUILD_PATHS
+    ],
+)
+def test_backend_agrees_with_brute_force(backend, flags, workload_name):
+    index, active, truth = _build(backend, flags, workload_name)
+    rdt = RDT(index)
+
+    batched = rdt.query_all(k=K, t=T_EXACT)
+    assert set(batched) == {int(i) for i in active}
+    for point_id, result in batched.items():
+        assert set(result.ids.tolist()) == truth[point_id], (
+            f"batched {backend}{'[insert]' if flags else ''} disagrees with "
+            f"brute force on workload {workload_name!r}, query {point_id}"
+        )
+
+    # Looped single-query path on a stride of the same workload.
+    for point_id in active[::LOOP_STRIDE]:
+        result = rdt.query(query_index=int(point_id), k=K, t=T_EXACT)
+        assert set(result.ids.tolist()) == truth[int(point_id)], (
+            f"looped {backend} disagrees with brute force on workload "
+            f"{workload_name!r}, query {int(point_id)}"
+        )
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_rdt_plus_never_loses_members(workload_name):
+    """RDT+ may lose precision (Section 4.3), never recall, in the
+    exhaustive regime: the excluded candidates are provable non-members."""
+    index, active, truth = _build("linear-scan", {}, workload_name)
+    rdt_plus = RDT(index, variant="rdt+")
+    for point_id, result in rdt_plus.query_all(k=K, t=T_EXACT).items():
+        assert truth[point_id] <= set(result.ids.tolist())
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_sampled_strategy_has_exact_recall(workload_name):
+    """The tentpole's recall oracle: the sampled estimator's upper-bound
+    shortlist makes full recall deterministic on every workload shape."""
+    index, active, truth = _build("linear-scan", {}, workload_name)
+    engine = ApproxRkNN(index, "sampled", sample_size=48, seed=7)
+    results = engine.query_all(k=K)
+    for point_id, result in results.items():
+        assert recall_metric(truth[point_id], result.ids) == 1.0
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_lsh_strategy_has_exact_precision(workload_name):
+    """The LSH filter verifies every candidate, so whatever it returns is
+    a true reverse neighbor — on ties, duplicates, and offsets included."""
+    index, active, truth = _build("linear-scan", {}, workload_name)
+    engine = ApproxRkNN(index, "lsh", n_tables=4, seed=7)
+    results = engine.query_all(k=K)
+    for point_id, result in results.items():
+        assert precision_metric(truth[point_id], result.ids) == 1.0
