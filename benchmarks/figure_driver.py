@@ -19,14 +19,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines import SFT, TPL, MRkNNCoP, RdNN
-from repro.core import RDT, suggest_scale
+from repro.core import suggest_scale
+from repro.engines import create_engine
 from repro.evaluation import (
     GroundTruth,
     TradeoffCurve,
     format_table,
     render_curves,
-    run_method,
+    run_engine,
     run_method_batched,
     run_precompute_suite,
     run_tradeoff,
@@ -34,7 +34,7 @@ from repro.evaluation import (
     sample_query_indices,
     write_bench_json,
 )
-from repro.indexes import LinearScanIndex, RdNNTreeIndex, RStarTreeIndex
+from repro.indexes import LinearScanIndex
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -69,9 +69,10 @@ class FigureArtifacts:
     truth: GroundTruth
     queries: np.ndarray
     index: LinearScanIndex
-    rdt: RDT
-    rdt_plus: RDT
-    sft: SFT
+    #: registry-built engines over the shared forward index
+    rdt: object
+    rdt_plus: object
+    sft: object
     curves: dict[int, list[TradeoffCurve]] = field(default_factory=dict)
     exact_rows: dict[int, list[tuple]] = field(default_factory=dict)
     estimator_rows: dict[int, list[tuple]] = field(default_factory=dict)
@@ -97,15 +98,17 @@ def run_figure_experiment(
     truth = GroundTruth(data)
     queries = sample_query_indices(len(data), n_queries, seed=42)
     index = LinearScanIndex(data)
+    # Engines come from the registry — the figure protocol exercises the
+    # same construction path as every other driver.
     art = FigureArtifacts(
         name=name,
         data=data,
         truth=truth,
         queries=queries,
         index=index,
-        rdt=RDT(index),
-        rdt_plus=RDT(index, variant="rdt+"),
-        sft=SFT(index),
+        rdt=create_engine("rdt", index),
+        rdt_plus=create_engine("rdt+", index),
+        sft=create_engine("sft", index),
     )
 
     estimator_ts = {
@@ -176,20 +179,23 @@ def _run_exact_competitors(
 ) -> None:
     data, truth, queries = art.data, art.truth, art.queries
 
-    # Every competitor's preprocessing runs through the uniform harness
-    # timer (Figure 8's precompute columns come from these reports).
+    # Every competitor comes from the engine registry, and its
+    # preprocessing runs through the uniform harness timer (Figure 8's
+    # precompute columns come from these reports): building the engine IS
+    # the method's preprocessing — kNN self-join + fits for MRkNNCoP, one
+    # augmented tree per k for RdNN, the R*-tree for TPL.
     builders = {
-        "MRkNNCoP": lambda: MRkNNCoP(data, k_max=max(ks)),
+        "MRkNNCoP": lambda: create_engine("mrknncop", data, k_max=max(ks)),
         f"RdNN-Tree (x{len(ks)} trees)": lambda: {
-            k: RdNNTreeIndex(data, k=k) for k in ks
+            k: create_engine("rdnn", data, k=k) for k in ks
         },
     }
     if include_tpl_for_k:
-        builders["TPL (R*-tree)"] = lambda: TPL(RStarTreeIndex(data))
+        builders["TPL (R*-tree)"] = lambda: create_engine("tpl", data)
     reports = run_precompute_suite(builders, keep_artifacts=True)
     artifacts = {report.method: report.artifact for report in reports}
     cop = artifacts["MRkNNCoP"]
-    rdnn_trees = artifacts[f"RdNN-Tree (x{len(ks)} trees)"]
+    rdnn_engines = artifacts[f"RdNN-Tree (x{len(ks)} trees)"]
     tpl = artifacts.get("TPL (R*-tree)")
     art.precompute_rows.extend(
         (report.method, report.seconds) for report in reports
@@ -197,26 +203,16 @@ def _run_exact_competitors(
     art.precompute_rows.append(("RDT/RDT+/SFT (forward index)", 0.0))
 
     for k in ks:
-        rows = []
-        run = run_method(
-            "MRkNNCoP",
-            lambda qi: cop.query(query_index=qi, k=k),
-            queries,
-            truth,
-            k,
-        )
-        rows.append(("MRkNNCoP", run.mean_recall, run.mean_seconds))
-        rdnn = RdNN(rdnn_trees[k])
-        run = run_method(
-            "RdNN-Tree", lambda qi: rdnn.query(query_index=qi), queries, truth, k
-        )
-        rows.append(("RdNN-Tree", run.mean_recall, run.mean_seconds))
+        roster = {"MRkNNCoP": cop, "RdNN-Tree": rdnn_engines[k]}
         if tpl is not None and k in include_tpl_for_k:
-            run = run_method(
-                "TPL", lambda qi: tpl.query(query_index=qi, k=k), queries, truth, k
+            roster["TPL"] = tpl
+        art.exact_rows[k] = [
+            (name, run.mean_recall, run.mean_seconds)
+            for name, run in (
+                (name, run_engine(engine, queries, truth, k, name=name))
+                for name, engine in roster.items()
             )
-            rows.append(("TPL", run.mean_recall, run.mean_seconds))
-        art.exact_rows[k] = rows
+        ]
 
 
 def render_figure(art: FigureArtifacts, title: str) -> str:

@@ -43,7 +43,7 @@ def ablation():
 
     started = time.perf_counter()
     naive = NaiveRkNN(data, k=K)
-    exact = {qi: set(naive.query(query_index=qi).tolist()) for qi in range(N)}
+    exact = {qi: set(naive.query_ids(query_index=qi).tolist()) for qi in range(N)}
     naive_seconds = time.perf_counter() - started
 
     rows = [("brute-force table", naive_seconds, float(N) * N, 1.0, 1.0)]

@@ -21,7 +21,7 @@ def main() -> None:
 
     # Ground truth by brute force (O(n^2) preprocessing; fine at this size).
     naive = NaiveRkNN(data, k=k)
-    truth = naive.query(query_index=query_index)
+    truth = naive.query_ids(query_index=query_index)
     print(f"exact RkNN of point {query_index} (k={k}): {truth.tolist()}")
 
     # RDT over a cover tree: no preprocessing beyond the forward index.

@@ -28,7 +28,7 @@ def main() -> None:
     k = args.k
     naive = NaiveRkNN(data, k=k)
     queries = list(range(0, args.n, max(1, args.n // 10)))
-    truth = {qi: set(naive.query(query_index=qi).tolist()) for qi in queries}
+    truth = {qi: set(naive.query_ids(query_index=qi).tolist()) for qi in queries}
 
     rdt_plus = RDT(LinearScanIndex(data), variant="rdt+")
 

@@ -1,0 +1,129 @@
+"""One front door: the Service facade over engines, backends, and specs.
+
+Walks the unified API end to end on one synthetic dataset:
+
+1. build a Service (``backend`` and ``engine`` chosen by registry name,
+   defaults bundled in one QuerySpec);
+2. answer single / batched / all-points queries, overriding the spec per
+   call;
+3. swap the engine by name — same data, same call sites — and compare
+   the exact answer against an approximate engine's;
+4. churn the member set (insert/remove) and watch engines follow;
+5. save the service to one ``.npz`` file, load it back, and verify the
+   round trip reproduces the all-points answers exactly.
+
+Run:  python examples/service_quickstart.py [--n 4000] [--dim 8] [--k 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.datasets import gaussian_mixture
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=2000, help="dataset size")
+    parser.add_argument("--dim", type=int, default=8, help="dimensions")
+    parser.add_argument("--k", type=int, default=10, help="neighborhood size")
+    parser.add_argument("--t", type=float, default=8.0, help="scale parameter")
+    args = parser.parse_args()
+
+    data = gaussian_mixture(
+        args.n, dim=args.dim, n_clusters=6, separation=6.0, seed=0
+    )
+    print(
+        f"Service quickstart: n={args.n}, dim={args.dim}, "
+        f"k={args.k}, t={args.t}"
+    )
+
+    # 1. One front door: backend + engine by registry name, defaults in
+    #    one validated QuerySpec.
+    svc = repro.Service(
+        data,
+        backend="kd",
+        engine="rdt+",
+        defaults=repro.QuerySpec(k=args.k, t=args.t),
+    )
+    print(f"\n{svc!r}")
+
+    # 2. Query three ways; per-call overrides patch the default spec.
+    single = svc.query(query_index=42)
+    print(
+        f"\nquery(42): {len(single)} reverse neighbors, "
+        f"{single.stats.num_verified} verified, "
+        f"terminated by {single.stats.terminated_by}"
+    )
+    batch = svc.query_batch(query_indices=np.arange(64), t=args.t / 2)
+    print(
+        f"query_batch(64 queries, t={args.t / 2}): "
+        f"{sum(len(r) for r in batch)} reverse neighbors total"
+    )
+    join = svc.query_all()
+    counts = np.array([len(r) for r in join.values()])
+    print(
+        f"query_all: self-join over {len(join)} points, "
+        f"mean in-degree {counts.mean():.2f}"
+    )
+
+    # 3. Engine swap by name: the exact answer vs the recall-guaranteed
+    #    approximate engine, same data and call sites.  The exact side
+    #    uses plain "rdt" (guarantee: scale-exact) — rdt+ trades
+    #    precision, so its answers can exceed the true set.
+    exact = repro.create_engine("rdt", svc.index)
+    approx = repro.Service(
+        data,
+        backend="kd",
+        engine="approx-sampled",
+        defaults=repro.QuerySpec(k=args.k, sample_size=512),
+    )
+    exact_ids = set(
+        exact.query(query_index=42, k=args.k, t=1e30).ids.tolist()
+    )
+    approx_ids = set(approx.query(query_index=42).ids.tolist())
+    print(
+        f"\nengine swap: exact rdt found {len(exact_ids)}, approx-sampled "
+        f"found {len(approx_ids)} "
+        f"(misses none by construction: {exact_ids <= approx_ids})"
+    )
+
+    # 4. Dynamic updates go through the facade; engines follow the churn.
+    removed = [1, 2, 3]
+    for pid in removed:
+        svc.remove(pid)
+    new_id = svc.insert(data[:50].mean(axis=0))
+    refreshed = svc.query(query_index=new_id)
+    print(
+        f"\nchurn: removed {removed}, inserted id {new_id}; "
+        f"new point has {len(refreshed)} reverse neighbors "
+        f"({svc.size} live members)"
+    )
+
+    # 5. Persistence: one .npz file, bit-identical answers after reload
+    #    (probed with a batch over a live-member sample; the full
+    #    query_all equality is pinned by tests/api/test_service.py).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = svc.save(Path(tmp) / "service.npz")
+        size_kb = path.stat().st_size / 1024
+        loaded = repro.Service.load(path)
+        probe = svc.active_ids()[:: max(1, svc.size // 256)]
+        before = svc.query_batch(query_indices=probe)
+        after = loaded.query_batch(query_indices=probe)
+        identical = all(
+            np.array_equal(b.ids, a.ids) for b, a in zip(before, after)
+        )
+        print(
+            f"\nsave/load: {size_kb:.0f} KiB payload, engine "
+            f"{loaded.engine_name!r} on {loaded.backend_name!r}, "
+            f"round-trip identical over {len(probe)} probes: {identical}"
+        )
+
+
+if __name__ == "__main__":
+    main()

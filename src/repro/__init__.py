@@ -5,6 +5,12 @@ for Reverse k-Nearest Neighbor Search", PVLDB 10(7), 2017.
 
 The top-level namespace re-exports the public API:
 
+* the **front door**: :class:`~repro.service.Service` /
+  :class:`~repro.service.QuerySpec`, and the registries
+  :func:`~repro.engines.create_engine` / :func:`~repro.indexes.create_index`
+  that construct any engine or index backend by name;
+* the engine protocol every method implements
+  (:class:`~repro.core.protocol.RkNNEngine`);
 * :class:`~repro.core.RDT` — the paper's algorithm (RDT and RDT+ variants);
 * the index substrates (:mod:`repro.indexes`);
 * the competing methods (:mod:`repro.baselines`);
@@ -15,14 +21,18 @@ The top-level namespace re-exports the public API:
 Quickstart::
 
     import numpy as np
-    from repro import RDT, CoverTreeIndex
+    import repro
 
     rng = np.random.default_rng(0)
     data = rng.normal(size=(2000, 16))
-    index = CoverTreeIndex(data)
-    rdt = RDT(index, variant="rdt+")
-    result = rdt.query(query_index=7, k=10, t=8.0)
+    svc = repro.Service(data, backend="kd", engine="rdt+",
+                        defaults=repro.QuerySpec(k=10, t=8.0))
+    result = svc.query(query_index=7)
     print(result.ids, result.stats.num_candidates)
+
+The classes behind the registry names remain importable directly
+(``repro.RDT``, ``repro.CoverTreeIndex``, ...) and keep their historical
+constructors.
 """
 
 from repro.distances import (
@@ -34,6 +44,8 @@ from repro.distances import (
     get_metric,
 )
 from repro.indexes import (
+    INDEX_ALIASES,
+    INDEX_REGISTRY,
     BallTreeIndex,
     CoverTreeIndex,
     Index,
@@ -47,15 +59,23 @@ from repro.indexes import (
     build_index,
     bulk_knn,
     bulk_knn_distances,
+    create_index,
 )
 from repro.core import (
+    GUARANTEES,
     RDT,
+    AdaptiveRDT,
     BichromaticRDT,
+    EngineBase,
+    EngineCapabilityError,
     QueryStats,
+    RkNNEngine,
     RkNNResult,
     bichromatic_brute_force,
     suggest_scale,
 )
+from repro.engines import ENGINE_REGISTRY, create_engine
+from repro.service import QuerySpec, Service
 from repro.approx import (
     APPROX_STRATEGIES,
     ApproxRkNN,
@@ -79,6 +99,8 @@ from repro.evaluation import (
     measure_precompute,
     run_approx_tradeoff,
     run_bichromatic_batched,
+    run_engine,
+    run_engine_suite,
     run_method,
     run_method_batched,
     run_precompute_suite,
@@ -99,6 +121,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the front door: facade + registries + protocol
+    "Service",
+    "QuerySpec",
+    "create_engine",
+    "create_index",
+    "ENGINE_REGISTRY",
+    "INDEX_REGISTRY",
+    "INDEX_ALIASES",
+    "RkNNEngine",
+    "EngineBase",
+    "EngineCapabilityError",
+    "GUARANTEES",
     # distances
     "Metric",
     "EuclideanMetric",
@@ -122,6 +156,7 @@ __all__ = [
     "bulk_knn_distances",
     # core algorithm
     "RDT",
+    "AdaptiveRDT",
     "BichromaticRDT",
     "bichromatic_brute_force",
     "RkNNResult",
@@ -150,6 +185,8 @@ __all__ = [
     # datasets & evaluation
     "load_standin",
     "GroundTruth",
+    "run_engine",
+    "run_engine_suite",
     "run_method",
     "run_method_batched",
     "run_approx_tradeoff",

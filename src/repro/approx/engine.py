@@ -35,6 +35,7 @@ import time
 import numpy as np
 
 from repro.approx.base import ApproxStrategy
+from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.indexes.base import Index
 from repro.utils.tolerance import dist_le_many
@@ -43,7 +44,7 @@ from repro.utils.validation import check_k, resolve_batch_queries
 __all__ = ["ApproxRkNN"]
 
 
-class ApproxRkNN:
+class ApproxRkNN(EngineBase):
     """Approximate reverse-kNN queries behind the exact engines' API.
 
     Parameters
@@ -58,6 +59,8 @@ class ApproxRkNN:
         Forwarded to the strategy constructor when ``strategy`` is a
         name (e.g. ``sample_size=1024``, ``n_tables=16``).
     """
+
+    supports_batch = True
 
     def __init__(self, index: Index, strategy="sampled", **strategy_kwargs) -> None:
         from repro.approx import build_strategy
@@ -76,6 +79,15 @@ class ApproxRkNN:
         else:
             self.strategy = build_strategy(strategy, index, **strategy_kwargs)
         self.index = index
+        # Protocol identity: the registry names the strategies apart, and
+        # each strategy determines which side of the answer is guaranteed
+        # (DESIGN.md "Approximate search"): the sampled estimator's
+        # upper-bound shortlist never loses a member, the LSH filter's
+        # verify-everything design never reports a false one.
+        self.engine_name = f"approx-{self.strategy.name}"
+        self.guarantee = {"sampled": "recall", "lsh": "precision"}.get(
+            self.strategy.name, "heuristic"
+        )
 
     # ------------------------------------------------------------------
     # Public API (RDT parity)
@@ -233,7 +245,7 @@ class ApproxRkNN:
         results = self.query_batch(query_indices=ids, k=k)
         return {int(pid): result for pid, result in zip(ids, results)}
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         return (
             f"ApproxRkNN(strategy={self.strategy.name!r}, index={self.index!r})"
         )

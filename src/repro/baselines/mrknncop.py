@@ -39,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.distances import Metric, get_metric
 from repro.indexes.bulk_knn import bulk_knn
@@ -51,6 +52,22 @@ __all__ = ["MRkNNCoP", "fit_log_bounds"]
 #: Floor applied inside logs so zero kNN distances (duplicate points)
 #: degrade to extremely small — still valid — lower bounds.
 _LOG_FLOOR = 1e-300
+
+
+def _safe_exp(value: float) -> float:
+    """``exp`` that saturates to +inf instead of raising OverflowError.
+
+    Duplicate-heavy data with a small ``k_max`` produces extreme fitted
+    slopes (the log curve jumps from ``log(_LOG_FLOOR)`` to a real
+    distance within a few ranks), and a node's *aggregated* bound mixes
+    the worst slope and the worst intercept of different objects — its
+    exponent can exceed the float range.  An infinite upper bound is
+    conservative (the node is simply never pruned), so results stay exact.
+    """
+    try:
+        return math.exp(value)
+    except OverflowError:
+        return math.inf
 
 
 def fit_log_bounds(knn_dists: np.ndarray) -> tuple[float, float, float, float]:
@@ -77,8 +94,12 @@ def fit_log_bounds(knn_dists: np.ndarray) -> tuple[float, float, float, float]:
     )
 
 
-class MRkNNCoP:
+class MRkNNCoP(EngineBase):
     """Exact RkNN with conservative/progressive kNN-distance approximations."""
+
+    engine_name = "mrknncop"
+    guarantee = "exact"
+    reads_index_live = False
 
     def __init__(
         self,
@@ -131,12 +152,21 @@ class MRkNNCoP:
     def upper_bound(self, point_id: int, k: int) -> float:
         """Conservative (upper) kNN-distance approximation of one object."""
         z = math.log(k)
-        return math.exp(self.upper_slope[point_id] * z + self.upper_intercept[point_id])
+        return _safe_exp(self.upper_slope[point_id] * z + self.upper_intercept[point_id])
 
     def lower_bound(self, point_id: int, k: int) -> float:
         """Progressive (lower) kNN-distance approximation of one object."""
         z = math.log(k)
-        return math.exp(self.lower_slope[point_id] * z + self.lower_intercept[point_id])
+        return _safe_exp(self.lower_slope[point_id] * z + self.lower_intercept[point_id])
+
+    def member_ids(self) -> np.ndarray:
+        return np.arange(self.points.shape[0], dtype=np.intp)
+
+    def __repr__(self) -> str:
+        return (
+            f"MRkNNCoP(n={self.points.shape[0]}, dim={self.points.shape[1]}, "
+            f"metric={self.metric.name}, k_max={self.k_max})"
+        )
 
     # ------------------------------------------------------------------
     # Query
@@ -191,7 +221,7 @@ class MRkNNCoP:
                         stats.num_lazy_rejects += 1
                 else:
                     mindist = max(0.0, d_center - entry.radius)
-                    bound = math.exp(
+                    bound = _safe_exp(
                         self._node_max_slope[id(entry.child)] * z
                         + self._node_max_intercept[id(entry.child)]
                     )
@@ -210,6 +240,7 @@ class MRkNNCoP:
                 stats.num_verified_hits += 1
         stats.refine_seconds = time.perf_counter() - started
         stats.num_distance_calls = self.metric.num_calls - calls_before
+        stats.terminated_by = "cop-bounds"
         return RkNNResult(
             ids=np.asarray(sorted(result), dtype=np.intp),
             k=k,

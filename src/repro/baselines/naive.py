@@ -14,12 +14,25 @@ Two call styles are provided: :class:`NaiveRkNN` precomputes the full
 kNN-distance table once and answers any number of queries in O(n) each
 (what the evaluation harness uses to build ground truth), while
 :func:`rknn_brute_force` answers a single query from scratch.
+
+:class:`NaiveRkNN` implements the :class:`~repro.core.protocol.RkNNEngine`
+protocol (``query`` returns an :class:`~repro.core.result.RkNNResult`;
+``query_batch`` / ``query_all`` come from the looped mixin default), so
+registry-driven code treats the reference like any other engine.  The
+historical raw-id surface survives as :meth:`NaiveRkNN.query_ids` — the
+oracle harness and ground-truth builder consume bare arrays on purpose.
+kNN-distance tables are cached per ``k``, so one instance answers any
+neighborhood size; the constructor's ``k`` merely selects the default.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.core.protocol import EngineBase
+from repro.core.result import QueryStats, RkNNResult
 from repro.distances import Metric, get_metric
 from repro.indexes.bulk_knn import bulk_knn_distances
 from repro.utils.tolerance import DIST_ATOL, DIST_RTOL
@@ -28,30 +41,82 @@ from repro.utils.validation import as_dataset, as_query_point, check_k
 __all__ = ["NaiveRkNN", "rknn_brute_force"]
 
 
-class NaiveRkNN:
+class NaiveRkNN(EngineBase):
     """Exact RkNN answering backed by a precomputed kNN-distance table."""
+
+    engine_name = "naive"
+    guarantee = "exact"
+    reads_index_live = False
 
     def __init__(self, data, k: int, metric: str | Metric | None = None) -> None:
         self.points = as_dataset(data)
         n = self.points.shape[0]
         self.k = check_k(k, n=n - 1, name="k")
         self.metric = get_metric(metric)
-        #: k-th NN distance of every point over ``S \\ {x}``
-        self.knn_distances = bulk_knn_distances(self.points, self.k, metric=self.metric)
+        self._tables: dict[int, np.ndarray] = {}
+        # Build the default-k table eagerly: the common single-k uses pay
+        # the O(n^2) cost at construction, where callers expect it.
+        self._table(self.k)
 
-    def query(self, query=None, *, query_index: int | None = None) -> np.ndarray:
+    def _table(self, k: int) -> np.ndarray:
+        """The k-th NN distance of every point over ``S \\ {x}``, cached."""
+        if k not in self._tables:
+            check_k(k, n=self.points.shape[0] - 1, name="k")
+            self._tables[k] = bulk_knn_distances(self.points, k, metric=self.metric)
+        return self._tables[k]
+
+    @property
+    def knn_distances(self) -> np.ndarray:
+        """The default-``k`` distance table (historical attribute name)."""
+        return self._table(self.k)
+
+    def member_ids(self) -> np.ndarray:
+        return np.arange(self.points.shape[0], dtype=np.intp)
+
+    def query_ids(
+        self, query=None, *, query_index: int | None = None, k: int | None = None
+    ) -> np.ndarray:
         """Exact reverse k-nearest neighbors, ascending point ids."""
         if (query is None) == (query_index is None):
             raise ValueError("provide exactly one of `query` or `query_index`")
+        k = self.k if k is None else check_k(k)
+        table = self._table(k)
         if query_index is not None:
             query = self.points[query_index]
         query = as_query_point(query, dim=self.points.shape[1])
         dists = self.metric.to_point(self.points, query)
-        slack = DIST_RTOL * np.abs(self.knn_distances) + DIST_ATOL
-        members = dists <= self.knn_distances + slack
+        slack = DIST_RTOL * np.abs(table) + DIST_ATOL
+        members = dists <= table + slack
         if query_index is not None:
             members[query_index] = False
         return np.flatnonzero(members).astype(np.intp)
+
+    def query(
+        self, query=None, *, query_index: int | None = None, k: int | None = None
+    ) -> RkNNResult:
+        """One exact query through the engine protocol's result contract."""
+        k = self.k if k is None else check_k(k)
+        self._table(k)  # build outside the timed region, like the ctor does
+        metric_calls = self.metric.num_calls
+        started = time.perf_counter()
+        ids = self.query_ids(query, query_index=query_index, k=k)
+        stats = QueryStats(
+            num_retrieved=self.points.shape[0],
+            num_candidates=self.points.shape[0],
+            num_verified=self.points.shape[0],
+            num_verified_hits=int(ids.shape[0]),
+            omega=float("inf"),
+            terminated_by="exhausted",
+            num_distance_calls=self.metric.num_calls - metric_calls,
+            filter_seconds=time.perf_counter() - started,
+        )
+        return RkNNResult(ids=ids, k=k, t=float("inf"), stats=stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"NaiveRkNN(n={self.points.shape[0]}, dim={self.points.shape[1]}, "
+            f"metric={self.metric.name}, k={self.k})"
+        )
 
 
 def rknn_brute_force(
@@ -63,4 +128,4 @@ def rknn_brute_force(
     metric: str | Metric | None = None,
 ) -> np.ndarray:
     """One-shot exact RkNN query (builds the distance table and discards it)."""
-    return NaiveRkNN(data, k, metric=metric).query(query, query_index=query_index)
+    return NaiveRkNN(data, k, metric=metric).query_ids(query, query_index=query_index)

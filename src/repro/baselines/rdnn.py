@@ -15,6 +15,7 @@ import time
 
 import numpy as np
 
+from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.indexes.rdnn_tree import RdNNTreeIndex
 from repro.utils.validation import check_k
@@ -22,8 +23,14 @@ from repro.utils.validation import check_k
 __all__ = ["RdNN"]
 
 
-class RdNN:
+class RdNN(EngineBase):
     """Exact fixed-k RkNN via the kNN-distance-augmented R*-tree."""
+
+    engine_name = "rdnn"
+    guarantee = "exact"
+    #: the tree's per-point kNN distances are frozen at build time — the
+    #: structure is static, so churn requires a rebuild (Service does it).
+    reads_index_live = False
 
     def __init__(self, index: RdNNTreeIndex) -> None:
         if not isinstance(index, RdNNTreeIndex):
@@ -62,4 +69,8 @@ class RdNN:
         stats.filter_seconds = time.perf_counter() - started
         stats.num_candidates = int(ids.shape[0])
         stats.num_distance_calls = metric.num_calls - calls_before
+        stats.terminated_by = "rdnn-tree"
         return RkNNResult(ids=np.asarray(ids, dtype=np.intp), k=k, t=float(k), stats=stats)
+
+    def __repr__(self) -> str:
+        return f"RdNN(k={self.index.k}, index={self.index!r})"

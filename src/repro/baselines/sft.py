@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 
+from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.indexes.base import Index
 from repro.utils.tolerance import inflate
@@ -36,11 +37,20 @@ from repro.utils.validation import as_query_point, check_k
 __all__ = ["SFT"]
 
 
-class SFT:
+class SFT(EngineBase):
     """Approximate RkNN via alpha-scaled forward-kNN candidate sets."""
+
+    engine_name = "sft"
+    query_knobs = ("alpha",)
+    #: count range queries verify every survivor exactly, so false
+    #: positives never appear; recall is capped by the alpha*k pool.
+    guarantee = "precision"
 
     def __init__(self, index: Index) -> None:
         self.index = index
+
+    def __repr__(self) -> str:
+        return f"SFT(index={self.index!r})"
 
     def query(
         self,
@@ -72,7 +82,10 @@ class SFT:
         stats.num_candidates = int(ids.shape[0])
         if ids.shape[0] == 0:
             stats.filter_seconds = time.perf_counter() - started
-            return RkNNResult(ids=np.empty(0, dtype=np.intp), k=k, t=float(alpha))
+            stats.terminated_by = "alpha-pool"
+            return RkNNResult(
+                ids=np.empty(0, dtype=np.intp), k=k, t=float(alpha), stats=stats
+            )
 
         # Step 2: mutual filtering inside the candidate pool.
         pool = self.index.points[ids]
@@ -99,6 +112,7 @@ class SFT:
                 stats.num_verified_hits += 1
         stats.refine_seconds = time.perf_counter() - started
         stats.num_distance_calls = metric.num_calls - calls_before
+        stats.terminated_by = "alpha-pool"
         return RkNNResult(
             ids=np.asarray(sorted(result), dtype=np.intp),
             k=k,

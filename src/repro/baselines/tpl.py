@@ -37,6 +37,7 @@ import time
 
 import numpy as np
 
+from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.distances import EuclideanMetric
 from repro.indexes.r_star_tree import RStarTreeIndex
@@ -47,8 +48,11 @@ from repro.utils.validation import as_query_point, check_k
 __all__ = ["TPL"]
 
 
-class TPL:
+class TPL(EngineBase):
     """Exact RkNN through bisector pruning over an R*-tree."""
+
+    engine_name = "tpl"
+    guarantee = "exact"
 
     def __init__(self, index: RStarTreeIndex, trim_size: int | None = None) -> None:
         if not isinstance(index, RStarTreeIndex):
@@ -60,6 +64,9 @@ class TPL:
         #: maximum number of candidates tested per node (k-trim stand-in);
         #: None derives ``4 * k`` at query time.
         self.trim_size = trim_size
+
+    def __repr__(self) -> str:
+        return f"TPL(trim_size={self.trim_size}, index={self.index!r})"
 
     # ------------------------------------------------------------------
     # Geometric helpers
@@ -187,6 +194,7 @@ class TPL:
                 stats.num_verified_hits += 1
         stats.refine_seconds = time.perf_counter() - started
         stats.num_distance_calls = metric.num_calls - calls_before
+        stats.terminated_by = "bisector-pruning"
         return RkNNResult(
             ids=np.asarray(sorted(result), dtype=np.intp), k=k, t=float(k), stats=stats
         )

@@ -2,6 +2,12 @@
 
 from repro.core.adaptive import AdaptiveRDT
 from repro.core.bichromatic import BichromaticRDT, bichromatic_brute_force
+from repro.core.protocol import (
+    GUARANTEES,
+    EngineBase,
+    EngineCapabilityError,
+    RkNNEngine,
+)
 from repro.core.rdt import RDT, VARIANTS
 from repro.core.result import QueryStats, RkNNResult
 from repro.core.scale import suggest_scale
@@ -14,6 +20,10 @@ __all__ = [
     "AdaptiveRDT",
     "BichromaticRDT",
     "bichromatic_brute_force",
+    "RkNNEngine",
+    "EngineBase",
+    "EngineCapabilityError",
+    "GUARANTEES",
     "RkNNResult",
     "QueryStats",
     "DimensionalTest",

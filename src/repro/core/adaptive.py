@@ -41,6 +41,29 @@ __all__ = ["AdaptiveRDT"]
 class AdaptiveRDT(RDT):
     """RDT with per-query, mid-search re-estimation of the scale parameter."""
 
+    #: The adaptive recursion re-tunes t *during* each query, so RDT's
+    #: fixed-t vectorized batch path does not apply: batched entry points
+    #: loop :meth:`query` (the protocol's EngineBase default), keeping
+    #: batch decisions identical to looped ones.
+    supports_batch = False
+    batch_knobs = ()
+
+    def query_batch(
+        self, queries=None, *, query_indices=None, k=None, t: float | None = None
+    ):
+        from repro.core.protocol import EngineBase
+
+        knobs = {} if t is None else {"t": t}
+        return EngineBase.query_batch(
+            self, queries, query_indices=query_indices, k=k, **knobs
+        )
+
+    def query_all(self, *, k=None, t: float | None = None):
+        from repro.core.protocol import EngineBase
+
+        knobs = {} if t is None else {"t": t}
+        return EngineBase.query_all(self, k=k, **knobs)
+
     def __init__(
         self,
         index: Index,
@@ -60,6 +83,17 @@ class AdaptiveRDT(RDT):
             raise ValueError(f"margin must be positive, got {margin}")
         self.margin = float(margin)
         self.update_every = check_k(update_every, name="update_every")
+        # Protocol identity: the mid-search re-estimation voids Theorem 1,
+        # so the adaptive variant never promises containment either way.
+        self.engine_name = "adaptive"
+        self.guarantee = "heuristic"
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveRDT(variant={self.variant!r}, t_min={self.t_min}, "
+            f"t_max={self.t_max}, margin={self.margin}, "
+            f"update_every={self.update_every}, index={self.index!r})"
+        )
 
     def query(
         self,

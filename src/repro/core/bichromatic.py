@@ -44,6 +44,7 @@ import time
 
 import numpy as np
 
+from repro.core.protocol import EngineBase, EngineCapabilityError
 from repro.core.result import QueryStats, RkNNResult
 from repro.core.termination import DimensionalTest
 from repro.distances import Metric
@@ -141,8 +142,18 @@ class _BichromaticStore:
         return np.asarray([self.client_points[int(s)] for s in slots])
 
 
-class BichromaticRDT:
+class BichromaticRDT(EngineBase):
     """Dimensional-testing BRkNN over two incremental-NN indexes."""
+
+    engine_name = "bichromatic"
+    supports_batch = True
+    supports_bichromatic = True
+    #: bichromatic queries are prospective service locations — they are
+    #: never members of either color, so the member-id query form (and
+    #: with it the query_all self-join) does not exist here.
+    supports_member_queries = False
+    query_knobs = ("t",)
+    guarantee = "scale-exact"
 
     def __init__(self, client_index: Index, service_index: Index) -> None:
         if client_index.dim != service_index.dim:
@@ -153,8 +164,22 @@ class BichromaticRDT:
         self.clients = client_index
         self.services = service_index
 
-    def query(self, query, *, k: int, t: float) -> RkNNResult:
+    def __repr__(self) -> str:
+        return (
+            f"BichromaticRDT(clients={self.clients!r}, "
+            f"services={self.services!r})"
+        )
+
+    def query(
+        self, query=None, *, query_index: int | None = None, k: int, t: float
+    ) -> RkNNResult:
         """Clients that would rank ``q`` among their k nearest services."""
+        if query_index is not None or query is None:
+            raise EngineCapabilityError(
+                "bichromatic queries are prospective service locations, "
+                "never members of either color: pass a raw query point, "
+                "not a query_index"
+            )
         k = check_k(k, n=self.services.size, name="k")
         t = check_scale_parameter(t)
         query_point = as_query_point(query, dim=self.clients.dim)
@@ -162,7 +187,9 @@ class BichromaticRDT:
         store = self._filter_one(query_point, k, t, stats)
         return self._refine_batch([store], k, t, [stats])[0]
 
-    def query_batch(self, queries, *, k: int, t: float) -> list[RkNNResult]:
+    def query_batch(
+        self, queries=None, *, query_indices=None, k: int, t: float
+    ) -> list[RkNNResult]:
         """Answer many bichromatic queries with one shared refinement pass.
 
         ``queries`` is an ``(m, dim)`` array of prospective service
@@ -179,6 +206,12 @@ class BichromaticRDT:
         shared verification's wall-clock time and distance calls are
         attributed per query in proportion to its verified candidates.
         """
+        if query_indices is not None or queries is None:
+            raise EngineCapabilityError(
+                "bichromatic queries are prospective service locations, "
+                "never members of either color: pass raw query rows, not "
+                "query_indices"
+            )
         k = check_k(k, n=self.services.size, name="k")
         t = check_scale_parameter(t)
         query_rows = as_query_rows(queries, dim=self.clients.dim, name="queries")
@@ -190,6 +223,12 @@ class BichromaticRDT:
             for row, stats in enumerate(stats_list)
         ]
         return self._refine_batch(stores, k, t, stats_list)
+
+    def query_all(self, *, k=None, **knobs):
+        raise EngineCapabilityError(
+            "the bichromatic engine has no member self-join: queries are "
+            "prospective service locations, not members of either color"
+        )
 
     # ------------------------------------------------------------------
     # Phase 1: the two-color expanding search

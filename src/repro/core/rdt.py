@@ -69,6 +69,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.core.termination import DimensionalTest
 from repro.core.witness import CandidateStore
@@ -105,7 +106,7 @@ def _tie_groups(
         yield group
 
 
-class RDT:
+class RDT(EngineBase):
     """Reverse-kNN query processor over any incremental-NN index.
 
     Parameters
@@ -129,6 +130,10 @@ class RDT:
         result set is unchanged for plain RDT — only the cost moves.
     """
 
+    supports_batch = True
+    query_knobs = ("t",)
+    batch_knobs = ("filter_mode",)
+
     def __init__(
         self,
         index: Index,
@@ -147,6 +152,19 @@ class RDT:
         self.variant = variant
         self.conservative = bool(conservative)
         self.use_witnesses = bool(use_witnesses)
+        # Protocol identity: the registry names the two variants apart.
+        self.engine_name = variant
+        # Exact given t >= max GED (Theorem 1); RDT+ additionally trades
+        # precision for cheaper witness upkeep (Section 4.3).
+        self.guarantee = "scale-exact" if variant == "rdt" else "scale-recall"
+
+    def __repr__(self) -> str:
+        knobs = ""
+        if not self.conservative:
+            knobs += ", conservative=False"
+        if not self.use_witnesses:
+            knobs += ", use_witnesses=False"
+        return f"RDT(variant={self.variant!r}{knobs}, index={self.index!r})"
 
     # ------------------------------------------------------------------
     # Public API

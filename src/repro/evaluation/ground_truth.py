@@ -49,7 +49,7 @@ class GroundTruth:
         """Exact RkNN ids for a member query, cached."""
         key = (int(query_index), int(k))
         if key not in self._answers:
-            self._answers[key] = self.solver(k).query(query_index=query_index)
+            self._answers[key] = self.solver(k).query_ids(query_index=query_index)
         return self._answers[key]
 
     def answers(self, query_indices, k: int) -> dict[int, np.ndarray]:

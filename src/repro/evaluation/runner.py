@@ -42,6 +42,8 @@ __all__ = [
     "ApproxRun",
     "ApproxTradeoff",
     "run_approx_tradeoff",
+    "run_engine",
+    "run_engine_suite",
     "run_method",
     "run_method_batched",
     "run_bichromatic_batched",
@@ -198,6 +200,117 @@ def run_method_batched(
             )
         )
     return run
+
+
+def run_engine(
+    engine,
+    query_indices: Sequence[int],
+    truth: GroundTruth,
+    k: int,
+    *,
+    data=None,
+    spec=None,
+    name: str | None = None,
+    parameter: float = float("nan"),
+    keep_results: bool = False,
+    engine_kwargs: Mapping | None = None,
+) -> MethodRun:
+    """Evaluate one engine — by registry name or instance — over a workload.
+
+    The protocol's capability flags pick the execution strategy: engines
+    with a native batch path (``supports_batch``) answer the workload in
+    one :meth:`~repro.core.protocol.RkNNEngine.query_batch` call scored
+    through :func:`run_method_batched`; the rest loop through
+    :func:`run_method`.  Query-time knobs come from ``spec`` (a
+    :class:`repro.QuerySpec`; its ``k`` is overridden by the explicit
+    ``k`` argument), filtered down to what the engine understands.
+
+    ``engine`` may be a registry name — then ``data`` (raw points or a
+    prebuilt index, see :func:`repro.create_engine`) is required and
+    ``engine_kwargs`` are forwarded to the factory — or a ready
+    :class:`~repro.core.protocol.RkNNEngine`.
+    """
+    from repro.engines import create_engine, kwargs_for_k
+    from repro.service import QuerySpec
+
+    if isinstance(engine, str):
+        if data is None:
+            raise ValueError(
+                "building an engine by registry name needs `data` "
+                "(raw points or a prebuilt index)"
+            )
+        kwargs = {**kwargs_for_k(engine, k), **dict(engine_kwargs or {})}
+        engine = create_engine(engine, data, **kwargs)
+    elif engine_kwargs:
+        raise ValueError(
+            "engine_kwargs only apply when `engine` is a registry name"
+        )
+    if spec is None:
+        spec = QuerySpec(k=k)
+    if name is None:
+        name = getattr(engine, "engine_name", type(engine).__name__)
+    if getattr(engine, "supports_batch", False):
+        knobs = spec.knobs_for(engine, batch=True)
+        return run_method_batched(
+            name,
+            lambda qis: engine.query_batch(query_indices=qis, k=k, **knobs),
+            query_indices,
+            truth,
+            k,
+            parameter=parameter,
+            keep_results=keep_results,
+        )
+    knobs = spec.knobs_for(engine)
+    return run_method(
+        name,
+        lambda qi: engine.query(query_index=qi, k=k, **knobs),
+        query_indices,
+        truth,
+        k,
+        parameter=parameter,
+        keep_results=keep_results,
+    )
+
+
+def run_engine_suite(
+    engines: Sequence[str] | Mapping[str, object],
+    query_indices: Sequence[int],
+    truth: GroundTruth,
+    k: int,
+    *,
+    data=None,
+    spec=None,
+    engine_kwargs: Mapping[str, Mapping] | None = None,
+) -> list[MethodRun]:
+    """Evaluate a whole roster of engines uniformly (one :class:`MethodRun`
+    each, in roster order).
+
+    ``engines`` is a sequence of registry names (each built over ``data``
+    with the per-name ``engine_kwargs``) or a mapping of display name to
+    prebuilt engine instance.  This is the enumeration the figure
+    benchmarks and the conformance harness drive instead of hard-coding
+    engine classes.
+    """
+    runs: list[MethodRun] = []
+    if isinstance(engines, Mapping):
+        for name, engine in engines.items():
+            runs.append(
+                run_engine(engine, query_indices, truth, k, spec=spec, name=name)
+            )
+        return runs
+    for name in engines:
+        runs.append(
+            run_engine(
+                name,
+                query_indices,
+                truth,
+                k,
+                data=data,
+                spec=spec,
+                engine_kwargs=(engine_kwargs or {}).get(name),
+            )
+        )
+    return runs
 
 
 def run_bichromatic_batched(

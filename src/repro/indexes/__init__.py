@@ -30,9 +30,16 @@ __all__ = [
     "bulk_knn",
     "bulk_knn_distances",
     "build_index",
+    "create_index",
+    "resolve_index_name",
+    "INDEX_ALIASES",
     "INDEX_REGISTRY",
 ]
 
+#: Canonical backend names.  Generic sweeps (the conformance oracle, the
+#: build benchmarks) iterate this mapping, so every entry must construct
+#: from ``(data, metric)`` alone; the RdNN-tree (which needs a fixed
+#: ``k``) is reachable through :func:`create_index` only.
 INDEX_REGISTRY = {
     "linear-scan": LinearScanIndex,
     "kd-tree": KDTreeIndex,
@@ -43,15 +50,48 @@ INDEX_REGISTRY = {
     "r-star-tree": RStarTreeIndex,
 }
 
+#: Short aliases accepted by :func:`create_index` (and by the engine
+#: registry / :class:`repro.Service` ``backend=`` argument), mapping to
+#: canonical registry names.
+INDEX_ALIASES = {
+    "linear": "linear-scan",
+    "scan": "linear-scan",
+    "kd": "kd-tree",
+    "cover": "cover-tree",
+    "vp": "vp-tree",
+    "ball": "ball-tree",
+    "m": "m-tree",
+    "rstar": "r-star-tree",
+    "r*": "r-star-tree",
+    "rdnn": "rdnn-tree",
+}
+
+#: Name-constructible backends outside the uniform registry (see the
+#: INDEX_REGISTRY note): constructors with required extra arguments.
+_SPECIAL_INDEXES = {"rdnn-tree": RdNNTreeIndex}
+
+
+def resolve_index_name(name: str) -> str:
+    """Canonicalize a backend name or alias (``"kd"`` -> ``"kd-tree"``)."""
+    key = str(name).lower()
+    key = INDEX_ALIASES.get(key, key)
+    if key not in INDEX_REGISTRY and key not in _SPECIAL_INDEXES:
+        known = sorted(INDEX_REGISTRY) + sorted(_SPECIAL_INDEXES)
+        raise ValueError(
+            f"unknown index {name!r}; known: {known} "
+            f"(aliases: {sorted(INDEX_ALIASES)})"
+        )
+    return key
+
 
 def build_index(name: str, data, metric=None, **kwargs) -> Index:
-    """Construct a registered index by name.
+    """Construct a registered index by its canonical name.
 
     Parameters
     ----------
     name:
         One of ``linear-scan``, ``kd-tree``, ``cover-tree``, ``vp-tree``,
-        ``m-tree``, ``r-star-tree``.
+        ``ball-tree``, ``m-tree``, ``r-star-tree``.
     data:
         ``(n, dim)`` point matrix.
     metric:
@@ -66,3 +106,18 @@ def build_index(name: str, data, metric=None, **kwargs) -> Index:
             f"unknown index {name!r}; known: {sorted(INDEX_REGISTRY)}"
         ) from None
     return cls(data, metric=metric, **kwargs)
+
+
+def create_index(name: str, data, metric=None, **kwargs) -> Index:
+    """Construct an index backend by name *or alias* (the front door).
+
+    Accepts everything :func:`build_index` does plus the short aliases in
+    :data:`INDEX_ALIASES` (``"kd"``, ``"rstar"``, ``"ball"``, ...) and the
+    RdNN-tree (``create_index("rdnn", data, k=10)`` — its fixed ``k`` is a
+    required keyword).  This is the mirror of :func:`repro.create_engine`
+    on the storage side.
+    """
+    key = resolve_index_name(name)
+    if key in _SPECIAL_INDEXES:
+        return _SPECIAL_INDEXES[key](data, metric=metric, **kwargs)
+    return build_index(key, data, metric=metric, **kwargs)

@@ -63,6 +63,9 @@ class BallTreeIndex(Index):
         self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
         self._root = self._build(np.arange(self._points.shape[0], dtype=np.intp))
 
+    def _repr_knobs(self) -> str:
+        return f"leaf_size={self.leaf_size}"
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

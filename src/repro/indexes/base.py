@@ -231,8 +231,13 @@ class Index:
             raise KeyError(f"point id {index} has already been removed")
         self._active[index] = False
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def _repr_knobs(self) -> str:
+        """Backend-specific constructor knobs shown by :meth:`__repr__`."""
+        return ""
+
+    def __repr__(self) -> str:
+        knobs = self._repr_knobs()
         return (
             f"{type(self).__name__}(n={self.size}, dim={self.dim}, "
-            f"metric={self.metric.name})"
+            f"metric={self.metric.name}{', ' + knobs if knobs else ''})"
         )

@@ -77,6 +77,9 @@ class CoverTreeIndex(Index):
             for point_id in range(n):
                 self._insert_id(point_id)
 
+    def _repr_knobs(self) -> str:
+        return f"root_level={self._root.level if self._root is not None else None}"
+
     # ------------------------------------------------------------------
     # Batch construction (divide and conquer)
     # ------------------------------------------------------------------

@@ -93,6 +93,9 @@ class KDTreeIndex(Index):
         self._root = self._build(ids)
         self._tombstones = 0  # removed ids still stored in tree leaves
 
+    def _repr_knobs(self) -> str:
+        return f"leaf_size={self.leaf_size}"
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -334,5 +337,19 @@ class KDTreeIndex(Index):
         self._tombstones += 1
         live = self.size
         if live and live < self.compaction_threshold * (live + self._tombstones):
-            self._root = self._build(self.active_ids())
-            self._tombstones = 0
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the tree over the live points, purging all tombstones.
+
+        Runs automatically once removals cross ``compaction_threshold``;
+        callers (e.g. :meth:`repro.Service.compact`) may also invoke it
+        eagerly before a latency-sensitive query burst.
+        """
+        live = self.active_ids()
+        if live.shape[0] == 0:
+            # Nothing to rebuild over (the builder needs at least one
+            # row for its bounding box); queries filter the tombstones.
+            return
+        self._root = self._build(live)
+        self._tombstones = 0

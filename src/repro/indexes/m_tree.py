@@ -113,6 +113,9 @@ class MTreeIndex(Index):
             for point_id in range(n):
                 self._insert_id(point_id)
 
+    def _repr_knobs(self) -> str:
+        return f"capacity={self.capacity}"
+
     # ------------------------------------------------------------------
     # Bulk loading (sampled-pivot recursive partitioning)
     # ------------------------------------------------------------------

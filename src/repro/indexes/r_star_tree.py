@@ -145,6 +145,9 @@ class RStarTreeIndex(Index):
             for point_id in range(n):
                 self._insert_entry(self._point_entry(point_id), level=0)
 
+    def _repr_knobs(self) -> str:
+        return f"capacity={self.capacity}"
+
     # ------------------------------------------------------------------
     # Bulk loading (Sort-Tile-Recursive)
     # ------------------------------------------------------------------

@@ -62,6 +62,9 @@ class RdNNTreeIndex(RStarTreeIndex):
         self._node_max_dk: dict[int, float] = {}
         self._aggregate(self.root)
 
+    def _repr_knobs(self) -> str:
+        return f"k={self.k}, capacity={self.capacity}"
+
     def _aggregate(self, node) -> float:
         """Bottom-up computation of the max-kNN-distance node annotations."""
         best = 0.0

@@ -72,6 +72,9 @@ class VPTreeIndex(Index):
         ids = np.arange(self._points.shape[0], dtype=np.intp)
         self._root = self._build(ids)
 
+    def _repr_knobs(self) -> str:
+        return f"leaf_size={self.leaf_size}, n_candidates={self.n_candidates}"
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

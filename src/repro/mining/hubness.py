@@ -18,14 +18,19 @@ from repro.mining.join import rknn_self_join
 __all__ = ["hubness_counts", "hubness_skewness", "knn_digraph"]
 
 
-def hubness_counts(index: Index, k: int, t: float, variant: str = "rdt") -> np.ndarray:
+def hubness_counts(
+    index: Index, k: int, t: float, variant: str | None = None, engine=None
+) -> np.ndarray:
     """In-degree of every point in the kNN digraph, via the RkNN join.
 
-    The join answers all points through the batched query engine
-    (:meth:`repro.core.RDT.query_batch`), so the whole digraph costs one
-    vectorized pass rather than n interpreter-level queries.
+    The join answers all points through the engine protocol's batched
+    entry point, so the whole digraph costs one vectorized pass rather
+    than n interpreter-level queries; ``engine`` selects any registry
+    engine (``variant`` remains the historical RDT/RDT+ switch).
     """
-    return rknn_self_join(index, k=k, t=t, variant=variant).count_array()
+    return rknn_self_join(
+        index, k=k, t=t, variant=variant, engine=engine
+    ).count_array()
 
 
 def hubness_skewness(index: Index, k: int, t: float) -> float:
@@ -42,7 +47,7 @@ def hubness_skewness(index: Index, k: int, t: float) -> float:
     return float((centered**3).mean() / std**3)
 
 
-def knn_digraph(index: Index, k: int, t: float, variant: str = "rdt"):
+def knn_digraph(index: Index, k: int, t: float, variant: str | None = None, engine=None):
     """The kNN digraph as a ``networkx.DiGraph`` (edge u -> v: v in kNN(u)).
 
     Built from the reverse neighborhoods: ``x in RkNN(q)`` means ``q`` is
@@ -50,7 +55,7 @@ def knn_digraph(index: Index, k: int, t: float, variant: str = "rdt"):
     """
     import networkx as nx
 
-    join = rknn_self_join(index, k=k, t=t, variant=variant)
+    join = rknn_self_join(index, k=k, t=t, variant=variant, engine=engine)
     graph = nx.DiGraph()
     graph.add_nodes_from(int(pid) for pid in index.active_ids())
     for target, sources in join.neighborhoods.items():

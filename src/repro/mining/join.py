@@ -7,14 +7,21 @@ the join through RDT/RDT+ so the per-query dimensional test keeps each
 point's search local, and aggregates the per-query statistics so callers
 can see what the join cost.
 
-The join runs through :meth:`repro.core.RDT.query_batch`, so the whole
+The join runs through the engine protocol's batched entry point
+(:meth:`~repro.core.protocol.RkNNEngine.query_batch`), so the whole
 workload is answered with vectorized phases (chunked pairwise filter for
 plain RDT, one batched kNN-distance call for all refinements) instead of n
-interpreter-level queries.  For datasets small enough to afford the O(n^2)
-table, the exact join via :class:`repro.baselines.NaiveRkNN` can still win
-outright; the RDT join exists for the regime the paper targets — large n,
-where n^2 is not an option — and for dynamic settings where only a few
-neighborhoods need refreshing after an update.
+interpreter-level queries.  Any registry engine can drive the join —
+``engine="rdt+"`` (the historical ``variant`` argument maps onto the same
+names), ``engine="approx-sampled"`` for a recall-guaranteed approximate
+join, or a prebuilt :class:`~repro.core.protocol.RkNNEngine` instance —
+and the scale/filter knobs are forwarded only to engines that understand
+them (:meth:`repro.QuerySpec.knobs_for`).  For datasets small enough to
+afford the O(n^2) table, the exact join via
+:class:`repro.baselines.NaiveRkNN` can still win outright; the RDT join
+exists for the regime the paper targets — large n, where n^2 is not an
+option — and for dynamic settings where only a few neighborhoods need
+refreshing after an update.
 """
 
 from __future__ import annotations
@@ -23,12 +30,37 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.rdt import RDT
 from repro.core.result import QueryStats
 from repro.indexes.base import Index
 from repro.utils.validation import check_k, check_scale_parameter
 
 __all__ = ["RkNNJoinResult", "rknn_self_join"]
+
+
+def resolve_mining_engine(index: Index, variant, engine, k: int | None = None):
+    """Resolve the mining entry points' ``variant``/``engine`` selectors.
+
+    ``variant`` is the historical RDT/RDT+ switch, ``engine`` the
+    registry-era selector (a name built over ``index`` for the workload's
+    ``k`` — fixed-k engines are built for exactly that k — or a prebuilt
+    instance); at most one may be given, and the result must answer
+    member queries (the mining workloads are self-joins over the index).
+    """
+    from repro.engines import create_engine, kwargs_for_k
+
+    if variant is not None and engine is not None:
+        raise ValueError("provide at most one of `variant` or `engine`")
+    if engine is None:
+        engine = variant or "rdt"
+    if isinstance(engine, str):
+        kwargs = kwargs_for_k(engine, k) if k is not None else {}
+        engine = create_engine(engine, index, **kwargs)
+    if not getattr(engine, "supports_member_queries", True):
+        raise ValueError(
+            f"engine {getattr(engine, 'engine_name', engine)!r} cannot "
+            "answer member queries, so it cannot drive mining workloads"
+        )
+    return engine
 
 
 @dataclass
@@ -59,9 +91,10 @@ def rknn_self_join(
     index: Index,
     k: int,
     t: float,
-    variant: str = "rdt",
+    variant: str | None = None,
     point_ids=None,
     filter_mode: str = "auto",
+    engine=None,
 ) -> RkNNJoinResult:
     """Compute the reverse-kNN set of every (or each given) indexed point.
 
@@ -71,12 +104,14 @@ def rknn_self_join(
         Any incremental-NN index over the dataset.
     k, t:
         Neighborhood size and scale parameter, as in :meth:`RDT.query`.
+        ``t`` only reaches engines that take a scale knob.
     variant:
-        ``"rdt"`` (default) keeps precision exactly 1 — for mining uses,
-        phantom reverse neighbors are usually worse than extra query time.
-        ``"rdt+"`` accelerates large joins at the Section 4.3 precision
-        risk (its lazy accepts can fire on undercounted witness sets even
-        when the search scans everything).
+        Backward-compatible alias for ``engine``: ``"rdt"`` (default)
+        keeps precision exactly 1 — for mining uses, phantom reverse
+        neighbors are usually worse than extra query time.  ``"rdt+"``
+        accelerates large joins at the Section 4.3 precision risk (its
+        lazy accepts can fire on undercounted witness sets even when the
+        search scans everything).
     point_ids:
         Optional subset of point ids to join; defaults to all active points
         (useful after dynamic updates, when only the affected neighborhoods
@@ -87,10 +122,18 @@ def rknn_self_join(
         datasets behind a pruning tree backend — the batched refinement
         then also runs through the backend's pruned ``knn_distances``
         override, so the whole join stays subquadratic.
+    engine:
+        An engine registry name (``"rdt"``, ``"rdt+"``,
+        ``"approx-sampled"``, ...) built over ``index``, or a prebuilt
+        :class:`~repro.core.protocol.RkNNEngine` answering member
+        queries.  Mutually exclusive with ``variant``.
     """
+    from repro.service import QuerySpec
+
     k = check_k(k)
     t = check_scale_parameter(t)
-    rdt = RDT(index, variant=variant)
+    engine = resolve_mining_engine(index, variant, engine, k=k)
+    spec = QuerySpec(k=k, t=t, filter_mode=filter_mode)
     if point_ids is None:
         point_ids = index.active_ids()
     point_ids = np.asarray(point_ids, dtype=np.intp)
@@ -98,8 +141,8 @@ def rknn_self_join(
     totals = result.totals
     # One batched pass over the whole workload: the join is exactly the
     # all-points mode the batch engine's vectorized phases exist for.
-    answers = rdt.query_batch(
-        query_indices=point_ids, k=k, t=t, filter_mode=filter_mode
+    answers = engine.query_batch(
+        query_indices=point_ids, k=k, **spec.knobs_for(engine, batch=True)
     )
     for pid, answer in zip(point_ids, answers):
         result.neighborhoods[int(pid)] = answer.ids

@@ -12,22 +12,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.rdt import RDT
 from repro.indexes.base import Index
 from repro.mining.join import rknn_self_join
 
 __all__ = ["odin_scores", "odin_outliers", "influence_set"]
 
 
-def odin_scores(index: Index, k: int, t: float, variant: str = "rdt") -> np.ndarray:
+def odin_scores(
+    index: Index, k: int, t: float, variant: str | None = None, engine=None
+) -> np.ndarray:
     """ODIN outlierness: the reverse-kNN count of every point (low = outlier).
 
-    Returns an array indexed by point id.  Counts are produced by the RDT
-    self-join — one batched :meth:`repro.core.RDT.query_batch` pass over
-    all points — so the usual `t` accuracy/cost tradeoff applies; with a
-    generous `t` the scores are exact in-degrees of the kNN graph.
+    Returns an array indexed by point id.  Counts are produced by the RkNN
+    self-join — one batched engine pass over all points — so the usual `t`
+    accuracy/cost tradeoff applies; with a generous `t` the scores are
+    exact in-degrees of the kNN graph.  ``engine`` selects any registry
+    engine (e.g. ``"approx-sampled"`` for a recall-guaranteed approximate
+    score pass); ``variant`` remains as the historical RDT/RDT+ switch.
     """
-    join = rknn_self_join(index, k=k, t=t, variant=variant)
+    join = rknn_self_join(index, k=k, t=t, variant=variant, engine=engine)
     return join.count_array().astype(np.float64)
 
 
@@ -37,6 +40,7 @@ def odin_outliers(
     t: float,
     threshold: float | None = None,
     fraction: float | None = None,
+    engine=None,
 ) -> np.ndarray:
     """Point ids flagged as outliers by the ODIN rule.
 
@@ -46,7 +50,7 @@ def odin_outliers(
     """
     if (threshold is None) == (fraction is None):
         raise ValueError("provide exactly one of `threshold` or `fraction`")
-    scores = odin_scores(index, k=k, t=t)
+    scores = odin_scores(index, k=k, t=t, engine=engine)
     active = index.active_ids()
     active_scores = scores[active]
     if threshold is not None:
@@ -61,14 +65,20 @@ def odin_outliers(
 
 
 def influence_set(
-    index: Index, point_id: int, k: int, t: float, variant: str = "rdt"
+    index: Index, point_id: int, k: int, t: float, variant: str | None = None,
+    engine=None,
 ) -> np.ndarray:
     """The points whose k-neighborhoods contain the given point.
 
     This is the update-propagation primitive of the paper's dynamic
     scenarios: when ``point_id`` is modified or deleted, these are the
     points whose derived results (clusters, outlier scores, ...) may
-    change.
+    change.  Like the self-join, any registry engine (or prebuilt
+    instance) can answer it.
     """
-    rdt = RDT(index, variant=variant)
-    return rdt.query(query_index=point_id, k=k, t=t).ids
+    from repro.mining.join import resolve_mining_engine
+    from repro.service import QuerySpec
+
+    engine = resolve_mining_engine(index, variant, engine, k=k)
+    spec = QuerySpec(k=k, t=t)
+    return engine.query(query_index=point_id, k=k, **spec.knobs_for(engine)).ids

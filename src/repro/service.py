@@ -1,0 +1,608 @@
+"""The one front door: a Service facade over backends, engines, and specs.
+
+Everything the toolkit can do to a dataset — exact RDT/RDT+ queries,
+approximate strategies, competitor baselines, bichromatic queries, dynamic
+updates, persistence — is reachable from one object::
+
+    import repro
+
+    svc = repro.Service(data, backend="kd", engine="rdt+",
+                        defaults=repro.QuerySpec(k=10, t=8.0))
+    result = svc.query(query_index=7)            # defaults apply
+    batch  = svc.query_batch(query_indices=ids, t=4.0)   # per-call override
+    join   = svc.query_all()                     # the RkNN self-join
+    svc.insert(point); svc.remove(3)             # engines follow the churn
+    svc.save("svc.npz"); svc2 = repro.Service.load("svc.npz")
+
+The facade owns three responsibilities the call sites used to duplicate:
+
+**Parameter routing** — every query call resolves one :class:`QuerySpec`
+(defaults, optionally overridden per call), validates it in one place,
+and forwards only the knobs the active engine understands
+(:attr:`~repro.core.protocol.EngineBase.query_knobs`); ``t`` reaches RDT
+but not the approximate engines, ``alpha`` reaches SFT, strategy knobs
+(``margin``/``sample_size``/``n_tables``) trigger an engine rebuild.
+
+**Lifecycle** — the backend index is built once (bulk path); engines are
+built lazily from the registry (:func:`repro.create_engine`) and rebuilt
+automatically when they need it: data-snapshot engines (``naive``,
+``mrknncop``, ``rdnn``) after any insert/remove, ``rdnn`` when the
+requested ``k`` changes, ``mrknncop`` when ``k`` exceeds its fitted
+``k_max``.  Engines answering in dense snapshot ids are transparently
+translated back into the service's id space, so callers always see index
+ids regardless of the engine family.
+
+**Persistence** — :meth:`Service.save` writes a single ``.npz`` payload
+(point matrix including removed rows, the active mask, metric, backend +
+engine names and kwargs, default spec) and :meth:`Service.load` rebuilds
+the tree via the backends' deterministic bulk builds and replays the
+removals, so a round trip reproduces ``query_all`` bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from repro.core.result import RkNNResult
+from repro.distances import get_metric
+from repro.engines import ENGINE_REGISTRY, create_engine, kwargs_for_k
+from repro.indexes import RStarTreeIndex, create_index, resolve_index_name
+from repro.indexes.base import Index
+from repro.utils.validation import (
+    check_k,
+    check_positive_int,
+    check_scale_parameter,
+)
+
+__all__ = ["QuerySpec", "Service", "SERVICE_FORMAT_VERSION"]
+
+#: Bumped whenever the ``.npz`` payload layout changes incompatibly.
+SERVICE_FORMAT_VERSION = 1
+
+_FILTER_MODES = ("auto", "sequential", "vectorized")
+
+#: QuerySpec fields that configure an approximate *strategy* rather than a
+#: single query; changing one rebuilds the engine.
+_STRATEGY_KNOBS = ("margin", "sample_size", "n_tables")
+
+#: Which strategy knobs each engine family's constructor understands —
+#: the construction-time analogue of `query_knobs` (knobs an engine does
+#: not understand are carried by the spec but never forwarded).
+_ENGINE_STRATEGY_KNOBS = {
+    "approx-sampled": ("margin", "sample_size"),
+    "approx-lsh": ("n_tables",),
+}
+
+#: Constructor knobs recoverable from a prebuilt index adopted by a
+#: Service, so save()/load() can rebuild an equivalent tree.
+_BACKEND_KNOB_ATTRS = ("leaf_size", "n_candidates", "capacity", "k")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One validated bundle of query-time parameters for any engine.
+
+    A spec is engine-agnostic: it may carry knobs the active engine does
+    not understand, and only the understood subset is forwarded (see
+    :meth:`knobs_for`).  Validation happens once, here, instead of in
+    every engine's entry points.
+    """
+
+    #: neighborhood size (every engine)
+    k: int = 10
+    #: scale parameter for the dimensional test (RDT/RDT+/bichromatic)
+    t: float = 8.0
+    #: batched filter strategy for RDT (see :meth:`repro.RDT.query_batch`)
+    filter_mode: str = "auto"
+    #: candidate-pool factor for SFT (``None`` = the engine's default)
+    alpha: float | None = None
+    #: decisive-accept margin of the sampled strategy (rebuilds the engine)
+    margin: float | None = None
+    #: subsample size of the sampled strategy (rebuilds the engine)
+    sample_size: int | None = None
+    #: table count of the LSH strategy (rebuilds the engine)
+    n_tables: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "k", check_k(self.k))
+        object.__setattr__(self, "t", check_scale_parameter(self.t))
+        if self.filter_mode not in _FILTER_MODES:
+            raise ValueError(
+                f"filter_mode must be one of {_FILTER_MODES}, "
+                f"got {self.filter_mode!r}"
+            )
+        if self.alpha is not None and self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {self.alpha}")
+        if self.margin is not None and not 0.0 <= self.margin <= 1.0:
+            raise ValueError(f"margin must lie in [0, 1], got {self.margin}")
+        for name in ("sample_size", "n_tables"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(
+                    self, name, check_positive_int(value, name=name)
+                )
+
+    def replace(self, **overrides) -> "QuerySpec":
+        """A new spec with the given fields overridden (re-validated)."""
+        return replace(self, **overrides)
+
+    def knobs_for(self, engine, batch: bool = False) -> dict:
+        """The query-time kwargs of this spec that ``engine`` understands."""
+        names = tuple(getattr(engine, "query_knobs", ()))
+        if batch:
+            names += tuple(getattr(engine, "batch_knobs", ()))
+        return {
+            name: getattr(self, name)
+            for name in names
+            if getattr(self, name, None) is not None
+        }
+
+    def strategy_kwargs(self) -> dict:
+        """The engine-construction knobs carried by this spec."""
+        return {
+            name: getattr(self, name)
+            for name in _STRATEGY_KNOBS
+            if getattr(self, name) is not None
+        }
+
+
+class Service:
+    """One dataset, one backend, one engine — swappable by name.
+
+    Parameters
+    ----------
+    data:
+        ``(n, dim)`` member points, or a prebuilt
+        :class:`~repro.indexes.Index` to adopt as the backend.
+    backend:
+        Index backend name or alias (``"kd"``, ``"rstar"``, ``"linear"``,
+        ...); ignored when ``data`` is already an index.
+    engine:
+        Engine registry name (see :data:`repro.ENGINE_REGISTRY`).  The
+        bichromatic engine is not a per-dataset engine — use
+        :meth:`query_bichromatic` instead.
+    metric:
+        Metric name or instance (only when building from raw data).
+    defaults:
+        The :class:`QuerySpec` applied when a query call does not
+        override it.
+    backend_kwargs / engine_kwargs:
+        Forwarded to the backend / engine constructors.  Both must be
+        JSON-serializable for :meth:`save`.
+    """
+
+    def __init__(
+        self,
+        data,
+        *,
+        backend: str = "kd",
+        engine: str = "rdt+",
+        metric=None,
+        defaults: QuerySpec | None = None,
+        backend_kwargs: dict | None = None,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        engine = str(engine).lower()
+        if engine not in ENGINE_REGISTRY:
+            raise ValueError(
+                f"unknown engine {engine!r}; known: {sorted(ENGINE_REGISTRY)}"
+            )
+        if engine == "bichromatic":
+            raise ValueError(
+                "the bichromatic engine needs a second color per call; "
+                "use Service.query_bichromatic(queries, clients=...) instead"
+            )
+        self.engine_name = engine
+        self.defaults = defaults if defaults is not None else QuerySpec()
+        if not isinstance(self.defaults, QuerySpec):
+            raise TypeError(
+                f"defaults must be a QuerySpec, got {type(self.defaults).__name__}"
+            )
+        self._backend_kwargs = dict(backend_kwargs or {})
+        self._engine_kwargs = dict(engine_kwargs or {})
+        if isinstance(data, Index):
+            if metric is not None:
+                raise ValueError(
+                    "metric only applies when building from raw data; the "
+                    "given index already carries one"
+                )
+            if backend_kwargs:
+                raise ValueError(
+                    "backend_kwargs only apply when building from raw data"
+                )
+            self.index = data
+            self.backend_name = resolve_index_name(data.name)
+            # Recover the adopted tree's constructor knobs so save()/load()
+            # rebuilds an equivalent backend (an RdNN-tree's required k
+            # included).  Non-attribute knobs (e.g. sampling seeds) fall
+            # back to constructor defaults on reload — answers are
+            # unchanged, only internal tree shape may differ.
+            self._backend_kwargs = {
+                name: getattr(data, name)
+                for name in _BACKEND_KNOB_ATTRS
+                if hasattr(data, name)
+            }
+        else:
+            self.backend_name = resolve_index_name(backend)
+            self.index = create_index(
+                self.backend_name, data, metric=metric, **self._backend_kwargs
+            )
+        self._epoch = 0
+        self._engine = None
+        self._engine_epoch = -1
+        self._engine_built_k: int | None = None
+        self._engine_built_kwargs: dict = {}
+        self._engine_live = True
+        self._id_map: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def metric(self):
+        return self.index.metric
+
+    @property
+    def dim(self) -> int:
+        return self.index.dim
+
+    @property
+    def size(self) -> int:
+        return self.index.size
+
+    def __len__(self) -> int:
+        return self.index.size
+
+    def active_ids(self) -> np.ndarray:
+        return self.index.active_ids()
+
+    def __repr__(self) -> str:
+        return (
+            f"Service(engine={self.engine_name!r}, "
+            f"backend={self.backend_name!r}, n={self.size}, dim={self.dim}, "
+            f"metric={self.metric.name}, defaults={self.defaults!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Engine lifecycle
+    # ------------------------------------------------------------------
+    def engine(self, spec: QuerySpec | None = None):
+        """The active engine, (re)built lazily for the given spec."""
+        spec = self.defaults if spec is None else spec
+        if self._engine is None or self._needs_rebuild(spec):
+            self._build_engine(spec)
+        return self._engine
+
+    def _needs_rebuild(self, spec: QuerySpec) -> bool:
+        if not self._engine_live and self._engine_epoch != self._epoch:
+            return True
+        if self._merged_engine_kwargs(spec) != self._engine_built_kwargs:
+            return True
+        if self.engine_name == "rdnn" and spec.k != self._engine_built_k:
+            # Rebuilding for the new k only helps when the k was ours to
+            # choose; a user-pinned k would survive the rebuild and fail
+            # identically, so refuse up front instead of churning O(n^2)
+            # tree builds per query.
+            self._check_k_pin("k", spec.k, self._engine_kwargs.get("k"))
+            return True
+        if self.engine_name == "mrknncop" and spec.k > self._engine.k_max:
+            self._check_k_pin("k_max", spec.k, self._engine_kwargs.get("k_max"))
+            return True
+        return False
+
+    @staticmethod
+    def _check_k_pin(name: str, wanted_k: int, pinned) -> None:
+        if pinned is not None and (
+            wanted_k > pinned if name == "k_max" else wanted_k != pinned
+        ):
+            raise ValueError(
+                f"k={wanted_k} conflicts with {name}={pinned} pinned in "
+                f"engine_kwargs; drop the pin (the Service derives {name} "
+                "from the spec) or query within it"
+            )
+
+    def _merged_engine_kwargs(self, spec: QuerySpec) -> dict:
+        merged = dict(self._engine_kwargs)
+        for name in _ENGINE_STRATEGY_KNOBS.get(self.engine_name, ()):
+            value = getattr(spec, name)
+            if value is not None:
+                merged[name] = value
+        return merged
+
+    def _build_engine(self, spec: QuerySpec) -> None:
+        entry = ENGINE_REGISTRY[self.engine_name]
+        merged = self._merged_engine_kwargs(spec)
+        # The factory call may inject spec-derived defaults (k, k_max);
+        # the rebuild comparison must see the *user-provided* kwargs only,
+        # or every later spec would look like a config change.
+        kwargs = dict(merged)
+        self._id_map = None
+        self._engine_live = True
+        if entry.needs == "index":
+            engine = entry.factory(
+                self.index, metric=None, backend=None, backend_kwargs=None,
+                **kwargs,
+            )
+        elif entry.needs == "rstar-index":
+            if isinstance(self.index, RStarTreeIndex):
+                tree = self.index
+            else:
+                # A dedicated R*-tree replica in the same id space: build
+                # over the full matrix, replay the removals.  It does not
+                # observe future churn, so it is rebuilt like a snapshot.
+                tree = RStarTreeIndex(self.index.points, metric=self.metric)
+                for point_id in np.flatnonzero(~self._active_mask()):
+                    tree.remove(int(point_id))
+                self._engine_live = False
+            engine = entry.factory(
+                tree, metric=None, backend=None, backend_kwargs=None, **kwargs
+            )
+        elif entry.needs == "data":
+            active = self.index.active_ids()
+            if active.shape[0] == self.index.points.shape[0]:
+                points = self.index.points
+            else:
+                points = self.index.points[active]
+                self._id_map = active
+            for knob, value in kwargs_for_k(self.engine_name, spec.k).items():
+                kwargs.setdefault(knob, value)
+            engine = entry.factory(
+                points, metric=self.metric, backend=None, backend_kwargs=None,
+                **kwargs,
+            )
+            self._engine_live = False
+        else:  # pragma: no cover - guarded in __init__
+            raise ValueError(f"unsupported engine family {entry.needs!r}")
+        self._engine = engine
+        self._engine_epoch = self._epoch
+        self._engine_built_k = spec.k
+        self._engine_built_kwargs = merged
+
+    def _active_mask(self) -> np.ndarray:
+        mask = np.zeros(self.index.points.shape[0], dtype=bool)
+        mask[self.index.active_ids()] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Id translation for snapshot engines
+    # ------------------------------------------------------------------
+    def _to_engine_index(self, query_index: int) -> int:
+        if self._id_map is None:
+            return int(query_index)
+        pos = int(np.searchsorted(self._id_map, query_index))
+        if pos >= self._id_map.shape[0] or self._id_map[pos] != query_index:
+            raise KeyError(f"point id {query_index} has been removed")
+        return pos
+
+    def _map_result(self, result: RkNNResult) -> RkNNResult:
+        if self._id_map is None:
+            return result
+        return RkNNResult(
+            ids=self._id_map[result.ids],
+            k=result.k,
+            t=result.t,
+            lazy_accepted_ids=self._id_map[result.lazy_accepted_ids],
+            stats=result.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def resolve_spec(self, spec: QuerySpec | None = None, **overrides) -> QuerySpec:
+        """The effective (validated) spec for one call."""
+        base = self.defaults if spec is None else spec
+        if not isinstance(base, QuerySpec):
+            raise TypeError(f"spec must be a QuerySpec, got {type(base).__name__}")
+        return base.replace(**overrides) if overrides else base
+
+    def query(
+        self,
+        query=None,
+        *,
+        query_index: int | None = None,
+        spec: QuerySpec | None = None,
+        **overrides,
+    ) -> RkNNResult:
+        """One reverse-kNN query under the resolved spec.
+
+        Exactly one of ``query`` (raw point) or ``query_index`` (member
+        id) must be given; keyword overrides (``k=5``, ``t=4.0``, ...)
+        patch the default spec for this call only.
+        """
+        spec = self.resolve_spec(spec, **overrides)
+        engine = self.engine(spec)
+        if query_index is not None:
+            query_index = self._to_engine_index(query_index)
+        result = engine.query(
+            query, query_index=query_index, k=spec.k, **spec.knobs_for(engine)
+        )
+        return self._map_result(result)
+
+    def query_batch(
+        self,
+        queries=None,
+        *,
+        query_indices=None,
+        spec: QuerySpec | None = None,
+        **overrides,
+    ) -> list[RkNNResult]:
+        """Many queries in one engine pass (vectorized where the engine
+        supports it), one :class:`RkNNResult` per input row/id."""
+        spec = self.resolve_spec(spec, **overrides)
+        engine = self.engine(spec)
+        if query_indices is not None:
+            query_indices = [
+                self._to_engine_index(int(qi)) for qi in query_indices
+            ]
+        results = engine.query_batch(
+            queries,
+            query_indices=query_indices,
+            k=spec.k,
+            **spec.knobs_for(engine, batch=True),
+        )
+        return [self._map_result(result) for result in results]
+
+    def query_all(
+        self, *, spec: QuerySpec | None = None, **overrides
+    ) -> dict[int, RkNNResult]:
+        """The RkNN self-join: ``{point_id: result}`` over all members."""
+        spec = self.resolve_spec(spec, **overrides)
+        engine = self.engine(spec)
+        results = engine.query_all(k=spec.k, **spec.knobs_for(engine, batch=True))
+        if self._id_map is None:
+            return results
+        return {
+            int(self._id_map[local]): self._map_result(result)
+            for local, result in results.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Bichromatic routing
+    # ------------------------------------------------------------------
+    def bichromatic(self, clients):
+        """A bichromatic engine with this service's members as *services*.
+
+        ``clients`` is an ``(m, dim)`` array (indexed with this
+        service's backend) or a prebuilt client index.  Build once and
+        reuse when issuing many query rounds against the same client set.
+        """
+        from repro.core.bichromatic import BichromaticRDT
+
+        if isinstance(clients, Index):
+            client_index = clients
+        else:
+            client_index = create_index(
+                self.backend_name, clients, metric=self.metric,
+                **self._backend_kwargs,
+            )
+        return BichromaticRDT(client_index, self.index)
+
+    def query_bichromatic(
+        self,
+        queries,
+        clients,
+        *,
+        spec: QuerySpec | None = None,
+        **overrides,
+    ):
+        """Bichromatic RkNN at prospective service locations.
+
+        ``queries`` is one point (returns one result) or ``(m, dim)``
+        rows (returns a list); answers are ids into ``clients``.
+        """
+        spec = self.resolve_spec(spec, **overrides)
+        engine = self.bichromatic(clients)
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            return engine.query(queries, k=spec.k, t=spec.t)
+        return engine.query_batch(queries, k=spec.k, t=spec.t)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: churn, compaction, persistence
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        """Insert a member point; returns its id.
+
+        Live engines (RDT, the approximate strategies) observe the churn
+        on their own; snapshot engines are rebuilt on their next query.
+        """
+        point_id = self.index.insert(point)
+        self._epoch += 1
+        return point_id
+
+    def remove(self, point_id: int) -> None:
+        """Remove a member point by id (same invalidation as insert)."""
+        self.index.remove(int(point_id))
+        self._epoch += 1
+
+    def compact(self) -> bool:
+        """Pass through to the backend's tombstone compaction, if any.
+
+        Returns ``True`` when the backend compacted, ``False`` when it
+        has nothing to compact (no tombstone mechanism).
+        """
+        compact = getattr(self.index, "compact", None)
+        if compact is None:
+            return False
+        compact()
+        return True
+
+    def save(self, path) -> pathlib.Path:
+        """Persist the service to one ``.npz`` payload.
+
+        Stores the full point matrix (removed rows included, so ids
+        survive), the active mask, and a JSON header with metric,
+        backend/engine names, kwargs, and the default spec.  The backend
+        tree itself is *not* serialized — :meth:`load` rebuilds it with
+        the deterministic bulk build and replays the removals, which
+        round-trips ``query_all`` bit-identically.
+        """
+        from repro import __version__
+
+        metric_meta = {"name": self.metric.name}
+        if hasattr(self.metric, "p"):
+            metric_meta["p"] = float(self.metric.p)
+        meta = {
+            "format_version": SERVICE_FORMAT_VERSION,
+            "library_version": __version__,
+            "backend": self.backend_name,
+            "engine": self.engine_name,
+            "metric": metric_meta,
+            "defaults": asdict(self.defaults),
+            "backend_kwargs": self._backend_kwargs,
+            "engine_kwargs": self._engine_kwargs,
+        }
+        try:
+            header = json.dumps(meta, sort_keys=True)
+        except TypeError as exc:
+            raise TypeError(
+                "backend_kwargs/engine_kwargs must be JSON-serializable "
+                f"to save a Service: {exc}"
+            ) from None
+        path = pathlib.Path(path)
+        with open(path, "wb") as fh:
+            np.savez(
+                fh,
+                points=self.index.points,
+                active=self._active_mask(),
+                meta=np.asarray(header),
+            )
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Service":
+        """Rebuild a service saved by :meth:`save` (see there).
+
+        Replaying removals requires the backend to support ``remove``
+        when the payload contains inactive points.
+        """
+        with np.load(pathlib.Path(path), allow_pickle=False) as payload:
+            points = np.array(payload["points"], dtype=np.float64)
+            active = np.array(payload["active"], dtype=bool)
+            meta = json.loads(str(payload["meta"][()]))
+        version = meta.get("format_version")
+        if version != SERVICE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported Service payload version {version!r} "
+                f"(this build reads version {SERVICE_FORMAT_VERSION})"
+            )
+        metric_meta = dict(meta["metric"])
+        metric = get_metric(metric_meta.pop("name"), **metric_meta)
+        service = cls(
+            points,
+            backend=meta["backend"],
+            engine=meta["engine"],
+            metric=metric,
+            defaults=QuerySpec(**meta["defaults"]),
+            backend_kwargs=meta["backend_kwargs"],
+            engine_kwargs=meta["engine_kwargs"],
+        )
+        for point_id in np.flatnonzero(~active):
+            service.index.remove(int(point_id))
+        if not active.all():
+            service._epoch += 1
+        return service

@@ -67,7 +67,7 @@ class TestSampledEstimator:
         )
         for qi in range(0, len(medium_mixture), 97):
             got = engine.query(query_index=qi, k=7)
-            assert np.array_equal(got.ids, naive.query(query_index=qi))
+            assert np.array_equal(got.ids, naive.query_ids(query_index=qi))
 
     def test_shortlist_is_superset_of_truth(self, index, naive, medium_mixture):
         engine = ApproxRkNN(index, "sampled", sample_size=64, seed=3)
@@ -75,7 +75,7 @@ class TestSampledEstimator:
             query_indices=np.arange(0, len(medium_mixture), 13), k=7
         )
         for qi, result in zip(range(0, len(medium_mixture), 13), results):
-            truth = set(naive.query(query_index=qi).tolist())
+            truth = set(naive.query_ids(query_index=qi).tolist())
             assert truth <= set(result.ids.tolist())
 
     def test_margin_one_never_accepts(self, index):
@@ -128,7 +128,7 @@ class TestLSHFilter:
         engine = ApproxRkNN(index, "lsh", n_tables=4, seed=2)
         results = engine.query_batch(query_indices=np.arange(0, 800, 11), k=7)
         for qi, result in zip(range(0, 800, 11), results):
-            truth = set(naive.query(query_index=qi).tolist())
+            truth = set(naive.query_ids(query_index=qi).tolist())
             assert set(result.ids.tolist()) <= truth
 
     def test_more_tables_never_lose_candidates(self, index):
@@ -182,7 +182,7 @@ class TestCacheInvalidation:
             index.points[index.active_ids()], k=4
         )
         active = index.active_ids()
-        expected = active[naive_after.query(
+        expected = active[naive_after.query_ids(
             query_index=int(np.searchsorted(active, 0))
         )]
         assert 1 not in after.ids

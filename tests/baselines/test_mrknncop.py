@@ -62,7 +62,7 @@ class TestExactness:
     def test_matches_naive_all_k(self, small_gaussian, cop_small, k):
         naive = NaiveRkNN(small_gaussian, k=k)
         for qi in [0, 99, 200, 299]:
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(cop_small.query(query_index=qi, k=k).ids.tolist())
             assert got == expected
 
@@ -70,7 +70,7 @@ class TestExactness:
         cop = MRkNNCoP(medium_mixture[:300], k_max=20)
         naive = NaiveRkNN(medium_mixture[:300], k=10)
         for qi in [0, 150, 299]:
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(cop.query(query_index=qi, k=10).ids.tolist())
             assert got == expected
 
@@ -78,13 +78,13 @@ class TestExactness:
         naive = NaiveRkNN(small_gaussian, k=10)
         q = rng.normal(size=small_gaussian.shape[1])
         assert set(cop_small.query(q, k=10).ids.tolist()) == set(
-            naive.query(q).tolist()
+            naive.query_ids(q).tolist()
         )
 
     def test_lazy_accepts_are_true_hits(self, small_gaussian, cop_small):
         naive = NaiveRkNN(small_gaussian, k=10)
         for qi in [5, 50]:
-            truth = set(naive.query(query_index=qi).tolist())
+            truth = set(naive.query_ids(query_index=qi).tolist())
             result = cop_small.query(query_index=qi, k=10)
             assert set(result.lazy_accepted_ids.tolist()) <= truth
 
@@ -112,6 +112,6 @@ class TestInterface:
     def test_duplicates(self, duplicated_points):
         cop = MRkNNCoP(duplicated_points, k_max=10)
         naive = NaiveRkNN(duplicated_points, k=5)
-        expected = set(naive.query(query_index=0).tolist())
+        expected = set(naive.query_ids(query_index=0).tolist())
         got = set(cop.query(query_index=0, k=5).ids.tolist())
         assert got == expected

@@ -15,7 +15,7 @@ class TestVerifyIndexParameter:
         cover = CoverTreeIndex(small_gaussian)
         naive = NaiveRkNN(small_gaussian, k=10)
         for qi in [0, 123]:
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(
                 cop.query(query_index=qi, k=10, verify_index=cover).ids.tolist()
             )

@@ -15,7 +15,7 @@ class TestDefinition:
         # p0: d(p0,q)=1, d1(p0)=1 (p1 is its NN) -> boundary tie, included.
         # p2: d=2, 1NN dist of p2 is 2 (to p1) -> included (tie).
         # p3: d=6, 1NN dist is 4 -> excluded.
-        assert set(naive.query(query_index=1).tolist()) == {0, 2}
+        assert set(naive.query_ids(query_index=1).tolist()) == {0, 2}
 
     def test_asymmetry_of_rknn(self):
         """A point's kNN and RkNN differ: the classic 1-D counterexample."""
@@ -23,15 +23,15 @@ class TestDefinition:
         naive = NaiveRkNN(points, k=1)
         # p3 (x=6): nearest other is p2; but p2's nearest is p1, so RkNN(p3)
         # is empty while kNN(p3) is not.
-        assert naive.query(query_index=3).size == 0
+        assert naive.query_ids(query_index=3).size == 0
 
     def test_self_never_included(self, small_gaussian, naive_k5):
         for qi in [0, 100, 299]:
-            assert qi not in naive_k5.query(query_index=qi)
+            assert qi not in naive_k5.query_ids(query_index=qi)
 
     def test_external_query(self, small_gaussian, naive_k5, rng):
         q = rng.normal(size=small_gaussian.shape[1])
-        result = naive_k5.query(q)
+        result = naive_k5.query_ids(q)
         dists = np.linalg.norm(small_gaussian - q, axis=1)
         for i in result:
             assert dists[i] <= naive_k5.knn_distances[i] * (1 + 1e-8)
@@ -40,8 +40,8 @@ class TestDefinition:
         """Two isolated mutual NNs are each other's R1NN."""
         points = np.array([[0.0, 0.0], [0.1, 0.0], [50.0, 50.0], [50.2, 50.0]])
         naive = NaiveRkNN(points, k=1)
-        assert set(naive.query(query_index=0).tolist()) == {1}
-        assert set(naive.query(query_index=1).tolist()) == {0}
+        assert set(naive.query_ids(query_index=0).tolist()) == {1}
+        assert set(naive.query_ids(query_index=1).tolist()) == {0}
 
     def test_duplicates_are_mutual_members(self):
         points = np.vstack([np.zeros((3, 2)), np.ones((1, 2)) * 9])
@@ -50,7 +50,7 @@ class TestDefinition:
         # The far point is *equidistant* to all three duplicates, so its
         # 1-NN distance equals its query distance: a boundary tie, included
         # under the library's inclusive convention.
-        assert set(naive.query(query_index=0).tolist()) == {1, 2, 3}
+        assert set(naive.query_ids(query_index=0).tolist()) == {1, 2, 3}
 
 
 class TestResultSizeBounds:
@@ -66,7 +66,7 @@ class TestResultSizeBounds:
         spokes = 10 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
         points = np.vstack([center, spokes])
         naive = NaiveRkNN(points, k=1)
-        assert naive.query(query_index=0).size == 5
+        assert naive.query_ids(query_index=0).size == 5
 
     def test_empty_results_possible(self):
         points = np.array([[0.0], [1.0], [2.5], [6.0]])
@@ -76,9 +76,9 @@ class TestResultSizeBounds:
 class TestInterface:
     def test_requires_one_query_form(self, small_gaussian, naive_k5):
         with pytest.raises(ValueError, match="exactly one"):
-            naive_k5.query(small_gaussian[0], query_index=0)
+            naive_k5.query_ids(small_gaussian[0], query_index=0)
         with pytest.raises(ValueError, match="exactly one"):
-            naive_k5.query()
+            naive_k5.query_ids()
 
     def test_k_validated_against_n(self):
         with pytest.raises(ValueError):
@@ -89,12 +89,12 @@ class TestInterface:
         euclid = NaiveRkNN(tiny_plane, k=3)
         # Different metrics genuinely change the answer somewhere.
         differs = any(
-            set(manhattan.query(query_index=qi).tolist())
-            != set(euclid.query(query_index=qi).tolist())
+            set(manhattan.query_ids(query_index=qi).tolist())
+            != set(euclid.query_ids(query_index=qi).tolist())
             for qi in range(20)
         )
         assert differs
 
     def test_results_sorted_ascending(self, naive_k5):
-        ids = naive_k5.query(query_index=13)
+        ids = naive_k5.query_ids(query_index=13)
         assert np.all(np.diff(ids) > 0)

@@ -15,20 +15,20 @@ def rdnn_small(small_gaussian):
 class TestExactness:
     def test_matches_naive(self, small_gaussian, rdnn_small, naive_k5):
         for qi in range(0, 300, 43):
-            expected = set(naive_k5.query(query_index=qi).tolist())
+            expected = set(naive_k5.query_ids(query_index=qi).tolist())
             got = set(rdnn_small.query(query_index=qi).ids.tolist())
             assert got == expected
 
     def test_external_queries(self, small_gaussian, rdnn_small, naive_k5, rng):
         q = rng.normal(size=small_gaussian.shape[1])
         assert set(rdnn_small.query(q).ids.tolist()) == set(
-            naive_k5.query(q).tolist()
+            naive_k5.query_ids(q).tolist()
         )
 
     def test_clustered_data(self, medium_mixture, naive_k10_mixture):
         rdnn = RdNN(RdNNTreeIndex(medium_mixture, k=10))
         for qi in [0, 400, 799]:
-            expected = set(naive_k10_mixture.query(query_index=qi).tolist())
+            expected = set(naive_k10_mixture.query_ids(query_index=qi).tolist())
             got = set(rdnn.query(query_index=qi).ids.tolist())
             assert got == expected
 

@@ -17,7 +17,7 @@ class TestPrecision:
     def test_never_false_positives(self, sft_mixture, naive_k10_mixture):
         """Count range queries verify every reported point: precision 1."""
         for qi in range(0, 800, 100):
-            truth = naive_k10_mixture.query(query_index=qi)
+            truth = naive_k10_mixture.query_ids(query_index=qi)
             for alpha in (1.0, 2.0, 8.0):
                 got = sft_mixture.query(query_index=qi, k=10, alpha=alpha).ids
                 assert precision(truth, got) == 1.0
@@ -29,7 +29,7 @@ class TestRecall:
         for alpha in (1.0, 4.0, 16.0):
             values = [
                 recall(
-                    naive_k10_mixture.query(query_index=qi),
+                    naive_k10_mixture.query_ids(query_index=qi),
                     sft_mixture.query(query_index=qi, k=10, alpha=alpha).ids,
                 )
                 for qi in range(0, 800, 100)
@@ -41,7 +41,7 @@ class TestRecall:
         """alpha*k >= n degenerates to an exact method."""
         sft = SFT(LinearScanIndex(small_gaussian))
         for qi in [0, 123, 299]:
-            truth = set(naive_k5.query(query_index=qi).tolist())
+            truth = set(naive_k5.query_ids(query_index=qi).tolist())
             got = set(
                 sft.query(query_index=qi, k=5, alpha=len(small_gaussian)).ids.tolist()
             )
@@ -52,7 +52,7 @@ class TestRecall:
     ):
         """SFT's misses are exactly the members outside the alpha*k pool."""
         qi, alpha, k = 40, 2.0, 10
-        truth = set(naive_k10_mixture.query(query_index=qi).tolist())
+        truth = set(naive_k10_mixture.query_ids(query_index=qi).tolist())
         got = set(sft_mixture.query(query_index=qi, k=k, alpha=alpha).ids.tolist())
         pool = int(np.ceil(alpha * k))
         dists = np.linalg.norm(medium_mixture - medium_mixture[qi], axis=1)
@@ -75,7 +75,7 @@ class TestInterface:
         q = rng.normal(size=medium_mixture.shape[1])
         result = sft_mixture.query(q, k=5, alpha=8.0)
         naive = NaiveRkNN(medium_mixture, k=5)
-        assert precision(naive.query(q), result.ids) == 1.0
+        assert precision(naive.query_ids(q), result.ids) == 1.0
 
     def test_stats_populated(self, sft_mixture):
         result = sft_mixture.query(query_index=0, k=10, alpha=4.0)
@@ -86,6 +86,6 @@ class TestInterface:
     def test_tree_backend(self, medium_mixture, naive_k10_mixture):
         sft = SFT(CoverTreeIndex(medium_mixture[:300]))
         naive = NaiveRkNN(medium_mixture[:300], k=5)
-        truth = naive.query(query_index=10)
+        truth = naive.query_ids(query_index=10)
         got = sft.query(query_index=10, k=5, alpha=60.0).ids
         assert recall(truth, got) == 1.0 and precision(truth, got) == 1.0

@@ -18,7 +18,7 @@ class TestExactness:
     def test_matches_naive(self, small_gaussian, tpl_small, k):
         naive = NaiveRkNN(small_gaussian, k=k)
         for qi in [0, 77, 299]:
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(tpl_small.query(query_index=qi, k=k).ids.tolist())
             assert got == expected
 
@@ -26,7 +26,7 @@ class TestExactness:
         tpl = TPL(RStarTreeIndex(tiny_plane, capacity=8))
         naive = NaiveRkNN(tiny_plane, k=3)
         for qi in range(0, 60, 12):
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(tpl.query(query_index=qi, k=3).ids.tolist())
             assert got == expected
 
@@ -34,13 +34,13 @@ class TestExactness:
         naive = NaiveRkNN(small_gaussian, k=5)
         q = rng.normal(size=small_gaussian.shape[1])
         assert set(tpl_small.query(q, k=5).ids.tolist()) == set(
-            naive.query(q).tolist()
+            naive.query_ids(q).tolist()
         )
 
     def test_duplicates(self, duplicated_points):
         tpl = TPL(RStarTreeIndex(duplicated_points, capacity=8))
         naive = NaiveRkNN(duplicated_points, k=4)
-        expected = set(naive.query(query_index=7).tolist())
+        expected = set(naive.query_ids(query_index=7).tolist())
         got = set(tpl.query(query_index=7, k=4).ids.tolist())
         assert got == expected
 
@@ -49,7 +49,7 @@ class TestExactness:
         tpl = TPL(RStarTreeIndex(tiny_plane, metric=metric, capacity=8))
         naive = NaiveRkNN(tiny_plane, k=3, metric="manhattan")
         for qi in [0, 30, 59]:
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(tpl.query(query_index=qi, k=3).ids.tolist())
             assert got == expected
 
@@ -63,7 +63,7 @@ class TestPruningBehaviour:
 
     def test_trim_size_controls_cost_not_correctness(self, small_gaussian):
         naive = NaiveRkNN(small_gaussian, k=5)
-        expected = set(naive.query(query_index=11).tolist())
+        expected = set(naive.query_ids(query_index=11).tolist())
         for trim in (1, 5, 100):
             tpl = TPL(RStarTreeIndex(small_gaussian), trim_size=trim)
             got = set(tpl.query(query_index=11, k=5).ids.tolist())

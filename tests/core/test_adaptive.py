@@ -14,7 +14,7 @@ class TestAdaptiveQueries:
         adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture))
         values = []
         for qi in range(0, 800, 100):
-            truth = naive_k10_mixture.query(query_index=qi)
+            truth = naive_k10_mixture.query_ids(query_index=qi)
             got = adaptive.query(query_index=qi, k=10).ids
             values.append(recall(truth, got))
         assert np.mean(values) >= 0.9
@@ -22,7 +22,7 @@ class TestAdaptiveQueries:
     def test_no_false_positives(self, medium_mixture, naive_k10_mixture):
         adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture))
         for qi in range(0, 800, 200):
-            truth = naive_k10_mixture.query(query_index=qi)
+            truth = naive_k10_mixture.query_ids(query_index=qi)
             got = adaptive.query(query_index=qi, k=10).ids
             assert precision(truth, got) == 1.0
 
@@ -61,6 +61,33 @@ class TestAdaptiveValidation:
         adaptive = AdaptiveRDT(LinearScanIndex(small_gaussian))
         with pytest.raises(ValueError, match="exactly one"):
             adaptive.query(small_gaussian[0], query_index=0, k=5)
+
+
+class TestAdaptiveBatchEntryPoints:
+    """The adaptive recursion has no vectorized form: batched entry
+    points must loop query() (not inherit RDT's fixed-t batch kernel),
+    so batch decisions equal looped ones — the protocol's contract."""
+
+    def test_not_advertised_as_natively_batched(self):
+        assert AdaptiveRDT.supports_batch is False
+
+    def test_batch_decisions_equal_looped(self, medium_mixture):
+        adaptive = AdaptiveRDT(LinearScanIndex(medium_mixture))
+        queries = list(range(0, 800, 160))
+        batch = adaptive.query_batch(query_indices=queries, k=10)
+        for qi, batched in zip(queries, batch):
+            looped = adaptive.query(query_index=qi, k=10)
+            assert np.array_equal(batched.ids, looped.ids)
+            assert batched.t == looped.t  # per-query re-estimated scale
+
+    def test_query_all_uses_adaptive_path(self, small_gaussian):
+        adaptive = AdaptiveRDT(LinearScanIndex(small_gaussian))
+        results = adaptive.query_all(k=5)
+        assert set(results) == set(range(len(small_gaussian)))
+        probe = next(iter(results))
+        assert np.array_equal(
+            results[probe].ids, adaptive.query(query_index=probe, k=5).ids
+        )
 
 
 class TestAdaptiveVsFixedCost:

@@ -276,5 +276,5 @@ class TestCorrectnessAgainstTruth:
         query_indices = np.arange(0, 300, 23)
         batch = rdt.query_batch(query_indices=query_indices, k=5, t=200.0)
         for qi, result in zip(query_indices, batch):
-            expected = naive_k5.query(query_index=int(qi))
+            expected = naive_k5.query_ids(query_index=int(qi))
             assert np.array_equal(result.ids, expected)

@@ -28,7 +28,7 @@ class TestExactnessAtHugeT:
         index = build_index(index_name, small_gaussian)
         rdt = RDT(index)
         for qi in [0, 50, 150, 299]:
-            expected = set(naive_k5.query(query_index=qi).tolist())
+            expected = set(naive_k5.query_ids(query_index=qi).tolist())
             got = set(rdt.query(query_index=qi, k=5, t=100.0).ids.tolist())
             assert got == expected, f"{index_name} query {qi}"
 
@@ -37,14 +37,14 @@ class TestExactnessAtHugeT:
         naive = NaiveRkNN(small_gaussian, k=k)
         rdt = RDT(LinearScanIndex(small_gaussian))
         for qi in [7, 123]:
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(rdt.query(query_index=qi, k=k, t=100.0).ids.tolist())
             assert got == expected
 
     def test_clustered_data(self, medium_mixture, naive_k10_mixture):
         rdt = RDT(LinearScanIndex(medium_mixture))
         for qi in range(0, 800, 160):
-            expected = set(naive_k10_mixture.query(query_index=qi).tolist())
+            expected = set(naive_k10_mixture.query_ids(query_index=qi).tolist())
             got = set(rdt.query(query_index=qi, k=10, t=100.0).ids.tolist())
             assert got == expected
 
@@ -54,7 +54,7 @@ class TestTheorem1:
         t_star = theorem1_scale(small_gaussian, k=5)
         rdt = RDT(LinearScanIndex(small_gaussian))
         for qi in range(0, 300, 30):
-            expected = set(naive_k5.query(query_index=qi).tolist())
+            expected = set(naive_k5.query_ids(query_index=qi).tolist())
             got = set(rdt.query(query_index=qi, k=5, t=t_star).ids.tolist())
             assert got == expected
 
@@ -62,7 +62,7 @@ class TestTheorem1:
         """Theorem 1's distance guarantee, checked per query at small t."""
         rdt = RDT(LinearScanIndex(medium_mixture))
         for qi in range(0, 800, 80):
-            truth = naive_k10_mixture.query(query_index=qi)
+            truth = naive_k10_mixture.query_ids(query_index=qi)
             result = rdt.query(query_index=qi, k=10, t=2.0)
             missed = np.setdiff1d(truth, result.ids)
             dists = np.linalg.norm(medium_mixture - medium_mixture[qi], axis=1)
@@ -79,7 +79,7 @@ class TestTheorem1:
         rdt = RDT(LinearScanIndex(points))
         qi = int(rng.integers(0, len(points)))
         t_star = theorem1_scale(points, k=k)
-        expected = set(naive.query(query_index=qi).tolist())
+        expected = set(naive.query_ids(query_index=qi).tolist())
         got = set(rdt.query(query_index=qi, k=k, t=max(t_star, 1.0)).ids.tolist())
         assert got == expected
 
@@ -98,7 +98,7 @@ class TestPrecision:
         """Assertions 1-2 and verification are exact for plain RDT."""
         rdt = RDT(LinearScanIndex(medium_mixture))
         for qi in range(0, 800, 50):
-            truth = naive_k10_mixture.query(query_index=qi)
+            truth = naive_k10_mixture.query_ids(query_index=qi)
             for t in (1.5, 3.0, 6.0):
                 got = rdt.query(query_index=qi, k=10, t=t).ids
                 assert precision(truth, got) == 1.0
@@ -107,7 +107,7 @@ class TestPrecision:
         """Assertion 2: lazily accepted points need no verification."""
         rdt = RDT(LinearScanIndex(medium_mixture))
         for qi in range(0, 800, 100):
-            truth = set(naive_k10_mixture.query(query_index=qi).tolist())
+            truth = set(naive_k10_mixture.query_ids(query_index=qi).tolist())
             result = rdt.query(query_index=qi, k=10, t=6.0)
             assert set(result.lazy_accepted_ids.tolist()) <= truth
 
@@ -119,7 +119,7 @@ class TestAccuracyMonotonicity:
         for t in (1.0, 2.0, 4.0, 8.0, 16.0):
             values = []
             for qi in range(0, 800, 100):
-                truth = naive_k10_mixture.query(query_index=qi)
+                truth = naive_k10_mixture.query_ids(query_index=qi)
                 got = rdt.query(query_index=qi, k=10, t=t).ids
                 values.append(recall(truth, got))
             recalls.append(float(np.mean(values)))
@@ -140,7 +140,7 @@ class TestRdtPlus:
         index = LinearScanIndex(medium_mixture)
         rdt, rdtp = RDT(index), RDT(index, variant="rdt+")
         for qi in range(0, 800, 200):
-            truth = naive_k10_mixture.query(query_index=qi)
+            truth = naive_k10_mixture.query_ids(query_index=qi)
             r1 = recall(truth, rdt.query(query_index=qi, k=10, t=6.0).ids)
             r2 = recall(truth, rdtp.query(query_index=qi, k=10, t=6.0).ids)
             assert r2 >= r1 - 0.25  # reduction may cost a little recall
@@ -154,7 +154,7 @@ class TestRdtPlus:
         """RDT+ may add false positives but never loses recall at full scan."""
         rdtp = RDT(LinearScanIndex(medium_mixture), variant="rdt+")
         for qi in [0, 400]:
-            truth = naive_k10_mixture.query(query_index=qi)
+            truth = naive_k10_mixture.query_ids(query_index=qi)
             got = rdtp.query(query_index=qi, k=10, t=100.0).ids
             assert recall(truth, got) == 1.0
 
@@ -168,7 +168,7 @@ class TestRdtPlus:
         rdtp = RDT(LinearScanIndex(medium_mixture), variant="rdt+")
         found_fp = False
         for qi in range(0, 800, 40):
-            truth = set(naive_k10_mixture.query(query_index=qi).tolist())
+            truth = set(naive_k10_mixture.query_ids(query_index=qi).tolist())
             result = rdtp.query(query_index=qi, k=10, t=8.0)
             false_positives = set(result.ids.tolist()) - truth
             if false_positives:
@@ -222,7 +222,7 @@ class TestQueryInterface:
         rdt = RDT(LinearScanIndex(small_gaussian))
         got = set(rdt.query(q, k=5, t=100.0).ids.tolist())
         naive = NaiveRkNN(small_gaussian, k=5)
-        expected = set(naive.query(q).tolist())
+        expected = set(naive.query_ids(q).tolist())
         assert got == expected
 
     def test_requires_exactly_one_query_form(self, small_gaussian):
@@ -245,7 +245,7 @@ class TestTieHandling:
         naive = NaiveRkNN(duplicated_points, k=4)
         rdt = RDT(LinearScanIndex(duplicated_points))
         for qi in [0, 33, 77]:
-            expected = set(naive.query(query_index=qi).tolist())
+            expected = set(naive.query_ids(query_index=qi).tolist())
             got = set(rdt.query(query_index=qi, k=4, t=100.0).ids.tolist())
             assert got == expected
 
@@ -254,7 +254,7 @@ class TestTieHandling:
         points = np.vstack([np.zeros((3, 2)), np.ones((5, 2)), np.eye(2) * 3.0])
         naive = NaiveRkNN(points, k=3)
         rdt = RDT(LinearScanIndex(points))
-        expected = set(naive.query(query_index=0).tolist())
+        expected = set(naive.query_ids(query_index=0).tolist())
         got = set(rdt.query(query_index=0, k=3, t=100.0).ids.tolist())
         assert got == expected
 
@@ -273,5 +273,5 @@ class TestDynamicIndexIntegration:
         after = rdt.query(query_index=0, k=5, t=100.0)
         all_points = np.vstack([points, new_rows])
         naive = NaiveRkNN(all_points, k=5)
-        assert set(after.ids.tolist()) == set(naive.query(query_index=0).tolist())
+        assert set(after.ids.tolist()) == set(naive.query_ids(query_index=0).tolist())
         assert set(after.ids.tolist()) != set(before.ids.tolist())

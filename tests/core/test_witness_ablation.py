@@ -27,7 +27,7 @@ class TestSameAnswers:
     def test_exact_at_huge_t(self, pair, naive_k10_mixture):
         _, without_w = pair
         for qi in [0, 400]:
-            expected = set(naive_k10_mixture.query(query_index=qi).tolist())
+            expected = set(naive_k10_mixture.query_ids(query_index=qi).tolist())
             got = set(without_w.query(query_index=qi, k=10, t=100.0).ids.tolist())
             assert got == expected
 

@@ -47,7 +47,7 @@ class TestGroundTruth:
     def test_answers_match_naive(self, small_gaussian, naive_k5):
         truth = GroundTruth(small_gaussian)
         for qi in [0, 12, 299]:
-            assert np.array_equal(truth.answer(qi, 5), naive_k5.query(query_index=qi))
+            assert np.array_equal(truth.answer(qi, 5), naive_k5.query_ids(query_index=qi))
 
     def test_caching_returns_same_object(self, small_gaussian):
         truth = GroundTruth(small_gaussian)
@@ -80,7 +80,7 @@ class TestRunner:
         truth = GroundTruth(small_gaussian)
         run = run_method(
             "naive",
-            lambda qi: naive_k5.query(query_index=qi),
+            lambda qi: naive_k5.query_ids(query_index=qi),
             [0, 1],
             truth,
             k=5,

@@ -59,6 +59,6 @@ class TestWithRDT:
 
         rdt = RDT(BallTreeIndex(small_gaussian))
         for qi in [0, 150, 299]:
-            expected = set(naive_k5.query(query_index=qi).tolist())
+            expected = set(naive_k5.query_ids(query_index=qi).tolist())
             got = set(rdt.query(query_index=qi, k=5, t=100.0).ids.tolist())
             assert got == expected

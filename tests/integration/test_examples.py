@@ -34,6 +34,7 @@ def test_examples_directory_populated():
     names = {path.stem for path in ALL_EXAMPLES}
     assert {
         "quickstart",
+        "service_quickstart",
         "outlier_detection",
         "hubness_analysis",
         "streaming_updates",
@@ -52,6 +53,21 @@ def test_quickstart_runs():
     stdout = _run_example("quickstart.py")
     assert "RDT+" in stdout
     assert "recall=1.00" in stdout
+
+
+def test_service_quickstart_runs_tiny():
+    stdout = _run_example(
+        "service_quickstart.py", "--n", "400", "--dim", "4", "--k", "5",
+    )
+    # The documented walkthrough: facade repr, the three query modes, the
+    # engine swap's recall guarantee, churn, and the save/load invariant.
+    assert "Service(engine='rdt+', backend='kd-tree'" in stdout
+    assert "query(42):" in stdout
+    assert "query_batch(64 queries" in stdout
+    assert "query_all: self-join over 400 points" in stdout
+    assert "misses none by construction: True" in stdout
+    assert "inserted id 400" in stdout
+    assert "round-trip identical over" in stdout and ": True" in stdout
 
 
 def test_streaming_updates_runs_tiny():

@@ -12,7 +12,7 @@ class TestJoinCorrectness:
     def test_matches_naive_at_large_t(self, small_gaussian, naive_k5):
         join = rknn_self_join(LinearScanIndex(small_gaussian), k=5, t=100.0)
         for qi in range(0, 300, 37):
-            expected = naive_k5.query(query_index=qi)
+            expected = naive_k5.query_ids(query_index=qi)
             assert np.array_equal(join.neighborhoods[qi], expected)
 
     def test_covers_all_active_points(self, small_gaussian):

@@ -34,7 +34,7 @@ class TestOdinScores:
         scores = odin_scores(LinearScanIndex(data), k=8, t=100.0)
         naive = NaiveRkNN(data, k=8)
         for qi in [0, 100, 405]:
-            assert scores[qi] == len(naive.query(query_index=qi))
+            assert scores[qi] == len(naive.query_ids(query_index=qi))
 
 
 class TestOdinOutliers:
@@ -72,7 +72,7 @@ class TestInfluenceSet:
         index = LinearScanIndex(data)
         naive = NaiveRkNN(data, k=8)
         got = influence_set(index, point_id=7, k=8, t=100.0)
-        assert np.array_equal(got, naive.query(query_index=7))
+        assert np.array_equal(got, naive.query_ids(query_index=7))
 
     def test_isolated_point_influences_nothing(self, contaminated):
         data, _ = contaminated

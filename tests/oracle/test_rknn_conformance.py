@@ -33,11 +33,14 @@ import pytest
 
 from repro.approx import ApproxRkNN
 from repro.baselines import NaiveRkNN
-from repro.core import RDT
+from repro.core import RDT, RkNNEngine
+from repro.core.result import RkNNResult
+from repro.engines import ENGINE_REGISTRY
 from repro.evaluation.metrics import precision as precision_metric
 from repro.evaluation.metrics import recall as recall_metric
 from repro.evaluation.precompute import INSERT_PATH_FLAGS
 from repro.indexes import INDEX_REGISTRY, build_index
+from repro.service import QuerySpec, Service
 
 #: Scale parameter in the provably exhaustive regime (see module docstring).
 T_EXACT = 1e30
@@ -130,7 +133,7 @@ def _workload(name):
         naive = NaiveRkNN(data[active], k=K)
         truth = {
             int(active[local]): set(
-                active[naive.query(query_index=local)].tolist()
+                active[naive.query_ids(query_index=local)].tolist()
             )
             for local in range(active.shape[0])
         }
@@ -197,6 +200,107 @@ def test_sampled_strategy_has_exact_recall(workload_name):
     results = engine.query_all(k=K)
     for point_id, result in results.items():
         assert recall_metric(truth[point_id], result.ids) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Registry-wide engine conformance, driven through the Service facade
+# ----------------------------------------------------------------------
+
+#: What each guarantee flag lets the oracle assert against the exact
+#: reference set (every comparison in the exhaustive-t regime).
+_GUARANTEE_CHECKS = {
+    "exact": "equal",
+    "scale-exact": "equal",      # t = T_EXACT dominates any expansion dim
+    "scale-recall": "superset",  # RDT+ may lose precision, never recall
+    "recall": "superset",
+    "precision": "subset",
+    "heuristic": "contract-only",
+}
+
+#: Every monochromatic registry engine is swept; the bichromatic engine
+#: has no member self-join and gets its own contract test below.
+ENGINE_ROSTER = sorted(name for name in ENGINE_REGISTRY if name != "bichromatic")
+
+#: Workloads for the engine sweep: the plain shape, the tie-heavy shape,
+#: and the churn shape (which additionally exercises the Service's id
+#: translation for snapshot engines).
+ENGINE_WORKLOADS = ("gaussian", "exact-duplicates", "post-removal-churn")
+
+
+def _service_for(engine_name, workload_name):
+    data, remove_ids, active, truth = _workload(workload_name)
+    service = Service(
+        data,
+        backend="kd",
+        engine=engine_name,
+        defaults=QuerySpec(k=K, t=T_EXACT),
+    )
+    for point_id in remove_ids:
+        service.remove(int(point_id))
+    return service, active, truth
+
+
+def _assert_result_contract(result, query_id, k):
+    """The protocol's result contract, engine-independent."""
+    assert isinstance(result, RkNNResult)
+    ids = result.ids
+    assert ids.dtype == np.intp
+    assert np.all(np.diff(ids) > 0), "ids must be strictly ascending"
+    assert query_id not in ids.tolist(), "a member is never its own answer"
+    assert result.k == k
+    assert result.stats.terminated_by != "unknown"
+
+
+@pytest.mark.parametrize("workload_name", ENGINE_WORKLOADS)
+@pytest.mark.parametrize("engine_name", ENGINE_ROSTER)
+def test_engine_registry_conforms_to_oracle(engine_name, workload_name):
+    """Every registry engine, built and queried through the Service
+    facade, must honor both the protocol's result contract and whatever
+    set relation its ``guarantee`` flag claims against brute force."""
+    service, active, truth = _service_for(engine_name, workload_name)
+    engine = service.engine()
+    assert isinstance(engine, RkNNEngine)
+    assert engine.engine_name == engine_name
+    check = _GUARANTEE_CHECKS[engine.guarantee]
+
+    results = service.query_all()
+    assert set(results) == {int(i) for i in active}
+    for point_id, result in results.items():
+        _assert_result_contract(result, point_id, K)
+        got = set(result.ids.tolist())
+        assert got <= {int(i) for i in active}, "answers must be live ids"
+        label = (
+            f"{engine_name} ({check}) vs brute force, workload "
+            f"{workload_name!r}, query {point_id}"
+        )
+        if check == "equal":
+            assert got == truth[point_id], label
+        elif check == "superset":
+            assert truth[point_id] <= got, label
+        elif check == "subset":
+            assert got <= truth[point_id], label
+
+
+def test_bichromatic_contract_through_service():
+    """The bichromatic engine answers raw service locations only, through
+    Service.query_bichromatic, and matches its brute-force reference."""
+    from repro.core import bichromatic_brute_force
+
+    rng = np.random.default_rng(11)
+    services = rng.normal(size=(80, 3))
+    clients = rng.normal(size=(60, 3))
+    queries = rng.normal(size=(5, 3))
+    service = Service(
+        services, backend="kd", defaults=QuerySpec(k=3, t=T_EXACT)
+    )
+    results = service.query_bichromatic(queries, clients)
+    assert len(results) == queries.shape[0]
+    for row, result in enumerate(results):
+        assert isinstance(result, RkNNResult)
+        expected = bichromatic_brute_force(clients, services, queries[row], k=3)
+        assert np.array_equal(result.ids, expected)
+    single = service.query_bichromatic(queries[0], clients)
+    assert np.array_equal(single.ids, results[0].ids)
 
 
 @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
