@@ -16,7 +16,11 @@ The top-level namespace re-exports the public API:
 * the competing methods (:mod:`repro.baselines`);
 * intrinsic-dimensionality estimators (:mod:`repro.lid`);
 * dataset generators and paper stand-ins (:mod:`repro.datasets`);
-* the evaluation harness (:mod:`repro.evaluation`).
+* the evaluation harness (:mod:`repro.evaluation`);
+* the concurrent serving layer (:mod:`repro.serving`): a micro-batching
+  :class:`~repro.serving.QueryCoalescer`, an epoch-keyed
+  :class:`~repro.serving.ResultCache`, and the open-loop load generator
+  :func:`~repro.serving.run_open_loop`.
 
 Quickstart::
 
@@ -107,6 +111,7 @@ from repro.evaluation import (
     run_tradeoff,
     run_tradeoff_batched,
 )
+from repro.serving import QueryCoalescer, ResultCache, run_open_loop
 from repro.mining import (
     hubness_counts,
     hubness_skewness,
@@ -196,6 +201,10 @@ __all__ = [
     "run_tradeoff_batched",
     "index_builders",
     "measure_precompute",
+    # serving
+    "QueryCoalescer",
+    "ResultCache",
+    "run_open_loop",
     # mining applications
     "rknn_self_join",
     "odin_scores",

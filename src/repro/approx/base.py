@@ -25,9 +25,10 @@ mode (DESIGN.md "Approximate search"):
   candidates it accepts without verification.
 
 Strategies cache index-derived structure (hash tables, sampled distance
-tables) and rebuild it automatically when the index's active id set
-changes, so dynamic insert/remove workloads stay correct without manual
-invalidation.
+tables) and rebuild it automatically when the index's
+:attr:`~repro.indexes.base.Index.version` moves past the version the
+cache was built at, so dynamic insert/remove workloads stay correct
+without manual invalidation.
 """
 
 from __future__ import annotations
@@ -76,7 +77,7 @@ class ApproxStrategy:
 
     def __init__(self, index: Index) -> None:
         self.index = index
-        self._active_snapshot: np.ndarray | None = None
+        self._built_version: int | None = None
 
     # ------------------------------------------------------------------
     # Strategy interface
@@ -101,19 +102,21 @@ class ApproxStrategy:
     # Shared cache invalidation
     # ------------------------------------------------------------------
     def ensure_current(self) -> None:
-        """Rebuild cached structure iff the index's active set changed.
+        """Rebuild cached structure iff the index churned since the build.
 
-        The comparison is exact (the active id array itself is the
-        signature): ids are never reused, so any insert, remove, or
-        remove+insert churn changes the array and triggers a rebuild.
+        The signature is the index :attr:`~repro.indexes.base.Index.version`
+        — every insert, remove, and compaction bumps it, so an O(1)
+        integer compare replaces the historical whole-array comparison of
+        active id sets.  (Compaction does not change the active set, so
+        the version test rebuilds slightly more eagerly than the array
+        test did; strategies only derive state from active points, so
+        the extra rebuild is merely conservative.)
         """
-        active = self.index.active_ids()
-        if self._active_snapshot is not None and np.array_equal(
-            active, self._active_snapshot
-        ):
+        version = self.index.version
+        if self._built_version == version:
             return
-        self._rebuild(active)
-        self._active_snapshot = active
+        self._rebuild(self.index.active_ids())
+        self._built_version = version
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(index={self.index!r})"

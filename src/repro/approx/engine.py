@@ -79,6 +79,7 @@ class ApproxRkNN(EngineBase):
         else:
             self.strategy = build_strategy(strategy, index, **strategy_kwargs)
         self.index = index
+        self.built_at_version = index.version
         # Protocol identity: the registry names the strategies apart, and
         # each strategy determines which side of the answer is guaranteed
         # (DESIGN.md "Approximate search"): the sampled estimator's

@@ -27,6 +27,7 @@ neighborhood size; the constructor's ``k`` merely selects the default.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -54,16 +55,28 @@ class NaiveRkNN(EngineBase):
         self.k = check_k(k, n=n - 1, name="k")
         self.metric = get_metric(metric)
         self._tables: dict[int, np.ndarray] = {}
+        self._tables_lock = threading.Lock()
         # Build the default-k table eagerly: the common single-k uses pay
         # the O(n^2) cost at construction, where callers expect it.
         self._table(self.k)
 
     def _table(self, k: int) -> np.ndarray:
-        """The k-th NN distance of every point over ``S \\ {x}``, cached."""
-        if k not in self._tables:
+        """The k-th NN distance of every point over ``S \\ {x}``, cached.
+
+        Build-once under concurrent callers: the lock-free hit path
+        serves the common case, and a double-checked lock makes the
+        O(n^2) fill happen exactly once per ``k`` instead of once per
+        racing thread.
+        """
+        table = self._tables.get(k)
+        if table is None:
             check_k(k, n=self.points.shape[0] - 1, name="k")
-            self._tables[k] = bulk_knn_distances(self.points, k, metric=self.metric)
-        return self._tables[k]
+            with self._tables_lock:
+                table = self._tables.get(k)
+                if table is None:
+                    table = bulk_knn_distances(self.points, k, metric=self.metric)
+                    self._tables[k] = table
+        return table
 
     @property
     def knn_distances(self) -> np.ndarray:

@@ -38,6 +38,7 @@ class RdNN(EngineBase):
                 f"RdNN requires an RdNNTreeIndex, got {type(index).__name__}"
             )
         self.index = index
+        self.built_at_version = index.version
 
     def query(
         self, query=None, *, query_index: int | None = None, k: int | None = None

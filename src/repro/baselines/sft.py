@@ -48,6 +48,7 @@ class SFT(EngineBase):
 
     def __init__(self, index: Index) -> None:
         self.index = index
+        self.built_at_version = index.version
 
     def __repr__(self) -> str:
         return f"SFT(index={self.index!r})"

@@ -61,6 +61,7 @@ class TPL(EngineBase):
                 f"MBR hierarchies), got {type(index).__name__}"
             )
         self.index = index
+        self.built_at_version = index.version
         #: maximum number of candidates tested per node (k-trim stand-in);
         #: None derives ``4 * k`` at query time.
         self.trim_size = trim_size

@@ -163,6 +163,20 @@ class BichromaticRDT(EngineBase):
             )
         self.clients = client_index
         self.services = service_index
+        self._built_versions = (client_index.version, service_index.version)
+
+    def is_stale(self, index=None) -> bool:
+        """Stale when *either* color has churned past construction.
+
+        With an explicit ``index`` the base single-index comparison
+        applies (the caller knows which color it is asking about).
+        """
+        if index is not None:
+            return super().is_stale(index)
+        return (
+            self.clients.version,
+            self.services.version,
+        ) != self._built_versions
 
     def __repr__(self) -> str:
         return (

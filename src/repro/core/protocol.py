@@ -52,6 +52,17 @@ checks:
     Engines built from a data snapshot (``"naive"``, ``"mrknncop"``,
     ``"rdnn"``) answer stale results after churn; the
     :class:`repro.Service` facade rebuilds them automatically.
+    Live-reading engines carry the opposite hazard under concurrency:
+    a query racing a writer reads the index *mid-mutation* (a torn
+    read), so a concurrency layer must run them over frozen
+    :meth:`~repro.indexes.base.Index.snapshot` views instead.
+
+**Versioning.**  Every engine records :attr:`~EngineBase.built_at_version`
+— the backing index's :attr:`~repro.indexes.base.Index.version` at
+construction — and answers :meth:`~EngineBase.is_stale`, the one
+staleness predicate the drivers consult.  This replaces the historical
+per-engine ad-hoc checks (the approx strategies compared whole active-id
+arrays; the Service counted churn events).
 """
 
 from __future__ import annotations
@@ -102,6 +113,10 @@ class RkNNEngine(Protocol):
     query_knobs: tuple[str, ...]
     guarantee: str
     reads_index_live: bool
+    built_at_version: int | None
+
+    def is_stale(self, index=None) -> bool:
+        ...
 
     def query(self, query=None, *, query_index=None, k=None, **knobs) -> RkNNResult:
         ...
@@ -137,6 +152,31 @@ class EngineBase:
     batch_knobs: tuple[str, ...] = ()
     guarantee: str = "heuristic"
     reads_index_live: bool = True
+    #: The backing index's :attr:`~repro.indexes.base.Index.version` at
+    #: the time this engine's derived state was built.  Index-backed
+    #: engines bind it in their constructor; data-snapshot engines have
+    #: no index to read and leave it ``None`` until an owner (e.g.
+    #: :class:`repro.Service`) stamps it.
+    built_at_version: int | None = None
+
+    def is_stale(self, index=None) -> bool:
+        """Whether ``index`` has churned past :attr:`built_at_version`.
+
+        With no argument, checks the engine's own ``self.index``.  An
+        engine with no bound index or no recorded version is never
+        reported stale — the owner that built it from raw data is
+        responsible for stamping :attr:`built_at_version` if it wants
+        this predicate to fire.  Note the meaning differs by family:
+        for ``reads_index_live`` engines staleness marks *derived state*
+        (caches, estimates) as outdated while queries still see fresh
+        data; for snapshot engines it means the answers themselves
+        reflect an older epoch.
+        """
+        if index is None:
+            index = getattr(self, "index", None)
+        if index is None or self.built_at_version is None:
+            return False
+        return int(index.version) != int(self.built_at_version)
 
     def member_ids(self) -> np.ndarray:
         """Ids of the member points ``query_all`` should enumerate."""

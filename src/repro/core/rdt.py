@@ -149,6 +149,7 @@ class RDT(EngineBase):
                 "use_witnesses=False only applies to the plain RDT variant"
             )
         self.index = index
+        self.built_at_version = index.version
         self.variant = variant
         self.conservative = bool(conservative)
         self.use_witnesses = bool(use_witnesses)

@@ -308,10 +308,16 @@ def create_engine(
         raise ValueError(
             f"unknown engine {name!r}; known: {sorted(ENGINE_REGISTRY)}"
         ) from None
-    return spec.factory(
+    engine = spec.factory(
         data,
         metric=metric,
         backend=backend,
         backend_kwargs=backend_kwargs,
         **kwargs,
     )
+    if engine.built_at_version is None and isinstance(data, Index):
+        # Data-snapshot engines (naive/mrknncop) read rows out of the
+        # index but never hold it, so their constructors cannot bind the
+        # version; stamp it here so is_stale(index) works for them too.
+        engine.built_at_version = data.version
+    return engine

@@ -139,7 +139,7 @@ class BallTreeIndex(Index):
             key, item = queue.pop()
             if isinstance(item, _Node):
                 if item.is_leaf:
-                    ids = [i for i in item.point_ids if self._active[i]]
+                    ids = self._live_list(item.point_ids)
                     if ids:
                         dists = self.metric.to_point(
                             self._points[np.asarray(ids, dtype=np.intp)], query
@@ -192,9 +192,7 @@ class BallTreeIndex(Index):
         if rows.shape[0] == 0:
             return
         if node.is_leaf:
-            ids = np.asarray(
-                [i for i in node.point_ids if self._active[i]], dtype=np.intp
-            )
+            ids = np.asarray(self._live_list(node.point_ids), dtype=np.intp)
             if ids.shape[0]:
                 cand = self.metric.pairwise(queries[rows], self._points[ids])
                 mask_excluded(cand, ids, exclude[rows])
@@ -222,7 +220,7 @@ class BallTreeIndex(Index):
             if d_centroid - node.radius > radius:
                 continue
             if node.is_leaf:
-                ids = [i for i in node.point_ids if self._active[i]]
+                ids = self._live_list(node.point_ids)
                 if ids:
                     dists = self.metric.to_point(
                         self._points[np.asarray(ids, dtype=np.intp)], query

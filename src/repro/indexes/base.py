@@ -38,10 +38,28 @@ Dynamic indexes additionally support ``insert`` / ``remove``; the
 
 Point identifiers are dense integers assigned in insertion order and are
 never re-used; removed ids stay allocated but inactive.
+
+**Versioning and snapshots.** Every index carries a monotonically
+increasing :attr:`version`, bumped by each insert, remove, and
+compaction.  It is the one staleness signal the rest of the library
+reads: engines record ``built_at_version`` and answer
+``is_stale(index)`` (:mod:`repro.core.protocol`), and the
+:class:`repro.Service` facade derives its churn epoch from it.
+:meth:`snapshot` returns a cheap copy-on-read view — the active mask is
+frozen (removals are mask flips, so a copied mask is a full MVCC read
+view), the point matrix reference is pinned (``_append_point`` replaces
+the matrix instead of growing it, so pinned rows never change), and the
+version is pinned — through which a reader never observes a
+half-applied removal.  Whether concurrent *structural* mutation
+(insert, compaction) of the live index can corrupt a previously taken
+snapshot's reads is a per-backend property advertised by
+:attr:`snapshot_stable`; the Service layer gates writers on in-flight
+readers for backends that are not snapshot-stable.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Iterator
 
 import numpy as np
@@ -65,11 +83,24 @@ class Index:
     supports_insert: bool = False
     #: Whether :meth:`remove` is implemented.
     supports_remove: bool = False
+    #: Whether structural mutations of the live index (insert,
+    #: compaction, eager removal) leave the reads of previously taken
+    #: :meth:`snapshot` views consistent.  Static backends are trivially
+    #: stable; dynamic ones must publish structural changes atomically
+    #: (build the replacement fully, attach with one reference
+    #: assignment) to claim it.  Non-stable backends still version and
+    #: snapshot correctly — but a concurrency layer must drain readers
+    #: before mutating (see ``repro.Service``).
+    snapshot_stable: bool = True
+    #: True on views returned by :meth:`snapshot`; such views refuse all
+    #: mutation.
+    _frozen: bool = False
 
     def __init__(self, data, metric: str | Metric | None = None) -> None:
         self._points = as_dataset(data)
         self.metric = get_metric(metric)
         self._active = np.ones(self._points.shape[0], dtype=bool)
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Data access
@@ -88,6 +119,40 @@ class Index:
     def size(self) -> int:
         """Number of *active* points currently indexed."""
         return int(self._active.sum())
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing data version.
+
+        Bumped by every :meth:`insert`, :meth:`remove`, and compaction.
+        Snapshots pin the version they were taken at; engines record it
+        at build time and compare (:meth:`repro.EngineBase.is_stale`).
+        """
+        return self._version
+
+    @property
+    def is_snapshot(self) -> bool:
+        """Whether this object is a frozen :meth:`snapshot` view."""
+        return self._frozen
+
+    def snapshot(self) -> "Index":
+        """A frozen copy-on-read view of the current state.
+
+        O(n) in the active mask (one boolean copy) and O(1) in
+        everything else: the point matrix reference is pinned (append
+        replaces the matrix, so pinned rows never mutate) and tree
+        structure is shared.  The view answers every query method,
+        refuses ``insert``/``remove``/compaction, and keeps reporting
+        the :attr:`version` it was taken at.  Reads through the view
+        never observe a removal applied to the live index afterwards;
+        see :attr:`snapshot_stable` for the structural-mutation story.
+        """
+        view = copy.copy(self)
+        active = self._active.copy()
+        active.setflags(write=False)
+        view._active = active
+        view._frozen = True
+        return view
 
     def __len__(self) -> int:
         return self.size
@@ -219,17 +284,39 @@ class Index:
     # ------------------------------------------------------------------
     # Shared helpers for subclasses
     # ------------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self._frozen:
+            raise IndexCapabilityError(
+                f"{type(self).__name__} snapshot views are read-only; "
+                "mutate the live index and take a fresh snapshot"
+            )
+
     def _append_point(self, point) -> int:
         """Append a validated point row; returns the new id."""
+        self._check_writable()
         point = as_query_point(point, dim=self.dim, name="point")
         self._points = np.vstack([self._points, point[None, :]])
         self._active = np.append(self._active, True)
+        self._version += 1
         return self._points.shape[0] - 1
 
     def _deactivate(self, index: int) -> None:
+        self._check_writable()
         if not self._active[index]:
             raise KeyError(f"point id {index} has already been removed")
         self._active[index] = False
+        self._version += 1
+
+    def _live_list(self, ids) -> list[int]:
+        """The subset of ``ids`` live in this view, bounds-safe.
+
+        Snapshot views share tree structure with the live index, and an
+        insert may append an id the frozen mask has never heard of; such
+        ids read as inactive here instead of indexing out of bounds.
+        """
+        mask = self._active
+        limit = mask.shape[0]
+        return [i for i in ids if i < limit and mask[i]]
 
     def _repr_knobs(self) -> str:
         """Backend-specific constructor knobs shown by :meth:`__repr__`."""

@@ -64,6 +64,11 @@ class CoverTreeIndex(Index):
     name = "cover-tree"
     supports_insert = True
     supports_remove = True
+    #: Inserts rewire nodes in place and removals eagerly detach a
+    #: subtree and re-insert its orphans — snapshot views share that
+    #: structure, so concurrent structural mutation can corrupt their
+    #: reads.  The Service layer drains readers before mutating.
+    snapshot_stable = False
 
     def __init__(self, data, metric=None, batch_build: bool = True) -> None:
         super().__init__(data, metric)

@@ -21,6 +21,17 @@ bounding box (boxes only ever grow under inserts, so without compaction a
 long insert/remove churn leaves the tree scanning tombstones and pruning
 against stale volumes on every query).
 
+The tree is **snapshot-stable** (see :attr:`repro.Index.snapshot_stable`):
+every structural mutation is published atomically, so readers holding a
+previously taken :meth:`~repro.indexes.base.Index.snapshot` stay
+consistent while the live tree churns.  Concretely: leaf splits and
+compactions build their replacement subtree fully before attaching it
+with a single reference assignment; in-place bounding-box growth is
+conservative (boxes only ever grow, so a reader sees pruning bounds at
+worst looser than its snapshot requires); and ids appended to shared
+leaf lists after a snapshot froze its mask are filtered bounds-safely
+(``_live_list``) instead of trusted.
+
 Batched ``knn_distances`` queries run a pruned block traversal: one
 ``clip`` + metric kernel evaluates the box lower bound of a node for every
 active query row at once, and rows whose running k-th smallest distance
@@ -81,6 +92,7 @@ class KDTreeIndex(Index):
     name = "kd-tree"
     supports_insert = True
     supports_remove = True
+    snapshot_stable = True
 
     #: Rebuild the tree once the live fraction of ids stored in it drops
     #: below this threshold (see :meth:`remove`).
@@ -185,7 +197,7 @@ class KDTreeIndex(Index):
             key, item = queue.pop()
             if isinstance(item, _Node):
                 if item.is_leaf:
-                    ids = [i for i in item.point_ids if self._active[i]]
+                    ids = self._live_list(item.point_ids)
                     if ids:
                         dists = self.metric.to_point(
                             self._points[np.asarray(ids, dtype=np.intp)], query
@@ -233,7 +245,10 @@ class KDTreeIndex(Index):
         exclude = check_exclude_indices(exclude_indices, m)
         keeper = KSmallestKeeper(m, k)
         if m and self.size:
-            all_active = bool(self._active.all())
+            # A frozen snapshot can never take the trust-the-leaf-list
+            # shortcut: the shared tree may hold ids inserted after the
+            # mask froze, which must read as inactive.
+            all_active = bool(self._active.all()) and not self._frozen
             self._batch_visit(
                 self._root,
                 np.arange(m, dtype=np.intp),
@@ -261,9 +276,7 @@ class KDTreeIndex(Index):
             if all_active:
                 ids = np.asarray(node.point_ids, dtype=np.intp)
             else:
-                ids = np.asarray(
-                    [i for i in node.point_ids if self._active[i]], dtype=np.intp
-                )
+                ids = np.asarray(self._live_list(node.point_ids), dtype=np.intp)
             if ids.shape[0]:
                 cand = self.metric.pairwise(queries[rows], self._points[ids])
                 mask_excluded(cand, ids, exclude[rows])
@@ -287,7 +300,7 @@ class KDTreeIndex(Index):
             if self._box_lower_bound(query, node) > radius:
                 continue
             if node.is_leaf:
-                ids = [i for i in node.point_ids if self._active[i]]
+                ids = self._live_list(node.point_ids)
                 if ids:
                     dists = self.metric.to_point(
                         self._points[np.asarray(ids, dtype=np.intp)], query
@@ -304,22 +317,33 @@ class KDTreeIndex(Index):
     def insert(self, point) -> int:
         point_id = self._append_point(point)
         point = self._points[point_id]
+        parent = None
         node = self._root
-        # Grow bounding boxes along the descent path.
+        # Grow bounding boxes along the descent path.  In-place growth is
+        # safe for snapshot readers: boxes only ever grow, so a concurrent
+        # reader sees at worst looser pruning bounds, never tighter ones.
         while True:
             np.minimum(node.lo, point, out=node.lo)
             np.maximum(node.hi, point, out=node.hi)
             if node.is_leaf:
                 break
+            parent = node
             node = node.left if point[node.axis] <= node.split else node.right
-        node.point_ids.append(point_id)
-        live = [i for i in node.point_ids if self._active[i]]
-        if len(live) > self.leaf_size:
-            rebuilt = self._build(np.asarray(live, dtype=np.intp))
-            node.lo, node.hi = rebuilt.lo, rebuilt.hi
-            node.axis, node.split = rebuilt.axis, rebuilt.split
-            node.left, node.right = rebuilt.left, rebuilt.right
-            node.point_ids = rebuilt.point_ids
+        live = self._live_list(node.point_ids)
+        if len(live) + 1 > self.leaf_size:
+            # Split by building the replacement subtree fully, then
+            # attaching it with a single reference assignment — snapshot
+            # readers see either the old leaf or the complete new
+            # subtree, never a half-mutated node.
+            rebuilt = self._build(np.asarray(live + [point_id], dtype=np.intp))
+            if parent is None:
+                self._root = rebuilt
+            elif parent.left is node:
+                parent.left = rebuilt
+            else:
+                parent.right = rebuilt
+        else:
+            node.point_ids.append(point_id)
         return point_id
 
     def remove(self, index: int) -> None:
@@ -344,8 +368,11 @@ class KDTreeIndex(Index):
 
         Runs automatically once removals cross ``compaction_threshold``;
         callers (e.g. :meth:`repro.Service.compact`) may also invoke it
-        eagerly before a latency-sensitive query burst.
+        eagerly before a latency-sensitive query burst.  The rebuilt tree
+        is attached with one reference assignment (snapshot readers keep
+        traversing the old structure) and bumps :attr:`version`.
         """
+        self._check_writable()
         live = self.active_ids()
         if live.shape[0] == 0:
             # Nothing to rebuild over (the builder needs at least one
@@ -353,3 +380,4 @@ class KDTreeIndex(Index):
             return
         self._root = self._build(live)
         self._tombstones = 0
+        self._version += 1

@@ -91,6 +91,10 @@ class MTreeIndex(Index):
     name = "m-tree"
     supports_insert = True
     supports_remove = True  # lazy removal: points are masked, not detached
+    #: Inserts split routing nodes in place (entries are redistributed
+    #: between the two halves while readers may be mid-descent), so
+    #: snapshot views sharing the structure are not mutation-safe.
+    snapshot_stable = False
 
     def __init__(
         self,

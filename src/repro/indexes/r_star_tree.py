@@ -122,6 +122,10 @@ class RStarTreeIndex(Index):
     name = "r-star-tree"
     supports_insert = True
     supports_remove = True
+    #: Inserts run in-place node splits and forced re-insertions — a
+    #: snapshot view sharing the structure can observe a half-split
+    #: node.  The Service layer drains readers before mutating.
+    snapshot_stable = False
 
     def __init__(
         self,

@@ -36,6 +36,9 @@ class RdNNTreeIndex(RStarTreeIndex):
     name = "rdnn-tree"
     supports_insert = False
     supports_remove = False
+    # Static (mutations refused), so the R*-tree's in-place-split hazard
+    # can never fire: snapshots are trivially stable.
+    snapshot_stable = True
 
     def __init__(
         self,

@@ -178,7 +178,7 @@ class VPTreeIndex(Index):
             if isinstance(item, tuple):
                 node, bound = item
                 if node.is_leaf:
-                    ids = [i for i in node.point_ids if self._active[i]]
+                    ids = self._live_list(node.point_ids)
                     if ids:
                         dists = self.metric.to_point(
                             self._points[np.asarray(ids, dtype=np.intp)], query
@@ -236,9 +236,7 @@ class VPTreeIndex(Index):
             return
         bounds = bounds[alive]
         if node.is_leaf:
-            ids = np.asarray(
-                [i for i in node.point_ids if self._active[i]], dtype=np.intp
-            )
+            ids = np.asarray(self._live_list(node.point_ids), dtype=np.intp)
             if ids.shape[0]:
                 cand = self.metric.pairwise(queries[rows], self._points[ids])
                 mask_excluded(cand, ids, exclude[rows])

@@ -25,12 +25,31 @@ but not the approximate engines, ``alpha`` reaches SFT, strategy knobs
 
 **Lifecycle** — the backend index is built once (bulk path); engines are
 built lazily from the registry (:func:`repro.create_engine`) and rebuilt
-automatically when they need it: data-snapshot engines (``naive``,
-``mrknncop``, ``rdnn``) after any insert/remove, ``rdnn`` when the
-requested ``k`` changes, ``mrknncop`` when ``k`` exceeds its fitted
-``k_max``.  Engines answering in dense snapshot ids are transparently
-translated back into the service's id space, so callers always see index
-ids regardless of the engine family.
+automatically when they need it: every engine after any insert/remove
+(the index :attr:`~repro.indexes.base.Index.version` is the epoch
+signal), ``rdnn`` additionally when the requested ``k`` changes,
+``mrknncop`` when ``k`` exceeds its fitted ``k_max``.  Engines answering
+in dense snapshot ids are transparently translated back into the
+service's id space, so callers always see index ids regardless of the
+engine family.
+
+**Concurrency** — the Service is split into an exclusive *write path*
+and a lock-free *read path* (DESIGN.md "Concurrency & versioning").
+Mutations serialize on a writer lock; each one bumps the backend's
+version and atomically publishes a fresh ``(epoch, snapshot)`` head,
+where the snapshot is the backend's copy-on-read
+:meth:`~repro.indexes.base.Index.snapshot` view and the epoch is the
+version it pins.  Queries pin the latest published
+``(epoch, snapshot, engine)`` triple with plain attribute reads — they
+never block behind inserts.  Engine rebuilds happen off the read path
+under a dedicated rebuild lock and are published with one assignment;
+while a rebuild is in flight, other readers keep serving the previous
+published state (a *stale but consistent* older epoch — never torn
+data).  Backends whose live structure cannot be mutated under readers
+(:attr:`~repro.indexes.base.Index.snapshot_stable` is False) are gated
+by a :class:`~repro.utils.concurrency.ReadWriteLock` that drains
+in-flight queries before each mutation.  :meth:`query_versioned` exposes
+the epoch each answer was computed against.
 
 **Persistence** — :meth:`Service.save` writes a single ``.npz`` payload
 (point matrix including removed rows, the active mask, metric, backend +
@@ -43,15 +62,18 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
 from repro.core.result import RkNNResult
 from repro.distances import get_metric
-from repro.engines import ENGINE_REGISTRY, create_engine, kwargs_for_k
+from repro.engines import ENGINE_REGISTRY, kwargs_for_k
 from repro.indexes import RStarTreeIndex, create_index, resolve_index_name
 from repro.indexes.base import Index
+from repro.utils.concurrency import ReadWriteLock
 from repro.utils.validation import (
     check_k,
     check_positive_int,
@@ -150,6 +172,55 @@ class QuerySpec:
         }
 
 
+@dataclass(frozen=True)
+class _Head:
+    """The write path's atomically published ``(epoch, snapshot)`` pair."""
+
+    epoch: int
+    snapshot: Index
+
+
+@dataclass(frozen=True)
+class _ReadState:
+    """One published ``(epoch, snapshot, engine)`` triple the read path pins.
+
+    Immutable once published: readers that grabbed it keep a fully
+    consistent view of one epoch even while the write path churns and
+    newer states are published over it.
+    """
+
+    epoch: int
+    snapshot: Index
+    engine: object
+    #: merged engine-construction kwargs the engine was built with — the
+    #: compatibility signature a spec is checked against
+    built_kwargs: dict
+    #: the spec ``k`` at build time (fixed-k engines rebuild on change)
+    built_k: int
+    #: service id per dense engine row, for engines answering in dense
+    #: snapshot ids after removals (``None`` = identity)
+    id_map: np.ndarray | None
+
+    def to_engine_index(self, query_index: int) -> int:
+        if self.id_map is None:
+            return int(query_index)
+        pos = int(np.searchsorted(self.id_map, query_index))
+        if pos >= self.id_map.shape[0] or self.id_map[pos] != query_index:
+            raise KeyError(f"point id {query_index} has been removed")
+        return pos
+
+    def map_result(self, result: RkNNResult) -> RkNNResult:
+        if self.id_map is None:
+            return result
+        return RkNNResult(
+            ids=self.id_map[result.ids],
+            k=result.k,
+            t=result.t,
+            lazy_accepted_ids=self.id_map[result.lazy_accepted_ids],
+            stats=result.stats,
+        )
+
+
 class Service:
     """One dataset, one backend, one engine — swappable by name.
 
@@ -173,6 +244,13 @@ class Service:
     backend_kwargs / engine_kwargs:
         Forwarded to the backend / engine constructors.  Both must be
         JSON-serializable for :meth:`save`.
+
+    Queries (:meth:`query`, :meth:`query_batch`, :meth:`query_all`) are
+    safe to issue from many threads concurrently with :meth:`insert` /
+    :meth:`remove` / :meth:`compact`; every answer is exact with respect
+    to one published epoch (see the module docstring).  :meth:`save`,
+    :meth:`load`, and :meth:`bichromatic` are not part of the concurrent
+    surface — call them without racing writers.
     """
 
     def __init__(
@@ -231,13 +309,16 @@ class Service:
             self.index = create_index(
                 self.backend_name, data, metric=metric, **self._backend_kwargs
             )
-        self._epoch = 0
-        self._engine = None
-        self._engine_epoch = -1
-        self._engine_built_k: int | None = None
-        self._engine_built_kwargs: dict = {}
-        self._engine_live = True
-        self._id_map: np.ndarray | None = None
+        # --- concurrency state (module docstring "Concurrency") ---
+        # serializes insert/remove/compact
+        self._writer_lock = threading.RLock()
+        # serializes engine (re)builds, off the read path
+        self._rebuild_lock = threading.Lock()
+        # drains in-flight readers before mutating backends whose live
+        # structure is not safe to change under concurrent snapshots
+        self._gate = None if self.index.snapshot_stable else ReadWriteLock()
+        self._published: _ReadState | None = None
+        self._head = _Head(self.index.version, self.index.snapshot())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -254,6 +335,11 @@ class Service:
     def size(self) -> int:
         return self.index.size
 
+    @property
+    def epoch(self) -> int:
+        """The currently published epoch (the backend's data version)."""
+        return self._head.epoch
+
     def __len__(self) -> int:
         return self.index.size
 
@@ -268,31 +354,81 @@ class Service:
         )
 
     # ------------------------------------------------------------------
-    # Engine lifecycle
+    # Read path: pin a published (epoch, snapshot, engine) state
     # ------------------------------------------------------------------
+    @contextmanager
+    def _read_guard(self):
+        """Reader side of the drain gate; a no-op on stable backends."""
+        if self._gate is None:
+            yield
+        else:
+            with self._gate.read():
+                yield
+
     def engine(self, spec: QuerySpec | None = None):
         """The active engine, (re)built lazily for the given spec."""
         spec = self.defaults if spec is None else spec
-        if self._engine is None or self._needs_rebuild(spec):
-            self._build_engine(spec)
-        return self._engine
+        with self._read_guard():
+            return self._pin_state(spec).engine
 
-    def _needs_rebuild(self, spec: QuerySpec) -> bool:
-        if not self._engine_live and self._engine_epoch != self._epoch:
-            return True
-        if self._merged_engine_kwargs(spec) != self._engine_built_kwargs:
-            return True
-        if self.engine_name == "rdnn" and spec.k != self._engine_built_k:
+    def _pin_state(self, spec: QuerySpec) -> _ReadState:
+        """The lock-free read path: the latest published state, or a rebuild.
+
+        The fast path is two attribute reads and an integer compare.  On
+        a miss, the rebuild lock is tried *non-blocking*: if another
+        thread is already rebuilding and the last published state still
+        answers this spec, that stale-but-consistent older epoch is
+        served instead of waiting (MVCC semantics — never torn data, at
+        worst a recently superseded version).  Non-snapshot-stable
+        backends skip the fallback: their old snapshots share structure
+        the next mutation may corrupt, so reads always move forward.
+        """
+        head = self._head
+        state = self._published
+        if (
+            state is not None
+            and state.epoch == head.epoch
+            and self._state_serves(state, spec)
+        ):
+            return state
+        if not self._rebuild_lock.acquire(blocking=False):
+            if (
+                state is not None
+                and self.index.snapshot_stable
+                and self._state_serves(state, spec)
+            ):
+                return state
+            self._rebuild_lock.acquire()
+        try:
+            head = self._head
+            state = self._published
+            if (
+                state is not None
+                and state.epoch == head.epoch
+                and self._state_serves(state, spec)
+            ):
+                return state
+            state = self._build_state(head, spec)
+            self._published = state
+            return state
+        finally:
+            self._rebuild_lock.release()
+
+    def _state_serves(self, state: _ReadState, spec: QuerySpec) -> bool:
+        """Whether a published state can answer the given spec."""
+        if self._merged_engine_kwargs(spec) != state.built_kwargs:
+            return False
+        if self.engine_name == "rdnn" and spec.k != state.built_k:
             # Rebuilding for the new k only helps when the k was ours to
             # choose; a user-pinned k would survive the rebuild and fail
             # identically, so refuse up front instead of churning O(n^2)
             # tree builds per query.
             self._check_k_pin("k", spec.k, self._engine_kwargs.get("k"))
-            return True
-        if self.engine_name == "mrknncop" and spec.k > self._engine.k_max:
+            return False
+        if self.engine_name == "mrknncop" and spec.k > state.engine.k_max:
             self._check_k_pin("k_max", spec.k, self._engine_kwargs.get("k_max"))
-            return True
-        return False
+            return False
+        return True
 
     @staticmethod
     def _check_k_pin(name: str, wanted_k: int, pinned) -> None:
@@ -313,81 +449,73 @@ class Service:
                 merged[name] = value
         return merged
 
-    def _build_engine(self, spec: QuerySpec) -> None:
+    def _build_state(self, head: _Head, spec: QuerySpec) -> _ReadState:
+        """Build an engine over the head's snapshot (never the live index).
+
+        Every engine family reads the frozen snapshot, so a rebuild
+        racing the write path still derives all of its state from one
+        epoch.  Snapshot-id engines get the id translation table from the
+        same snapshot.
+        """
         entry = ENGINE_REGISTRY[self.engine_name]
         merged = self._merged_engine_kwargs(spec)
         # The factory call may inject spec-derived defaults (k, k_max);
         # the rebuild comparison must see the *user-provided* kwargs only,
         # or every later spec would look like a config change.
         kwargs = dict(merged)
-        self._id_map = None
-        self._engine_live = True
+        snap = head.snapshot
+        id_map: np.ndarray | None = None
         if entry.needs == "index":
             engine = entry.factory(
-                self.index, metric=None, backend=None, backend_kwargs=None,
+                snap, metric=None, backend=None, backend_kwargs=None,
                 **kwargs,
             )
         elif entry.needs == "rstar-index":
             if isinstance(self.index, RStarTreeIndex):
-                tree = self.index
+                tree = snap
             else:
                 # A dedicated R*-tree replica in the same id space: build
-                # over the full matrix, replay the removals.  It does not
-                # observe future churn, so it is rebuilt like a snapshot.
-                tree = RStarTreeIndex(self.index.points, metric=self.metric)
-                for point_id in np.flatnonzero(~self._active_mask()):
+                # over the snapshot's full matrix, replay its removals.
+                tree = RStarTreeIndex(snap.points, metric=self.metric)
+                mask = np.zeros(snap.points.shape[0], dtype=bool)
+                mask[snap.active_ids()] = True
+                for point_id in np.flatnonzero(~mask):
                     tree.remove(int(point_id))
-                self._engine_live = False
             engine = entry.factory(
                 tree, metric=None, backend=None, backend_kwargs=None, **kwargs
             )
         elif entry.needs == "data":
-            active = self.index.active_ids()
-            if active.shape[0] == self.index.points.shape[0]:
-                points = self.index.points
+            active = snap.active_ids()
+            if active.shape[0] == snap.points.shape[0]:
+                points = snap.points
             else:
-                points = self.index.points[active]
-                self._id_map = active
+                points = snap.points[active]
+                id_map = active
             for knob, value in kwargs_for_k(self.engine_name, spec.k).items():
                 kwargs.setdefault(knob, value)
             engine = entry.factory(
                 points, metric=self.metric, backend=None, backend_kwargs=None,
                 **kwargs,
             )
-            self._engine_live = False
         else:  # pragma: no cover - guarded in __init__
             raise ValueError(f"unsupported engine family {entry.needs!r}")
-        self._engine = engine
-        self._engine_epoch = self._epoch
-        self._engine_built_k = spec.k
-        self._engine_built_kwargs = merged
+        if engine.built_at_version is None:
+            # Data-snapshot engines cannot bind a version themselves —
+            # stamp the epoch so is_stale(live_index) works uniformly.
+            engine.built_at_version = head.epoch
+        return _ReadState(
+            epoch=head.epoch,
+            snapshot=snap,
+            engine=engine,
+            built_kwargs=merged,
+            built_k=spec.k,
+            id_map=id_map,
+        )
 
     def _active_mask(self) -> np.ndarray:
         mask = np.zeros(self.index.points.shape[0], dtype=bool)
         mask[self.index.active_ids()] = True
         return mask
-
-    # ------------------------------------------------------------------
-    # Id translation for snapshot engines
-    # ------------------------------------------------------------------
-    def _to_engine_index(self, query_index: int) -> int:
-        if self._id_map is None:
-            return int(query_index)
-        pos = int(np.searchsorted(self._id_map, query_index))
-        if pos >= self._id_map.shape[0] or self._id_map[pos] != query_index:
-            raise KeyError(f"point id {query_index} has been removed")
-        return pos
-
-    def _map_result(self, result: RkNNResult) -> RkNNResult:
-        if self._id_map is None:
-            return result
-        return RkNNResult(
-            ids=self._id_map[result.ids],
-            k=result.k,
-            t=result.t,
-            lazy_accepted_ids=self._id_map[result.lazy_accepted_ids],
-            stats=result.stats,
-        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -413,14 +541,36 @@ class Service:
         id) must be given; keyword overrides (``k=5``, ``t=4.0``, ...)
         patch the default spec for this call only.
         """
+        return self.query_versioned(
+            query, query_index=query_index, spec=spec, **overrides
+        )[1]
+
+    def query_versioned(
+        self,
+        query=None,
+        *,
+        query_index: int | None = None,
+        spec: QuerySpec | None = None,
+        **overrides,
+    ) -> tuple[int, RkNNResult]:
+        """Like :meth:`query`, returning ``(epoch, result)``.
+
+        The epoch names the published snapshot the answer is exact
+        against — the currency for cache invalidation
+        (:class:`repro.serving.ResultCache`) and for the linearizability
+        checks in the threaded test harness.
+        """
         spec = self.resolve_spec(spec, **overrides)
-        engine = self.engine(spec)
-        if query_index is not None:
-            query_index = self._to_engine_index(query_index)
-        result = engine.query(
-            query, query_index=query_index, k=spec.k, **spec.knobs_for(engine)
-        )
-        return self._map_result(result)
+        with self._read_guard():
+            state = self._pin_state(spec)
+            engine = state.engine
+            if query_index is not None:
+                query_index = state.to_engine_index(query_index)
+            result = engine.query(
+                query, query_index=query_index, k=spec.k,
+                **spec.knobs_for(engine),
+            )
+        return state.epoch, state.map_result(result)
 
     def query_batch(
         self,
@@ -432,31 +582,50 @@ class Service:
     ) -> list[RkNNResult]:
         """Many queries in one engine pass (vectorized where the engine
         supports it), one :class:`RkNNResult` per input row/id."""
+        return self.query_batch_versioned(
+            queries, query_indices=query_indices, spec=spec, **overrides
+        )[1]
+
+    def query_batch_versioned(
+        self,
+        queries=None,
+        *,
+        query_indices=None,
+        spec: QuerySpec | None = None,
+        **overrides,
+    ) -> tuple[int, list[RkNNResult]]:
+        """Like :meth:`query_batch`, returning ``(epoch, results)``."""
         spec = self.resolve_spec(spec, **overrides)
-        engine = self.engine(spec)
-        if query_indices is not None:
-            query_indices = [
-                self._to_engine_index(int(qi)) for qi in query_indices
-            ]
-        results = engine.query_batch(
-            queries,
-            query_indices=query_indices,
-            k=spec.k,
-            **spec.knobs_for(engine, batch=True),
-        )
-        return [self._map_result(result) for result in results]
+        with self._read_guard():
+            state = self._pin_state(spec)
+            engine = state.engine
+            if query_indices is not None:
+                query_indices = [
+                    state.to_engine_index(int(qi)) for qi in query_indices
+                ]
+            results = engine.query_batch(
+                queries,
+                query_indices=query_indices,
+                k=spec.k,
+                **spec.knobs_for(engine, batch=True),
+            )
+        return state.epoch, [state.map_result(result) for result in results]
 
     def query_all(
         self, *, spec: QuerySpec | None = None, **overrides
     ) -> dict[int, RkNNResult]:
         """The RkNN self-join: ``{point_id: result}`` over all members."""
         spec = self.resolve_spec(spec, **overrides)
-        engine = self.engine(spec)
-        results = engine.query_all(k=spec.k, **spec.knobs_for(engine, batch=True))
-        if self._id_map is None:
+        with self._read_guard():
+            state = self._pin_state(spec)
+            engine = state.engine
+            results = engine.query_all(
+                k=spec.k, **spec.knobs_for(engine, batch=True)
+            )
+        if state.id_map is None:
             return results
         return {
-            int(self._id_map[local]): self._map_result(result)
+            int(state.id_map[local]): state.map_result(result)
             for local, result in results.items()
         }
 
@@ -502,22 +671,46 @@ class Service:
         return engine.query_batch(queries, k=spec.k, t=spec.t)
 
     # ------------------------------------------------------------------
-    # Lifecycle: churn, compaction, persistence
+    # Write path: churn, compaction
     # ------------------------------------------------------------------
+    @contextmanager
+    def _write_guard(self):
+        """Writer side of the drain gate; a no-op on stable backends."""
+        if self._gate is None:
+            yield
+        else:
+            with self._gate.write():
+                yield
+
+    def _publish(self) -> None:
+        """Atomically publish the post-mutation ``(epoch, snapshot)`` head.
+
+        One attribute assignment — readers observe either the previous
+        head or this one, never a mixture.  Engine invalidation is
+        deferred: the next query sees the epoch moved and rebuilds off
+        the read path.
+        """
+        self._head = _Head(self.index.version, self.index.snapshot())
+
     def insert(self, point) -> int:
         """Insert a member point; returns its id.
 
-        Live engines (RDT, the approximate strategies) observe the churn
-        on their own; snapshot engines are rebuilt on their next query.
+        Serialized with other mutations on the writer lock; concurrent
+        queries keep serving the previously published epoch until the
+        new head lands.
         """
-        point_id = self.index.insert(point)
-        self._epoch += 1
+        with self._writer_lock:
+            with self._write_guard():
+                point_id = self.index.insert(point)
+            self._publish()
         return point_id
 
     def remove(self, point_id: int) -> None:
-        """Remove a member point by id (same invalidation as insert)."""
-        self.index.remove(int(point_id))
-        self._epoch += 1
+        """Remove a member point by id (same publication as insert)."""
+        with self._writer_lock:
+            with self._write_guard():
+                self.index.remove(int(point_id))
+            self._publish()
 
     def compact(self) -> bool:
         """Pass through to the backend's tombstone compaction, if any.
@@ -528,9 +721,15 @@ class Service:
         compact = getattr(self.index, "compact", None)
         if compact is None:
             return False
-        compact()
+        with self._writer_lock:
+            with self._write_guard():
+                compact()
+            self._publish()
         return True
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
     def save(self, path) -> pathlib.Path:
         """Persist the service to one ``.npz`` payload.
 
@@ -580,15 +779,18 @@ class Service:
         Replaying removals requires the backend to support ``remove``
         when the payload contains inactive points.
         """
-        with np.load(pathlib.Path(path), allow_pickle=False) as payload:
+        path = pathlib.Path(path)
+        with np.load(path, allow_pickle=False) as payload:
             points = np.array(payload["points"], dtype=np.float64)
             active = np.array(payload["active"], dtype=bool)
             meta = json.loads(str(payload["meta"][()]))
         version = meta.get("format_version")
         if version != SERVICE_FORMAT_VERSION:
             raise ValueError(
-                f"unsupported Service payload version {version!r} "
-                f"(this build reads version {SERVICE_FORMAT_VERSION})"
+                f"cannot load Service payload {str(path)!r}: found "
+                f"format_version {version!r}, expected "
+                f"{SERVICE_FORMAT_VERSION} (this build reads only its own "
+                "format; re-save with a matching library version)"
             )
         metric_meta = dict(meta["metric"])
         metric = get_metric(metric_meta.pop("name"), **metric_meta)
@@ -602,7 +804,5 @@ class Service:
             engine_kwargs=meta["engine_kwargs"],
         )
         for point_id in np.flatnonzero(~active):
-            service.index.remove(int(point_id))
-        if not active.all():
-            service._epoch += 1
+            service.remove(int(point_id))
         return service

@@ -1,0 +1,26 @@
+"""Concurrent serving on top of :class:`repro.Service`.
+
+Three pieces, composable but independent:
+
+* :class:`QueryCoalescer` — a micro-batching front: concurrently
+  arriving ``query()`` calls are collected for a small window and
+  answered through one :meth:`~repro.Service.query_batch` dispatch
+  against a single pinned snapshot.
+* :class:`ResultCache` — an RkNN answer cache keyed by
+  ``(epoch, engine, QuerySpec, query)``; epochs make invalidation exact
+  (a mutation publishes a new epoch, and older entries are purged).
+* :func:`run_open_loop` — a threaded open-loop load generator that
+  drives a send callable at a fixed arrival rate and reports achieved
+  qps and latency percentiles (the producer of ``BENCH_serving.json``).
+"""
+
+from repro.serving.cache import ResultCache, query_cache_key
+from repro.serving.coalescer import QueryCoalescer
+from repro.serving.loadgen import run_open_loop
+
+__all__ = [
+    "QueryCoalescer",
+    "ResultCache",
+    "query_cache_key",
+    "run_open_loop",
+]

@@ -1,0 +1,129 @@
+"""Epoch-keyed RkNN result cache.
+
+Cached reverse-kNN answers are invalidated by *data version*, not by
+time: an answer computed at epoch ``e`` is exact forever **for that
+epoch** and wrong the moment a single insert or removal publishes
+``e+1`` (the LSH-RkNN analysis in PAPERS.md motivates exactly this — an
+RkNN membership flips when any member's k-distance moves, which no TTL
+can anticipate).  The cache therefore keys every entry by the full
+``(epoch, engine, QuerySpec, query)`` tuple and never answers across
+epochs: a lookup at the current epoch simply misses entries computed at
+older ones, and storing a result from a newer epoch purges everything
+older in O(size) — churn keeps the cache small instead of stale.
+
+The query part of the key is :func:`query_cache_key`: member queries key
+by id, raw-point queries by the exact bytes of their float64 row
+(bitwise identity — no tolerance matching, so a hit is always the very
+answer that query produced before).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultCache", "query_cache_key"]
+
+
+def query_cache_key(query=None, query_index: int | None = None):
+    """The hashable query half of a cache key (member id or row bytes)."""
+    if (query is None) == (query_index is None):
+        raise ValueError("provide exactly one of `query` or `query_index`")
+    if query_index is not None:
+        return ("member", int(query_index))
+    row = np.asarray(query, dtype=np.float64)
+    return ("raw", row.tobytes())
+
+
+class ResultCache:
+    """A bounded LRU cache of RkNN results with epoch invalidation.
+
+    Thread-safe.  ``get``/``put`` take the epoch explicitly (the value
+    :meth:`repro.Service.query_versioned` returns), the engine's
+    registry name, the resolved :class:`repro.QuerySpec` (frozen, hence
+    hashable), and the query itself.  Guarantees:
+
+    * a hit is always the exact result previously stored for the same
+      ``(epoch, engine, spec, query)`` — a stale epoch can never be
+      served because the epoch is part of the key;
+    * storing at a newer epoch drops every older-epoch entry, so memory
+      tracks the live epoch under churn;
+    * a ``put`` for an epoch older than the newest stored one is
+      discarded (a late result from a superseded snapshot).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._newest_epoch: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evicted = 0
+        self.invalidated = 0
+
+    def _key(self, epoch, engine_name, spec, query, query_index):
+        return (
+            int(epoch),
+            str(engine_name),
+            spec,
+            query_cache_key(query, query_index),
+        )
+
+    def get(self, epoch, engine_name, spec, query=None, *, query_index=None):
+        """The cached result for this exact epoch/spec/query, or ``None``."""
+        key = self._key(epoch, engine_name, spec, query, query_index)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(
+        self, epoch, engine_name, spec, result, query=None, *, query_index=None
+    ) -> None:
+        """Store one result; newer epochs purge all older entries."""
+        epoch = int(epoch)
+        key = self._key(epoch, engine_name, spec, query, query_index)
+        with self._lock:
+            if self._newest_epoch is not None and epoch < self._newest_epoch:
+                return
+            if self._newest_epoch is None or epoch > self._newest_epoch:
+                self._newest_epoch = epoch
+                stale = [k for k in self._entries if k[0] != epoch]
+                for k in stale:
+                    del self._entries[k]
+                self.invalidated += len(stale)
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for reporting (hits/misses/evicted/invalidated/size)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evicted": self.evicted,
+                "invalidated": self.invalidated,
+                "size": len(self._entries),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(size={len(self)}, maxsize={self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,250 @@
+"""Micro-batching query coalescer: many concurrent queries, one engine pass.
+
+Under concurrent load, dispatching every :meth:`repro.Service.query`
+individually wastes the vectorization the engines already have — the
+batch path answers m queries against one pinned snapshot with shared
+candidate generation, and (for the data-snapshot engines) one matrix
+kernel instead of m row kernels.  :class:`QueryCoalescer` recovers that
+batching transparently: callers still issue single blocking queries from
+their own threads, while a dispatcher thread collects everything that
+arrived within a small window (``max_wait``, default 2 ms), groups the
+requests by resolved :class:`~repro.service.QuerySpec` and query form,
+and answers each group via one
+:meth:`~repro.Service.query_batch_versioned` call.
+
+Correctness is inherited, not re-proven: a coalesced batch pins exactly
+one published ``(epoch, snapshot, engine)`` triple, so every answer in
+the group is exact with respect to that epoch — the same contract a solo
+``query_versioned`` gives.  If a batch fails as a whole (one member id
+in the group was removed between arrival and dispatch, say), the group
+falls back to per-request dispatch so only the offending request raises.
+
+An optional :class:`~repro.serving.ResultCache` short-circuits arrivals
+whose ``(epoch, engine, spec, query)`` was already answered, and is
+filled with every coalesced answer under the epoch that produced it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.cache import ResultCache
+
+__all__ = ["QueryCoalescer"]
+
+
+@dataclass
+class _Pending:
+    """One in-flight request parked on its own event until answered."""
+
+    spec: object
+    query: np.ndarray | None
+    query_index: int | None
+    done: threading.Event = field(default_factory=threading.Event)
+    epoch: int | None = None
+    result: object = None
+    error: BaseException | None = None
+
+
+class QueryCoalescer:
+    """Collect concurrent ``query()`` calls into single batch dispatches.
+
+    Parameters
+    ----------
+    service:
+        The :class:`repro.Service` to answer through.
+    max_wait:
+        The collection window in seconds.  The dispatcher sleeps this
+        long after the first arrival before draining, trading that much
+        added latency for whatever batching the window captures.
+        ``0.0`` disables the wait (drain immediately — batches form only
+        from genuinely simultaneous arrivals).
+    max_batch:
+        Drain at most this many requests per dispatch round.
+    cache:
+        An optional :class:`~repro.serving.ResultCache` consulted at the
+        currently published epoch before parking a request, and filled
+        with every answer produced.
+
+    Statistics (`dispatched_batches`, `dispatched_queries`,
+    `coalesced_queries`) expose how much batching the window achieved;
+    ``stats()`` bundles them with the cache counters for reporting.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        max_wait: float = 0.002,
+        max_batch: int = 64,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.service = service
+        self.max_wait = float(max_wait)
+        self.max_batch = int(max_batch)
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._pending: list[_Pending] = []
+        self._wake = threading.Event()
+        self._closed = False
+        self.dispatched_batches = 0
+        self.dispatched_queries = 0
+        self.coalesced_queries = 0
+        self._thread = threading.Thread(
+            target=self._run, name="rknn-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    # -- caller side ---------------------------------------------------
+
+    def query(self, query=None, *, query_index=None, spec=None, **overrides):
+        """One blocking query, transparently batched with its neighbors."""
+        return self.query_versioned(
+            query, query_index=query_index, spec=spec, **overrides
+        )[1]
+
+    def query_versioned(
+        self, query=None, *, query_index=None, spec=None, **overrides
+    ):
+        """Like :meth:`query`, returning ``(epoch, result)``."""
+        if self._closed:
+            raise RuntimeError("cannot query a closed QueryCoalescer")
+        if (query is None) == (query_index is None):
+            raise ValueError("provide exactly one of `query` or `query_index`")
+        spec = self.service.resolve_spec(spec, **overrides)
+        if query is not None:
+            query = np.asarray(query, dtype=np.float64)
+        if self.cache is not None:
+            epoch = self.service.epoch
+            hit = self.cache.get(
+                epoch,
+                self.service.engine_name,
+                spec,
+                query,
+                query_index=query_index,
+            )
+            if hit is not None:
+                return epoch, hit
+        request = _Pending(spec=spec, query=query, query_index=query_index)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot query a closed QueryCoalescer")
+            self._pending.append(request)
+            self._wake.set()
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        return request.epoch, request.result
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting queries, drain in-flight ones, join the thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.set()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "QueryCoalescer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Batching counters (plus cache counters when a cache is set)."""
+        out = {
+            "dispatched_batches": self.dispatched_batches,
+            "dispatched_queries": self.dispatched_queries,
+            "coalesced_queries": self.coalesced_queries,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+    # -- dispatcher side -----------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait()
+            if self.max_wait > 0.0 and not self._closed:
+                # Collection window: let concurrent arrivals pile up so
+                # the drain below sees a batch, not a single request.
+                time.sleep(self.max_wait)
+            with self._lock:
+                batch = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+                if not self._pending and not self._closed:
+                    self._wake.clear()
+                drained = self._closed and not self._pending
+            if batch:
+                self._dispatch(batch)
+            if drained and not batch:
+                return
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        groups: dict[tuple, list[_Pending]] = {}
+        for request in batch:
+            form = "member" if request.query_index is not None else "raw"
+            groups.setdefault((request.spec, form), []).append(request)
+        self.dispatched_batches += len(groups)
+        self.dispatched_queries += len(batch)
+        self.coalesced_queries += len(batch) - len(groups)
+        for (spec, form), requests in groups.items():
+            try:
+                if form == "member":
+                    epoch, results = self.service.query_batch_versioned(
+                        query_indices=[r.query_index for r in requests],
+                        spec=spec,
+                    )
+                else:
+                    epoch, results = self.service.query_batch_versioned(
+                        np.stack([r.query for r in requests]), spec=spec
+                    )
+            except BaseException:
+                # The whole group failed — typically one poisoned request
+                # (a member id removed between arrival and dispatch).
+                # Re-dispatch individually so only the offender raises.
+                self._dispatch_singly(requests)
+                continue
+            for request, result in zip(requests, results):
+                request.epoch = epoch
+                request.result = result
+                if self.cache is not None:
+                    self.cache.put(
+                        epoch,
+                        self.service.engine_name,
+                        spec,
+                        result,
+                        request.query,
+                        query_index=request.query_index,
+                    )
+                request.done.set()
+
+    def _dispatch_singly(self, requests: list[_Pending]) -> None:
+        for request in requests:
+            try:
+                request.epoch, request.result = self.service.query_versioned(
+                    request.query,
+                    query_index=request.query_index,
+                    spec=request.spec,
+                )
+            except BaseException as exc:
+                request.error = exc
+            finally:
+                request.done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryCoalescer(engine={self.service.engine_name!r}, "
+            f"max_wait={self.max_wait}, max_batch={self.max_batch}, "
+            f"cache={'on' if self.cache is not None else 'off'})"
+        )

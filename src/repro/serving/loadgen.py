@@ -1,0 +1,177 @@
+"""Threaded open-loop load generator for the serving layer.
+
+Closed-loop drivers (each worker fires its next query the moment the
+previous one returns) hide overload: when the server slows down, the
+offered load politely slows down with it and the measured latency stays
+flat.  The serving benchmark instead drives **open-loop**: arrival ``i``
+is scheduled at ``start + i / offered_qps`` regardless of how the
+service is coping, so queueing delay shows up in the latency tail the
+way it would for independent external clients.  Workers pull arrival
+indices from a shared counter, sleep until their arrival's deadline,
+then issue the query and record its latency; when the service falls
+behind, deadlines pass before workers free up and the measured
+``achieved_qps`` drops below ``offered_qps`` — that gap *is* the
+saturation signal the benchmark records.
+
+The generator knows nothing about what ``send`` does — the serving
+benchmark passes either a naive per-query ``Service.query`` closure or a
+:class:`~repro.serving.QueryCoalescer` one, and an optional ``writer``
+callable is invoked at its own fixed rate from a dedicated thread to
+model insert/remove churn alongside the reads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["run_open_loop"]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+def run_open_loop(
+    send,
+    queries,
+    *,
+    offered_qps: float,
+    duration_s: float,
+    n_workers: int = 8,
+    writer=None,
+    write_rate: float = 0.0,
+) -> dict:
+    """Drive ``send`` at a fixed arrival rate; return a latency report.
+
+    Parameters
+    ----------
+    send:
+        ``send(query_row) -> result``; exceptions are counted as errors,
+        not raised.
+    queries:
+        ``(m, dim)`` pool of query points, cycled through in arrival
+        order.
+    offered_qps:
+        Target arrival rate (queries per second).
+    duration_s:
+        How long arrivals keep being scheduled.
+    n_workers:
+        Threads issuing the queries.  If all are busy when an arrival's
+        deadline passes, the arrival waits — that queueing time is
+        charged to its latency, as an open-loop client would experience.
+    writer:
+        Optional ``writer() -> None`` mutation callable, invoked from
+        one dedicated thread at ``write_rate`` calls/second for the run
+        duration (its failures are counted, not raised).
+    write_rate:
+        Mutations per second for ``writer`` (0 disables).
+
+    Returns a JSON-ready dict: offered/achieved qps, completed/error
+    counts, latency percentiles in milliseconds, and write counts.
+    """
+    if offered_qps <= 0:
+        raise ValueError(f"offered_qps must be > 0, got {offered_qps}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[0] == 0:
+        raise ValueError("queries must be a non-empty (m, dim) array")
+    n_arrivals = max(1, int(offered_qps * duration_s))
+    counter_lock = threading.Lock()
+    next_arrival = [0]
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    errors = [0]
+    writes = [0]
+    write_errors = [0]
+    # Small lead so every worker is running before the first deadline.
+    start = time.perf_counter() + 0.02
+
+    def worker() -> None:
+        local: list[float] = []
+        while True:
+            with counter_lock:
+                i = next_arrival[0]
+                if i >= n_arrivals:
+                    break
+                next_arrival[0] = i + 1
+            deadline = start + i / offered_qps
+            delay = deadline - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                send(queries[i % queries.shape[0]])
+            except Exception:
+                with latency_lock:
+                    errors[0] += 1
+            else:
+                # Response time from the *scheduled* arrival, so time an
+                # arrival spent waiting for a free worker is charged to
+                # it (the open-loop client's experience of overload).
+                local.append(time.perf_counter() - deadline)
+        with latency_lock:
+            latencies.extend(local)
+
+    def churn() -> None:
+        i = 0
+        interval = 1.0 / write_rate
+        while True:
+            deadline = start + i * interval
+            if deadline > start + duration_s:
+                return
+            delay = deadline - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                writer()
+            except Exception:
+                write_errors[0] += 1
+            else:
+                writes[0] += 1
+            i += 1
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(n_workers)
+    ]
+    if writer is not None and write_rate > 0:
+        threads.append(
+            threading.Thread(target=churn, name="loadgen-writer", daemon=True)
+        )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    finished = time.perf_counter()
+    elapsed = max(finished - start, 1e-9)
+    ordered = sorted(latencies)
+    completed = len(ordered)
+    return {
+        "offered_qps": float(offered_qps),
+        "achieved_qps": completed / elapsed,
+        "duration_s": float(duration_s),
+        "elapsed_s": elapsed,
+        "n_workers": int(n_workers),
+        "arrivals": n_arrivals,
+        "completed": completed,
+        "errors": errors[0],
+        "writes": writes[0],
+        "write_errors": write_errors[0],
+        "latency_ms": {
+            "p50": _percentile(ordered, 0.50) * 1e3,
+            "p90": _percentile(ordered, 0.90) * 1e3,
+            "p99": _percentile(ordered, 0.99) * 1e3,
+            "max": (ordered[-1] * 1e3) if ordered else float("nan"),
+        },
+    }

@@ -1,0 +1,61 @@
+"""Small concurrency primitives for the serving layers.
+
+The toolkit's concurrency design (DESIGN.md "Concurrency & versioning")
+needs exactly one primitive beyond the standard library: a
+readers/writer lock used by :class:`repro.Service` to drain in-flight
+queries before structurally mutating a backend whose
+:attr:`~repro.indexes.base.Index.snapshot_stable` flag is False.
+Snapshot-stable backends never take it — their read path is lock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A reader-preference readers/writer lock.
+
+    Any number of readers may hold the lock together; a writer waits
+    until every reader has drained, then holds it exclusively.  Readers
+    wait only for a writer *actively writing*, never for queued writers
+    — the serving layer's priority order, where queries are
+    latency-sensitive and mutations may starve under heavy read load.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        """Hold shared (read) access for the duration of the block."""
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Hold exclusive (write) access for the duration of the block."""
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()

@@ -94,6 +94,10 @@ DOCUMENTED_SURFACE = [
     "run_tradeoff_batched",
     "index_builders",
     "measure_precompute",
+    # serving
+    "QueryCoalescer",
+    "ResultCache",
+    "run_open_loop",
     # mining applications
     "rknn_self_join",
     "odin_scores",

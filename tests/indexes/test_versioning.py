@@ -1,0 +1,150 @@
+"""The version/snapshot protocol every backend must honor.
+
+These are the layer-1 guarantees the whole concurrency design rests on
+(DESIGN.md "Concurrency & versioning"): a monotonic ``version`` bumped
+by every mutation, and a cheap frozen ``snapshot()`` view whose reads
+keep answering the state it was taken at — in particular, a removal
+applied to the live index afterwards is never visible through the view.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.indexes import INDEX_REGISTRY, create_index
+from repro.indexes.base import IndexCapabilityError
+
+BACKENDS = sorted(INDEX_REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(7).normal(size=(120, 4))
+
+
+def _knn_ids(index, query, k=5, **kwargs):
+    ids, _ = index.knn(query, k, **kwargs)
+    return ids.tolist()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_version_starts_at_zero_and_bumps_per_mutation(backend, points):
+    index = create_index(backend, points)
+    assert index.version == 0
+    version = 0
+    if index.supports_insert:
+        index.insert(points[0] + 0.25)
+        version += 1
+        assert index.version == version
+    if index.supports_remove:
+        index.remove(3)
+        version += 1
+        assert index.version == version
+        if getattr(index, "compact", None) is not None:
+            index.compact()
+            version += 1
+        assert index.version == version
+    if version == 0:
+        pytest.skip(f"{backend} is static: no mutations to version")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_snapshot_is_frozen_and_pins_version(backend, points):
+    index = create_index(backend, points)
+    view = index.snapshot()
+    assert view.is_snapshot and not index.is_snapshot
+    assert view.version == index.version
+    assert view.size == index.size
+    if index.supports_insert:
+        with pytest.raises(IndexCapabilityError):
+            view.insert(points[0] + 0.5)
+    if index.supports_remove:
+        with pytest.raises(IndexCapabilityError):
+            view.remove(0)
+        if getattr(view, "compact", None) is not None:
+            with pytest.raises(IndexCapabilityError):
+                view.compact()
+        # ... and the live index still mutates freely afterwards,
+        # with the view pinned at the pre-mutation version.
+        index.remove(5)
+        assert index.version == view.version + 1
+        assert view.version == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_snapshot_does_not_observe_later_removals(backend, points):
+    index = create_index(backend, points)
+    if not index.supports_remove:
+        pytest.skip(f"{backend} does not support removal")
+    query = points[0] + 0.01
+    before = _knn_ids(index, query)
+    view = index.snapshot()
+    index.remove(before[0])
+    assert before[0] not in _knn_ids(index, query)
+    assert _knn_ids(view, query) == before
+    assert view.is_active(before[0]) and not index.is_active(before[0])
+    assert before[0] in view.active_ids()
+
+
+@pytest.mark.parametrize("backend", ["linear-scan", "kd-tree"])
+def test_snapshot_stable_backends_survive_live_inserts(backend, points):
+    """For snapshot_stable backends, reads through an old view stay
+    exact while the live index takes inserts (and compactions)."""
+    index = create_index(backend, points)
+    assert index.snapshot_stable
+    query = points[1] + 0.02
+    view = index.snapshot()
+    before = _knn_ids(view, query, k=8)
+    rng = np.random.default_rng(11)
+    for _ in range(40):
+        index.insert(rng.normal(size=points.shape[1]))
+    index.remove(before[0])
+    if getattr(index, "compact", None) is not None:
+        index.compact()
+    assert _knn_ids(view, query, k=8) == before
+    # Fresh state is a new snapshot away.
+    assert before[0] not in _knn_ids(index.snapshot(), query, k=8)
+
+
+def test_snapshot_stability_flags_document_the_contract():
+    assert repro.KDTreeIndex.snapshot_stable
+    assert repro.LinearScanIndex.snapshot_stable
+    assert repro.BallTreeIndex.snapshot_stable
+    assert repro.VPTreeIndex.snapshot_stable
+    assert repro.RdNNTreeIndex.snapshot_stable
+    # In-place structural rewiring: snapshots of these stay correct only
+    # if no mutation runs concurrently (Service drains readers first).
+    assert not repro.CoverTreeIndex.snapshot_stable
+    assert not repro.MTreeIndex.snapshot_stable
+    assert not repro.RStarTreeIndex.snapshot_stable
+
+
+def test_snapshot_active_mask_is_read_only(points):
+    view = create_index("kd", points).snapshot()
+    with pytest.raises(ValueError):
+        view._active[0] = False
+
+
+def test_kd_snapshot_exact_under_heavy_interleaving(points):
+    """Sequential MVCC check: several generations of snapshots, each
+    re-verified against brute force over its own pinned membership after
+    every later mutation batch."""
+    index = create_index("kd", points)
+    rng = np.random.default_rng(23)
+    query = rng.normal(size=4)
+    generations = []
+    for round_no in range(4):
+        for _ in range(15):
+            index.insert(rng.normal(size=4))
+        live = index.active_ids()
+        index.remove(int(live[rng.integers(live.shape[0])]))
+        generations.append(index.snapshot())
+        for view in generations:
+            ids, dists = view.knn(query, 6)
+            active = view.active_ids()
+            exact = sorted(
+                active.tolist(),
+                key=lambda i: float(np.linalg.norm(view.points[i] - query)),
+            )[:6]
+            assert sorted(ids.tolist()) == sorted(exact)
+            assert np.all(np.diff(dists) >= 0)

@@ -41,6 +41,7 @@ def test_examples_directory_populated():
         "bichromatic_services",
         "scale_parameter_study",
         "approximate_search",
+        "concurrent_serving",
     } <= names
 
 
@@ -90,6 +91,19 @@ def test_scale_parameter_study_runs_tiny():
     for row in ("manual t=1.0", "estimator mle", "estimator gp",
                 "estimator takens", "MaxGED (Theorem 1 bound)"):
         assert row in stdout, f"missing row {row!r}"
+
+
+def test_concurrent_serving_runs_tiny():
+    stdout = _run_example(
+        "concurrent_serving.py", "--n", "400", "--dim", "4", "--k", "5",
+        "--readers", "3", "--queries", "15", "--writes", "10",
+    )
+    # The documented walkthrough: epoch churn, coalescer/cache counters,
+    # and the closing exactness verification over recorded epochs.
+    assert "serving 400 points" in stdout
+    assert "final epoch 10" in stdout
+    assert "batched dispatches" in stdout and "cache:" in stdout
+    assert "exact for their epoch: True" in stdout
 
 
 def test_approximate_search_runs_tiny():

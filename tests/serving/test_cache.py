@@ -1,0 +1,77 @@
+"""ResultCache semantics: exact keys, epoch invalidation, LRU bounds."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ResultCache, query_cache_key
+from repro.service import QuerySpec
+
+SPEC = QuerySpec(k=5, t=4.0)
+
+
+def test_query_cache_key_forms():
+    assert query_cache_key(query_index=3) == ("member", 3)
+    kind, payload = query_cache_key(np.array([1.0, 2.0]))
+    assert kind == "raw"
+    assert payload == np.array([1.0, 2.0]).tobytes()
+    with pytest.raises(ValueError, match="exactly one"):
+        query_cache_key()
+    with pytest.raises(ValueError, match="exactly one"):
+        query_cache_key(np.array([1.0]), query_index=0)
+
+
+def test_hit_requires_every_key_component():
+    cache = ResultCache()
+    cache.put(3, "rdt+", SPEC, "answer", query_index=7)
+    assert cache.get(3, "rdt+", SPEC, query_index=7) == "answer"
+    assert cache.get(2, "rdt+", SPEC, query_index=7) is None  # other epoch
+    assert cache.get(3, "rdt", SPEC, query_index=7) is None  # other engine
+    assert cache.get(3, "rdt+", SPEC.replace(k=6), query_index=7) is None
+    assert cache.get(3, "rdt+", SPEC, query_index=8) is None
+    assert cache.stats() == {
+        "hits": 1, "misses": 4, "evicted": 0, "invalidated": 0, "size": 1,
+    }
+
+
+def test_raw_queries_key_by_exact_bytes():
+    cache = ResultCache()
+    q = np.array([0.5, -1.25])
+    cache.put(0, "rdt+", SPEC, "answer", q)
+    assert cache.get(0, "rdt+", SPEC, q.copy()) == "answer"
+    assert cache.get(0, "rdt+", SPEC, q + 1e-12) is None
+
+
+def test_newer_epoch_purges_older_entries():
+    cache = ResultCache()
+    for i in range(4):
+        cache.put(1, "rdt+", SPEC, f"old-{i}", query_index=i)
+    assert len(cache) == 4
+    cache.put(2, "rdt+", SPEC, "new", query_index=0)
+    assert len(cache) == 1
+    assert cache.get(1, "rdt+", SPEC, query_index=1) is None
+    assert cache.get(2, "rdt+", SPEC, query_index=0) == "new"
+    assert cache.stats()["invalidated"] == 4
+
+
+def test_late_put_from_superseded_epoch_is_dropped():
+    cache = ResultCache()
+    cache.put(5, "rdt+", SPEC, "current", query_index=0)
+    cache.put(4, "rdt+", SPEC, "late", query_index=1)
+    assert cache.get(4, "rdt+", SPEC, query_index=1) is None
+    assert len(cache) == 1
+
+
+def test_lru_eviction_keeps_recently_used():
+    cache = ResultCache(maxsize=2)
+    cache.put(0, "rdt+", SPEC, "a", query_index=0)
+    cache.put(0, "rdt+", SPEC, "b", query_index=1)
+    assert cache.get(0, "rdt+", SPEC, query_index=0) == "a"  # refresh a
+    cache.put(0, "rdt+", SPEC, "c", query_index=2)  # evicts b
+    assert cache.get(0, "rdt+", SPEC, query_index=1) is None
+    assert cache.get(0, "rdt+", SPEC, query_index=0) == "a"
+    assert cache.stats()["evicted"] == 1
+
+
+def test_maxsize_validation():
+    with pytest.raises(ValueError, match="maxsize"):
+        ResultCache(maxsize=0)

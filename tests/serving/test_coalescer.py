@@ -1,0 +1,149 @@
+"""QueryCoalescer: batched dispatch must be invisible to callers.
+
+Every test asserts the one property that matters — a coalesced answer is
+the same answer a solo :meth:`repro.Service.query` gives — plus the
+mechanics around it: grouping, per-request fallback, cache integration,
+and clean shutdown.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro
+from repro.serving import QueryCoalescer, ResultCache
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(9).normal(size=(250, 4))
+
+
+@pytest.fixture()
+def service(data):
+    return repro.Service(
+        data, backend="kd", engine="rdt+", defaults=repro.QuerySpec(k=5, t=6.0)
+    )
+
+
+def _ids(result):
+    return result.ids.tolist()
+
+
+def test_concurrent_queries_coalesce_and_match_solo_answers(service, data):
+    member_ids = list(range(0, 40, 2))
+    solo = {i: _ids(service.query(query_index=i)) for i in member_ids}
+    barrier = threading.Barrier(len(member_ids))
+
+    with QueryCoalescer(service, max_wait=0.02, max_batch=64) as coalescer:
+        def call(i):
+            barrier.wait()
+            return i, _ids(coalescer.query(query_index=i))
+
+        with ThreadPoolExecutor(max_workers=len(member_ids)) as pool:
+            answers = dict(pool.map(call, member_ids))
+        stats = coalescer.stats()
+
+    assert answers == solo
+    assert stats["dispatched_queries"] == len(member_ids)
+    # The barrier makes arrivals simultaneous; the 20 ms window must have
+    # merged at least some of them into shared dispatches.
+    assert stats["coalesced_queries"] > 0
+
+
+def test_raw_and_member_queries_group_separately_but_both_answer(service, data):
+    raw = data[3] + 0.01
+    expected_raw = _ids(service.query(raw))
+    expected_member = _ids(service.query(query_index=10))
+    with QueryCoalescer(service, max_wait=0.01) as coalescer:
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            raw_future = pool.submit(coalescer.query, raw)
+            member_future = pool.submit(coalescer.query, query_index=10)
+            assert _ids(raw_future.result(timeout=10)) == expected_raw
+            assert _ids(member_future.result(timeout=10)) == expected_member
+
+
+def test_versioned_epoch_matches_service_epoch(service):
+    with QueryCoalescer(service, max_wait=0.0) as coalescer:
+        epoch, result = coalescer.query_versioned(query_index=1)
+        assert epoch == service.epoch
+        assert _ids(result) == _ids(service.query(query_index=1))
+
+
+def test_spec_overrides_resolve_like_the_service(service):
+    with QueryCoalescer(service, max_wait=0.0) as coalescer:
+        assert _ids(coalescer.query(query_index=2, k=3)) == _ids(
+            service.query(query_index=2, k=3)
+        )
+
+
+def test_poisoned_request_fails_alone(service):
+    """A removed member id in a batch must not break its batch-mates."""
+    service.remove(17)
+    barrier = threading.Barrier(2)
+    with QueryCoalescer(service, max_wait=0.05) as coalescer:
+        def call(i):
+            barrier.wait()
+            return _ids(coalescer.query(query_index=i))
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            good = pool.submit(call, 4)
+            bad = pool.submit(call, 17)
+            with pytest.raises(KeyError, match="removed"):
+                bad.result(timeout=10)
+            assert good.result(timeout=10) == _ids(service.query(query_index=4))
+
+
+def test_cache_short_circuits_repeats_until_epoch_moves(service, data):
+    cache = ResultCache()
+    with QueryCoalescer(service, max_wait=0.0, cache=cache) as coalescer:
+        first = _ids(coalescer.query(query_index=6))
+        assert cache.stats()["hits"] == 0
+        again = _ids(coalescer.query(query_index=6))
+        assert again == first
+        assert cache.stats()["hits"] == 1
+        # A mutation publishes a new epoch: the stale entry must not
+        # be served, and the recomputed answer reflects the new data.
+        inserted = service.insert(data[6] + 1e-4)
+        refreshed = coalescer.query(query_index=6)
+        assert cache.stats()["hits"] == 1  # miss, recomputed
+        assert inserted in _ids(refreshed) or _ids(refreshed) != first
+
+
+def test_validation_and_shutdown(service):
+    coalescer = QueryCoalescer(service, max_wait=0.0)
+    with pytest.raises(ValueError, match="exactly one"):
+        coalescer.query()
+    coalescer.close()
+    coalescer.close()  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        coalescer.query(query_index=0)
+    with pytest.raises(ValueError, match="max_wait"):
+        QueryCoalescer(service, max_wait=-1.0)
+    with pytest.raises(ValueError, match="max_batch"):
+        QueryCoalescer(service, max_batch=0)
+
+
+def test_many_threads_many_rounds_all_exact(service):
+    """A denser soak: 8 threads x 10 rounds of mixed raw/member queries,
+    every answer checked against the solo path."""
+    rng = np.random.default_rng(31)
+    raws = rng.normal(size=(8, 4))
+    with QueryCoalescer(service, max_wait=0.002, max_batch=32) as coalescer:
+        def worker(seed):
+            local = np.random.default_rng(seed)
+            for _ in range(10):
+                if local.random() < 0.5:
+                    i = int(local.integers(0, 100))
+                    assert _ids(coalescer.query(query_index=i)) == _ids(
+                        service.query(query_index=i)
+                    )
+                else:
+                    q = raws[int(local.integers(0, raws.shape[0]))]
+                    assert _ids(coalescer.query(q)) == _ids(service.query(q))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [pool.submit(worker, s) for s in range(8)]:
+                future.result(timeout=60)

@@ -1,0 +1,102 @@
+"""The open-loop load generator: scheduling, accounting, churn thread."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import run_open_loop
+
+QUERIES = np.arange(12.0).reshape(6, 2)
+
+
+def test_report_accounts_for_every_arrival():
+    seen = []
+    lock = threading.Lock()
+
+    def send(q):
+        with lock:
+            seen.append(float(q[0]))
+
+    report = run_open_loop(
+        send, QUERIES, offered_qps=200.0, duration_s=0.25, n_workers=4
+    )
+    assert report["arrivals"] == 50
+    assert report["completed"] == 50
+    assert report["errors"] == 0
+    assert len(seen) == 50
+    # Arrivals cycle the query pool in order (first rows 0,2,4,...).
+    assert set(seen) <= {0.0, 2.0, 4.0, 6.0, 8.0, 10.0}
+    assert report["achieved_qps"] == pytest.approx(200.0, rel=0.5)
+    lat = report["latency_ms"]
+    assert 0.0 <= lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+
+
+def test_errors_are_counted_not_raised():
+    calls = [0]
+
+    def send(q):
+        calls[0] += 1
+        if calls[0] % 2 == 0:
+            raise RuntimeError("boom")
+
+    report = run_open_loop(
+        send, QUERIES, offered_qps=400.0, duration_s=0.1, n_workers=2
+    )
+    assert report["errors"] > 0
+    assert report["completed"] + report["errors"] == report["arrivals"]
+
+
+def test_open_loop_reports_saturation_not_comfort():
+    """A slow server cannot keep up with the offered rate: achieved qps
+    must reflect that instead of silently re-pacing (the closed-loop
+    failure mode this generator exists to avoid)."""
+
+    def slow_send(q):
+        time.sleep(0.01)
+
+    report = run_open_loop(
+        slow_send, QUERIES, offered_qps=1000.0, duration_s=0.2, n_workers=2
+    )
+    # 2 workers x ~100 q/s each << 1000 offered.  Arrivals are not
+    # dropped — they queue, so the gap shows up as low achieved qps and
+    # a latency tail dominated by queueing delay, not service time.
+    assert report["achieved_qps"] < 500.0
+    assert report["completed"] == report["arrivals"]
+    assert report["latency_ms"]["p99"] > 50.0
+
+
+def test_writer_thread_runs_at_its_own_rate():
+    writes = [0]
+
+    def writer():
+        writes[0] += 1
+
+    report = run_open_loop(
+        lambda q: None,
+        QUERIES,
+        offered_qps=100.0,
+        duration_s=0.2,
+        n_workers=2,
+        writer=writer,
+        write_rate=50.0,
+    )
+    assert report["writes"] == writes[0]
+    assert 5 <= report["writes"] <= 15
+    assert report["write_errors"] == 0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError, match="offered_qps"):
+        run_open_loop(lambda q: None, QUERIES, offered_qps=0, duration_s=1.0)
+    with pytest.raises(ValueError, match="duration_s"):
+        run_open_loop(lambda q: None, QUERIES, offered_qps=1.0, duration_s=0)
+    with pytest.raises(ValueError, match="n_workers"):
+        run_open_loop(
+            lambda q: None, QUERIES, offered_qps=1, duration_s=1, n_workers=0
+        )
+    with pytest.raises(ValueError, match="non-empty"):
+        run_open_loop(
+            lambda q: None, np.empty((0, 2)), offered_qps=1, duration_s=1
+        )
