@@ -1,0 +1,180 @@
+"""Kernel-layer benchmark — SoA descent + fused filter vs the legacy paths.
+
+The Fig-8-style end-to-end measurement behind the dtype/SoA work: one
+member-query batch (n=100k, d=8, m=2000, k=10, t=4.0) through the
+kd-tree, with every optimization toggled off (``vectorized_filter``,
+``use_refine_caps``, ``use_flat_descent``) versus all on, best-of-3,
+asserting result-id parity between the two.  A float32 sweep then
+records the storage halving and its runtime.  Results go to
+``benchmarks/results/kernels.txt`` (+ ``.json`` twin), the repo-root
+``BENCH_kernels.json`` trajectory file, and a per-kernel call/byte
+profile of the optimized run to ``benchmarks/results/kernel_profile.*``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_driver import RESULTS_DIR, record
+from repro import kernels
+from repro.core.rdt import RDT
+from repro.distances import EuclideanMetric
+from repro.evaluation import write_bench_json
+from repro.indexes import create_index
+from repro.utils.profiling import profile_kernels
+
+pytestmark = pytest.mark.slow
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+
+N = 100_000
+DIM = 8
+M = 2000
+K = 10
+T = 4.0
+REPS = 3
+
+#: Wall-clock gates on a shared runner (same idiom as test_serving.py):
+#: the optimized path measured ~2.1x here; warn when a run lands under
+#: the 2x target, fail only on a decisive loss a real regression would
+#: produce anywhere.
+SPEEDUP_TARGET = 2.0
+SPEEDUP_FLOOR = 1.4
+
+
+def _set_toggles(index, on: bool):
+    RDT.vectorized_filter = on
+    RDT.use_refine_caps = on
+    if hasattr(index, "use_flat_descent"):
+        index.use_flat_descent = on
+
+
+def _run_batch(index, query_ids, *, optimized: bool, profile=None):
+    """Best-of-REPS wall time for one full member-query batch."""
+    _set_toggles(index, optimized)
+    try:
+        engine = RDT(index)
+        best, ids = np.inf, None
+        for _ in range(REPS):
+            start = time.perf_counter()
+            if profile is not None:
+                with profile_kernels() as prof:
+                    results = engine.query_batch(
+                        query_indices=query_ids, k=K, t=T
+                    )
+                profile.append(prof)
+            else:
+                results = engine.query_batch(query_indices=query_ids, k=K, t=T)
+            best = min(best, time.perf_counter() - start)
+            ids = [sorted(r.ids) for r in results]
+        return best, ids
+    finally:
+        _set_toggles(index, True)
+
+
+def test_kernel_speedup_and_float32_memory_recorded():
+    rng = np.random.default_rng(42)
+    points = rng.normal(size=(N, DIM))
+    query_ids = rng.choice(N, size=M, replace=False)
+
+    # --- float64: legacy vs optimized, bit-parity required -------------
+    f64 = create_index("kd-tree", points)
+    legacy_s, legacy_ids = _run_batch(f64, query_ids, optimized=False)
+    profiles: list = []
+    opt_s, opt_ids = _run_batch(
+        f64, query_ids, optimized=True, profile=profiles
+    )
+    assert legacy_ids == opt_ids, "optimized path changed result ids"
+    speedup = legacy_s / opt_s
+
+    # --- float32: storage halving + runtime ----------------------------
+    f32 = create_index(
+        "kd-tree", points, metric=EuclideanMetric(dtype=np.float32)
+    )
+    assert f32.points.dtype == np.float32
+    matrix_ratio = f64.points.nbytes / f32.points.nbytes
+    layout_ratio = (
+        (f64.points.nbytes + f64._flat_layout().nbytes)
+        / (f32.points.nbytes + f32._flat_layout().nbytes)
+    )
+    f32_s, f32_ids = _run_batch(f32, query_ids, optimized=True)
+    overlap = np.mean(
+        [
+            len(set(a) & set(b)) / max(len(set(a) | set(b)), 1)
+            for a, b in zip(opt_ids, f32_ids)
+        ]
+    )
+
+    lines = [
+        f"Kernel layer — end-to-end member-query batch "
+        f"(n={N}, d={DIM}, m={M}, k={K}, t={T}, kd-tree, best of {REPS}, "
+        f"backend={kernels.active_backend()})",
+        f"{'path':28s} {'dtype':>8s} {'seconds':>9s} {'q/s':>8s}",
+        f"{'legacy (toggles off)':28s} {'float64':>8s} {legacy_s:9.2f} "
+        f"{M / legacy_s:8.0f}",
+        f"{'SoA + fused filter':28s} {'float64':>8s} {opt_s:9.2f} "
+        f"{M / opt_s:8.0f}",
+        f"{'SoA + fused filter':28s} {'float32':>8s} {f32_s:9.2f} "
+        f"{M / f32_s:8.0f}",
+        f"speedup (legacy/optimized, float64, ids bit-match): {speedup:.2f}x",
+        f"float32 point-matrix memory: {matrix_ratio:.2f}x smaller "
+        f"({layout_ratio:.2f}x with flat layouts)",
+        f"float32 vs float64 result-id Jaccard: {overlap:.4f}",
+    ]
+
+    payload = {
+        "benchmark": "kernels",
+        "n": N,
+        "dim": DIM,
+        "m": M,
+        "k": K,
+        "t": T,
+        "reps": REPS,
+        "backend": "kd-tree",
+        "kernel_backend": kernels.active_backend(),
+        "jit_available": kernels.jit_available(),
+        "legacy_seconds": legacy_s,
+        "optimized_seconds": opt_s,
+        "float32_seconds": f32_s,
+        "speedup": speedup,
+        "float32_matrix_memory_ratio": matrix_ratio,
+        "float32_total_memory_ratio": layout_ratio,
+        "float32_id_jaccard": overlap,
+        "ids_bit_match": True,
+    }
+    record("kernels", "\n".join(lines), data=payload)
+    write_bench_json(BENCH_PATH, payload)
+
+    # Per-kernel profile of the last optimized rep (checked-in artifact;
+    # see repro/utils/profiling.py).
+    prof = profiles[-1]
+    (RESULTS_DIR / "kernel_profile.json").write_text(prof.to_json() + "\n")
+    (RESULTS_DIR / "kernel_profile.txt").write_text(
+        "Per-kernel counters, one optimized member-query batch "
+        f"(n={N}, d={DIM}, m={M}, k={K}, t={T})\n" + prof.summary() + "\n"
+    )
+    assert prof.counters["euclidean_pairwise"].calls > 0
+    assert prof.counters["keeper_update"].calls > 0
+
+    # The float32 matrix is exactly half; flat layouts add int arrays
+    # shared by both dtypes, so the combined ratio sits a little lower.
+    assert matrix_ratio == 2.0
+    assert layout_ratio > 1.6
+    assert overlap > 0.99
+
+    assert speedup > SPEEDUP_FLOOR, (
+        f"optimized kernel path decisively slower than its measured ~2x "
+        f"({speedup:.2f}x < {SPEEDUP_FLOOR}x)"
+    )
+    if speedup < SPEEDUP_TARGET:
+        warnings.warn(
+            f"kernel-layer speedup landed under the {SPEEDUP_TARGET}x "
+            f"target this run ({speedup:.2f}x) — expected on a loaded "
+            "machine, investigate if it persists",
+            stacklevel=2,
+        )

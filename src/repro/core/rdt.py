@@ -73,10 +73,13 @@ from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.core.termination import DimensionalTest
 from repro.core.witness import CandidateStore
+from repro.distances import EuclideanMetric
+from repro import kernels
+from repro.kernels import numpy_impl
 from repro.indexes.base import Index
 from repro.utils.tolerance import DIST_ATOL as _DIST_ATOL
 from repro.utils.tolerance import DIST_RTOL as _DIST_RTOL
-from repro.utils.tolerance import dist_le_many
+from repro.utils.tolerance import dist_le_many, inflate
 from repro.utils.validation import (
     as_query_point,
     check_k,
@@ -88,7 +91,13 @@ __all__ = ["RDT", "VARIANTS"]
 
 VARIANTS = ("rdt", "rdt+")
 
-#: Peak doubles per pairwise block of the batched filter phase.
+#: Peak doubles of gathered-coordinate work per block of the batched
+#: filter phase (the row budget divides this by n * dim).  Results are
+#: block-size independent — the pairwise kernel's centering decision
+#: depends only on Y, and selection/witness math is per-row — but time is
+#: not: column budgets (preselect width, witness tensor sides) are maxima
+#: over the block's rows, so wide blocks make every row pay for the
+#: widest one.  Keep blocks narrow.
 _FILTER_BLOCK = 4 * 1024 * 1024
 
 
@@ -133,6 +142,17 @@ class RDT(EngineBase):
     supports_batch = True
     query_knobs = ("t",)
     batch_knobs = ("filter_mode",)
+
+    #: Blocked, row-parallel selection and omega recursion in the batched
+    #: filter (``False`` restores the historical one-query-at-a-time loop;
+    #: results are identical either way — the kernel benchmarks flip this
+    #: to measure the baseline).
+    vectorized_filter = True
+    #: Seed the refinement's batched kNN with triangle-inequality caps on
+    #: each candidate's k-th NN distance, so the tree descent prunes from
+    #: the first node instead of warming up its radii from ``inf``.  Pure
+    #: pruning: the returned distances are identical with or without it.
+    use_refine_caps = True
 
     def __init__(
         self,
@@ -360,14 +380,19 @@ class RDT(EngineBase):
     ) -> list[CandidateStore]:
         """Vectorized filter phase for ``variant="rdt"``.
 
-        Each query's distances to the whole active set come from one
-        ``metric.to_point`` call — the same kernel invocation the
-        sequential scan's ``iter_neighbors`` makes, so the values (and
-        therefore tie-group structure and termination rank) are
-        bit-identical to a looped :meth:`query`.  The termination rank,
-        final witness counts and lazy decisions then follow in closed
-        form (see the module docstring for why the sequential recursion
-        collapses when every retrieved point is stored).
+        Each query's distances to the whole active set carry the same bits
+        as the sequential scan's per-query ``metric.to_point`` call (the
+        row-block ``to_point_many`` kernel evaluates the identical
+        elementwise expression), so tie-group structure and termination
+        rank are bit-identical to a looped :meth:`query`.  The termination
+        rank, final witness counts and lazy decisions then follow in
+        closed form (see the module docstring for why the sequential
+        recursion collapses when every retrieved point is stored).
+
+        With :attr:`vectorized_filter` the selection, sort, and omega
+        recursion run row-parallel over blocks of queries; rows whose
+        selection straddles a tie group at the rank cap fall back to the
+        per-row closed form, which handles straddling exactly.
         """
         index = self.index
         metric = index.metric
@@ -378,27 +403,290 @@ class RDT(EngineBase):
         rank_cap = probe.rank_cap
         termination_rank = probe.termination_rank
         inv_t = 1.0 / probe.t
+        m = query_points.shape[0]
 
-        stores: list[CandidateStore] = []
-        for row in range(query_points.shape[0]):
-            stats = stats_list[row]
-            started = time.perf_counter()
-            calls_before = metric.num_calls
-            dists = metric.to_point(points, query_points[row])
-            store = self._filter_one_from_distances(
-                dists,
-                active,
-                int(exclude[row]),
-                k,
-                termination_rank,
-                rank_cap,
-                inv_t,
-                stats,
-            )
-            stats.num_distance_calls = metric.num_calls - calls_before
-            stats.filter_seconds = time.perf_counter() - started
-            stores.append(store)
-        return stores
+        if not self.vectorized_filter or n == 0:
+            stores: list[CandidateStore] = []
+            for row in range(m):
+                stats = stats_list[row]
+                started = time.perf_counter()
+                calls_before = metric.num_calls
+                dists = metric.to_point(points, query_points[row])
+                store = self._filter_one_from_distances(
+                    dists,
+                    active,
+                    int(exclude[row]),
+                    k,
+                    termination_rank,
+                    rank_cap,
+                    inv_t,
+                    stats,
+                )
+                stats.num_distance_calls = metric.num_calls - calls_before
+                stats.filter_seconds = time.perf_counter() - started
+                stores.append(store)
+            return stores
+
+        out: list[CandidateStore | None] = [None] * m
+        m_scale = (
+            self._max_centered_norm_sq(points) if self.use_witnesses else 0.0
+        )
+        bound_scale = (
+            4.0 * 1000.0 * index.dim * float(np.finfo(points.dtype).eps) * m_scale
+            if self.use_witnesses
+            else None
+        )
+        fast_select = isinstance(metric, EuclideanMetric)
+        presel_err = (
+            self._preselect_error_bound(query_points, points)
+            if fast_select
+            else 0.0
+        )
+        all_points = index.points
+        points_mu = points.mean(axis=0) if n else None
+        limit = min(rank_cap, n)
+        presel_stats = None
+        if fast_select and limit < n and kernels.active_backend() == "numpy":
+            # Hoist the pairwise kernel's Y-side passes (squared norms,
+            # mean, centering decision — chunk-independent by design) out
+            # of the per-block loop; the stats variant then reproduces
+            # metric.pairwise(qblock, points) bit-for-bit.
+            presel_stats = numpy_impl.euclidean_y_stats(points)
+        # Column-constant parts of the omega recursion: rank r sits at
+        # column r - 1 of every sorted selection row.
+        col_ranks = np.arange(1, limit + 1, dtype=np.int64)
+        rank_eligible = col_ranks > termination_rank
+        ratio_row = np.where(
+            rank_eligible, (col_ranks / termination_rank) ** inv_t - 1.0, np.inf
+        )
+        cap_cols = (col_ranks >= rank_cap)[None, :]
+
+        block = max(1, _FILTER_BLOCK // max(1, n * max(1, index.dim)))
+        for start in range(0, m, block):
+            stop = min(m, start + block)
+            width = stop - start
+            t_block = time.perf_counter()
+            qblock = query_points[start:stop]
+            cols = None
+            if fast_select and limit < n:
+                # Squared-domain preselection with the dgemm expansion
+                # kernel: the exact ``limit`` smallest distances (with all
+                # their ties) of every row are guaranteed to sit among its
+                # columns with approx-squared value within ``2 * presel_err``
+                # of the row's limit-th smallest — exact distances are then
+                # recomputed only for that thin slab of columns.
+                if presel_stats is not None:
+                    asq = kernels.euclidean_pairwise_stats(
+                        qblock, *presel_stats
+                    )
+                    metric.num_calls += width * n
+                else:
+                    asq = metric.pairwise(qblock, points)
+                np.square(asq, out=asq)
+                lp = limit + 64
+                if lp < n:
+                    # One O(n)-selection pass: the limit-th smallest (for
+                    # the threshold) and the candidate columns both come
+                    # from the same ``lp``-wide argpartition.  When every
+                    # row's prefix boundary value exceeds its threshold,
+                    # the prefix provably contains all below-threshold
+                    # entries and is itself a valid column superset — the
+                    # downstream selection works on exact recomputed
+                    # distances, so extra columns are harmless — and the
+                    # full-width counting pass is skipped entirely.
+                    part = np.argpartition(asq, lp - 1, axis=1)[:, :lp]
+                    vals = np.take_along_axis(asq, part, axis=1)
+                    thr = (
+                        np.partition(vals, limit - 1, axis=1)[:, limit - 1]
+                        + 2.0 * presel_err
+                    )
+                    if bool((vals.max(axis=1) > thr).all()):
+                        cols = np.sort(part, axis=1)
+                else:
+                    thr = (
+                        np.partition(asq, limit - 1, axis=1)[:, limit - 1]
+                        + 2.0 * presel_err
+                    )
+                if cols is None:
+                    # Tie plateau at the prefix boundary (or no usable
+                    # prefix): fall back to the exact counting pass.
+                    maxc = int(
+                        np.count_nonzero(asq <= thr[:, None], axis=1).max()
+                    )
+                    if maxc < n:
+                        cols = np.sort(
+                            np.argpartition(asq, maxc - 1, axis=1)[:, :maxc],
+                            axis=1,
+                        )
+                if cols is not None:
+                    # Bit-identical to per-point ``to_point``: same
+                    # subtraction, same contiguous last-axis reduction.
+                    diff = points[cols] - qblock[:, None, :]
+                    sub_d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+                del asq
+            if cols is None:
+                sub_d = metric.to_point_many(qblock, points)
+            share_seconds = (time.perf_counter() - t_block) / width
+
+            nc = sub_d.shape[1]
+            if limit < nc:
+                part = np.argpartition(sub_d, limit - 1, axis=1)[:, :limit]
+                # Ascending positions restore ascending ids (active is
+                # sorted and cols rows are sorted), so a stable sort by
+                # distance afterwards equals the per-row
+                # lexsort((ids, dists)).
+                pos = np.sort(part, axis=1)
+                sel = np.take_along_axis(sub_d, pos, axis=1)
+                order = np.argsort(sel, axis=1, kind="stable")
+                sel = np.take_along_axis(sel, order, axis=1)
+                pos = np.take_along_axis(pos, order, axis=1)
+                counts = np.count_nonzero(
+                    sub_d <= sel[:, -1][:, None], axis=1
+                )
+                # Rows where a tie group straddles the cap retrieve more
+                # than ``limit`` points; leave them to the per-row path.
+                # (Preselection never hides straddles: every point within
+                # tolerance of the limit-th distance is among the columns.)
+                regular = counts == limit
+            else:
+                pos = np.argsort(sub_d, axis=1, kind="stable")
+                sel = np.take_along_axis(sub_d, pos, axis=1)
+                regular = np.ones(width, dtype=bool)
+
+            reg = np.flatnonzero(regular)
+            if reg.shape[0]:
+                sd = sel[reg]
+                nreg = reg.shape[0]
+                is_end = np.empty(sd.shape, dtype=bool)
+                if sd.shape[1] > 1:
+                    np.not_equal(sd[:, 1:], sd[:, :-1], out=is_end[:, :-1])
+                is_end[:, -1] = True
+                eligible = is_end & rank_eligible[None, :] & (sd > 0.0)
+                bounds = np.full(sd.shape, np.inf)
+                np.divide(
+                    sd,
+                    ratio_row[None, :],
+                    out=bounds,
+                    where=eligible & (ratio_row > 0.0)[None, :],
+                )
+                omega_run = np.minimum.accumulate(bounds, axis=1)
+                terminating = is_end & ((sd > omega_run) | cap_cols)
+                first_end = np.argmax(terminating, axis=1)
+                has_hit = terminating[np.arange(nreg), first_end]
+                ret = np.where(has_hit, first_end + 1, sd.shape[1])
+
+                # Compact every regular row's candidate set (retrieved
+                # prefix minus the query itself) into padded (nreg, c)
+                # arrays so witness counting runs as one batched kernel.
+                max_r = int(ret.max())
+                pos_r = pos[reg, :max_r]
+                if cols is not None:
+                    gpos = np.take_along_axis(cols[reg], pos_r, axis=1)
+                else:
+                    gpos = pos_r
+                ids_mat = active[gpos]
+                d_mat = sd[:, :max_r]
+                valid = np.arange(max_r)[None, :] < ret[:, None]
+                keep = valid & (ids_mat != exclude[start:stop][reg][:, None])
+                sizes = keep.sum(axis=1)
+                c = int(sizes.max()) if nreg else 0
+                corder = np.argsort(~keep, axis=1, kind="stable")[:, :c]
+                cand_ids = np.take_along_axis(ids_mat, corder, axis=1)
+                cand_d = np.take_along_axis(d_mat, corder, axis=1)
+                cvalid = np.arange(c)[None, :] < sizes[:, None]
+
+                counts_w = None
+                dk = None
+                if self.use_witnesses and c:
+                    counts_w, dk = self._batched_witnesses(
+                        all_points,
+                        points_mu,
+                        cand_ids,
+                        cand_d,
+                        cvalid,
+                        k,
+                        m_scale,
+                    )
+
+                arange_cache: dict[int, np.ndarray] = {}
+                for j in range(nreg):
+                    row = start + int(reg[j])
+                    stats = stats_list[row]
+                    t_row = time.perf_counter()
+                    if has_hit[j]:
+                        g = int(first_end[j])
+                        stats.omega = float(omega_run[j, g])
+                        stats.terminated_by = (
+                            "omega" if sd[j, g] > omega_run[j, g] else "rank-cap"
+                        )
+                    else:
+                        # Only reachable when the selection covered the
+                        # whole index.
+                        stats.omega = float(omega_run[j, -1])
+                        stats.terminated_by = "exhausted"
+                    size = int(sizes[j])
+                    cid = cand_ids[j, :size].astype(np.intp)
+                    cd = np.array(cand_d[j, :size])
+                    cpts = all_points[cid]
+                    witnesses = np.zeros(size, dtype=np.int64)
+                    decided = np.zeros(size, dtype=bool)
+                    accepted = np.zeros(size, dtype=bool)
+                    dk_caps = None
+                    wit_calls = 0
+                    if size and self.use_witnesses:
+                        witnesses = np.array(counts_w[j, :size])
+                        wit_calls = size * size
+                        if dk is not None:
+                            dk_caps = dk[j, :size].copy()
+                        ar = arange_cache.get(size)
+                        if ar is None:
+                            ar = np.arange(size)
+                            arange_cache[size] = ar
+                        decided = (ar < size - 1) & (2.0 * cd <= cd[-1])
+                        accepted = decided & (witnesses < k)
+                    store = CandidateStore(index.dim, metric, k)
+                    store._ids = cid
+                    store._points = cpts
+                    store._query_dists = cd
+                    store._witnesses = witnesses
+                    store._decided = decided
+                    store._accepted = accepted
+                    store.size = size
+                    store.dk_caps = dk_caps
+                    out[row] = store
+                    stats.num_retrieved = int(ret[j])
+                    stats.num_candidates = size
+                    stats.num_excluded = 0
+                    stats.num_distance_calls = n + wit_calls
+                    stats.filter_seconds = share_seconds + (
+                        time.perf_counter() - t_row
+                    )
+
+            for row_local in np.flatnonzero(~regular):
+                row = start + int(row_local)
+                stats = stats_list[row]
+                t_row = time.perf_counter()
+                calls_row = metric.num_calls
+                if cols is None:
+                    dists_full = sub_d[row_local]
+                else:
+                    dists_full = metric.to_point(points, query_points[row])
+                out[row] = self._filter_one_from_distances(
+                    dists_full,
+                    active,
+                    int(exclude[row]),
+                    k,
+                    termination_rank,
+                    rank_cap,
+                    inv_t,
+                    stats,
+                    bound_scale,
+                )
+                stats.num_distance_calls = n + (metric.num_calls - calls_row)
+                stats.filter_seconds = share_seconds + (
+                    time.perf_counter() - t_row
+                )
+        return out
 
     def _filter_one_from_distances(
         self,
@@ -410,6 +698,7 @@ class RDT(EngineBase):
         rank_cap: int,
         inv_t: float,
         stats: QueryStats,
+        bound_scale: float | None = None,
     ) -> CandidateStore:
         """Closed-form filter outcome for one query, given all distances."""
         n = dists.shape[0]
@@ -469,8 +758,27 @@ class RDT(EngineBase):
             stats.omega = float(omega_run[-1]) if ends.shape[0] else float("inf")
             stats.terminated_by = "exhausted"
 
-        prefix_ids = sel_ids[:retrieved]
-        prefix_dists = sel_dists[:retrieved]
+        return self._finish_store(
+            sel_ids[:retrieved],
+            sel_dists[:retrieved],
+            query_index,
+            k,
+            retrieved,
+            stats,
+            bound_scale,
+        )
+
+    def _finish_store(
+        self,
+        prefix_ids: np.ndarray,
+        prefix_dists: np.ndarray,
+        query_index: int,
+        k: int,
+        retrieved: int,
+        stats: QueryStats,
+        bound_scale: float | None = None,
+    ) -> CandidateStore:
+        """Candidate store for one query from its retrieved prefix."""
         if query_index >= 0:
             keep = prefix_ids != query_index
             cand_ids = prefix_ids[keep]
@@ -489,7 +797,7 @@ class RDT(EngineBase):
             # B(x, d(q, x)); all of them are retrieved before any point at
             # distance >= 2 d(q, x), so the count at lazy-decision time
             # equals the final count.
-            witnesses = self._count_witnesses(cand_points, cand_dists)
+            witnesses = self._count_witnesses(cand_points, cand_dists, bound_scale)
             # x is decided iff a later-retrieved point completed its ball:
             # candidates are in retrieval order, so the last one decides all
             # the others whose doubled query distance it covers.
@@ -511,8 +819,166 @@ class RDT(EngineBase):
         stats.num_excluded = 0
         return store
 
+    @staticmethod
+    def _preselect_error_bound(queries: np.ndarray, points: np.ndarray) -> float:
+        """Absolute error bound on the expansion kernel's squared distances.
+
+        Mirrors the centering decision of the dispatched pairwise kernel
+        (``repro.kernels.numpy_impl.euclidean_pairwise``): when the kernel
+        centers on the point mean, errors scale with the centered squared
+        norms; otherwise with the raw ones.  The factor is deliberately
+        generous (the true bound is ``~log2(dim)`` epsilons) — a too-large
+        bound only widens the preselection by a few columns.
+        """
+        if points.shape[0] == 0 or queries.shape[0] == 0:
+            return 0.0
+        yy = np.einsum("ij,ij->i", points, points)
+        mu = points.mean(axis=0)
+        offset_sq = float(mu @ mu)
+        spread_sq = max(float(yy.mean()) - offset_sq, 0.0)
+        if offset_sq > 100.0 * spread_sq:
+            q = queries - mu
+            p = points - mu
+            yy = np.einsum("ij,ij->i", p, p)
+        else:
+            q = queries
+        xx = np.einsum("ij,ij->i", q, q)
+        m_sq = max(float(xx.max()), float(yy.max()))
+        eps = float(np.finfo(points.dtype).eps)
+        return 1000.0 * points.shape[1] * eps * m_sq
+
+    def _batched_witnesses(
+        self,
+        all_points: np.ndarray,
+        points_mu: np.ndarray,
+        cand_ids: np.ndarray,
+        cand_d: np.ndarray,
+        cvalid: np.ndarray,
+        k: int,
+        m_scale: float,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Witness counts for a block of candidate sets in one batched kernel.
+
+        ``cand_ids``/``cand_d`` are ``(r, c)`` padded candidate ids and
+        exact query distances; ``cvalid`` masks the padding.  Returns
+        ``(counts, dk_caps)``: per-candidate witness counts and optional
+        upper bounds on each candidate's true k-th NN distance (``inf``
+        where underfull).
+
+        The distance tensor is assembled in float32 on globally centered
+        coordinates: the comparisons run in the squared domain, where every
+        decision farther than the float32-scaled error bound from its
+        boundary provably matches the exact per-pair computation, and each
+        entry inside that band is recomputed individually with the same
+        subtract/einsum/sqrt bit recipe as :meth:`Metric.to_point` — so the
+        counts equal the sequential path's everywhere, at half the memory
+        traffic of a float64 tensor.
+        """
+        eps32 = float(np.finfo(np.float32).eps)
+        # ``m_scale`` is the full set's largest centered squared norm.
+        # This path centers on the full-set mean, so every norm here is
+        # bounded by m_scale directly (no subset-mean headroom), and the
+        # true float32 assembly error is ~(dim + 14) * eps32 * m_scale; a
+        # 32x margin keeps the bound sound with a thin repair band — the
+        # scalar path's 1000x slack would flag a visible fraction of all
+        # entries at float32 eps and melt the batched win into repairs.
+        dim = all_points.shape[1]
+        err32 = 32.0 * (dim + 16.0) * eps32 * m_scale
+        cp = (all_points[cand_ids] - points_mu).astype(
+            np.float32, copy=False
+        )
+        nn = np.einsum("ijk,ijk->ij", cp, cp)
+        # Padding rows get an inf norm, which floods their sq rows AND
+        # columns with inf — they can never witness or be witnessed.
+        nn[~cvalid] = np.inf
+        sq = cp @ cp.swapaxes(1, 2)
+        sq *= np.float32(-2.0)
+        sq += nn[:, :, None]
+        sq += nn[:, None, :]
+        np.maximum(sq, np.float32(0.0), out=sq)
+        c = sq.shape[1]
+        diag = np.arange(c)
+        sq[:, diag, diag] = np.inf
+        bound_sq = np.where(
+            cvalid,
+            np.square(cand_d.astype(np.float32)),
+            np.float32(-np.inf),
+        )
+        b3 = bound_sq[:, None, :]
+        max_bsq = np.max(
+            np.where(cvalid, bound_sq, np.float32(0.0)), axis=1
+        ).astype(np.float64)
+        # The band must absorb the float32 kernel error, the float32
+        # rounding of the bounds themselves, and the distance-domain
+        # comparison tolerance mapped into the squared domain; the 1.25
+        # headroom also covers the cast of the threshold back to float32.
+        threshold = (
+            1.25
+            * (
+                err32
+                + 8.0 * eps32 * max_bsq
+                + 2.0 * (_DIST_RTOL * max_bsq + _DIST_ATOL)
+            )
+        ).astype(np.float32)[:, None, None]
+        # Entries within the band (or non-finite — overflow in float32)
+        # cannot be decided from the float32 tensor; written as a negated
+        # comparison so NaNs land in the repair set.
+        flagged = ~(np.abs(sq - b3) > threshold)
+        counts = np.count_nonzero((sq < b3) & ~flagged, axis=1)
+        if flagged.any():
+            # Per-entry exact repair: recompute each flagged pair with the
+            # raw (uncentered) rows and the contiguous last-axis einsum —
+            # bit-identical to Metric.to_point — then compare strictly in
+            # the distance domain exactly like the sequential path.
+            w_i, i_i, j_i = np.nonzero(flagged)
+            diff = all_points[cand_ids[w_i, i_i]] - all_points[
+                cand_ids[w_i, j_i]
+            ]
+            exact = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            np.add.at(counts, (w_i, j_i), exact < cand_d[w_i, j_i])
+        dk = None
+        if c > k:
+            # k-th smallest candidate-to-candidate distance per column is
+            # an upper bound on that candidate's true k-th NN distance
+            # (all candidates are distinct member points); widened by the
+            # float32 kernel error bound so it stays valid against exact
+            # bits.  Caps are pure pruning hints, so float32 precision is
+            # fine as long as the bound stays an upper bound.
+            sq_t = np.ascontiguousarray(sq.swapaxes(1, 2))
+            sq_t.partition(k - 1, axis=2)
+            dk = np.sqrt(sq_t[:, :, k - 1].astype(np.float64) + err32)
+            dk[~np.isfinite(dk)] = np.inf
+        return counts, dk
+
+    @staticmethod
+    def _witness_bound_scale(points: np.ndarray) -> float:
+        """Kernel-error scale valid for any candidate subset of ``points``.
+
+        :meth:`_count_witnesses` screens entries near the decision boundary
+        against an error bound proportional to the largest centered squared
+        norm of the candidate set.  A subset's own centered norms can
+        exceed the full set's by at most 2x (the subset mean is a convex
+        combination of full-set points), so 4x the full-set scale is
+        conservative for every per-query candidate set and can be computed
+        once per batch instead of once per query.
+        """
+        eps = float(np.finfo(points.dtype).eps)
+        max_norm_sq = RDT._max_centered_norm_sq(points)
+        return 4.0 * 1000.0 * points.shape[1] * eps * max_norm_sq
+
+    @staticmethod
+    def _max_centered_norm_sq(points: np.ndarray) -> float:
+        """Largest squared norm of ``points`` centered on their mean."""
+        if points.shape[0] == 0:
+            return 0.0
+        centered = points - points.mean(axis=0)
+        return float(np.einsum("ij,ij->i", centered, centered).max())
+
     def _count_witnesses(
-        self, cand_points: np.ndarray, cand_dists: np.ndarray
+        self,
+        cand_points: np.ndarray,
+        cand_dists: np.ndarray,
+        bound_scale: float | None = None,
     ) -> np.ndarray:
         """Witness counts for one query's candidate set, column-chunked.
 
@@ -529,10 +995,11 @@ class RDT(EngineBase):
         metric = self.index.metric
         size, dim = cand_points.shape
         witnesses = np.empty(size, dtype=np.int64)
-        eps = float(np.finfo(np.float64).eps)
-        centered = cand_points - cand_points.mean(axis=0)
-        max_norm_sq = float(np.einsum("ij,ij->i", centered, centered).max())
-        bound_scale = 1000.0 * dim * eps * max_norm_sq
+        if bound_scale is None:
+            eps = float(np.finfo(cand_points.dtype).eps)
+            centered = cand_points - cand_points.mean(axis=0)
+            max_norm_sq = float(np.einsum("ij,ij->i", centered, centered).max())
+            bound_scale = 1000.0 * dim * eps * max_norm_sq
         block = max(16, _FILTER_BLOCK // max(1, size))
         for start in range(0, size, block):
             stop = min(size, start + block)
@@ -601,20 +1068,69 @@ class RDT(EngineBase):
             )
             started = time.perf_counter()
             calls_before = metric.num_calls
-            # Candidates are always member points verified against
-            # S \ {candidate}, so their k-th NN distance is independent of
-            # which query asked: verify each distinct candidate once and
-            # scatter the answer back to every occurrence in the batch.
-            unique_ids, first_rows, inverse = np.unique(
-                exclude, return_index=True, return_inverse=True
-            )
-            kth_unique = self.index.knn_distances(
-                rows[first_rows], k, exclude_indices=unique_ids
-            )
-            kth_dists = kth_unique[inverse]
+            occ_caps = None
+            if self.use_refine_caps:
+                # Per-occurrence upper bounds on each candidate's k-th NN
+                # distance.  Triangle bound: the k + 1 filter candidates
+                # closest to q all sit within spill = (k+1)-th smallest
+                # d(q, .) of q, so at least k points other than x lie
+                # within d(q, x) + spill of x.  The filter's dk_caps
+                # (k-th NN among the candidate set itself) are usually far
+                # tighter.  Inflated so kernel round-off can never make a
+                # cap exclusive of a true k-th neighbor.
+                occ_caps = np.full(total_rows, np.inf)
+                offset = 0
+                for store, slots in zip(stores, slots_list):
+                    count = int(slots.shape[0])
+                    if count:
+                        bound = np.full(count, np.inf)
+                        if store.size > k:
+                            spill = float(
+                                np.partition(store.query_dists, k)[k]
+                            )
+                            bound = (
+                                store.query_dists[slots].astype(np.float64)
+                                + spill
+                            )
+                        if store.dk_caps is not None:
+                            bound = np.minimum(bound, store.dk_caps[slots])
+                        occ_caps[offset : offset + count] = bound
+                    offset += count
+                occ_caps = inflate(occ_caps, dtype=rows.dtype)
+            hits = np.zeros(total_rows, dtype=bool)
+            if occ_caps is None:
+                alive = np.ones(total_rows, dtype=bool)
+            else:
+                # Cap pre-reject: the final test is a tolerant
+                # d(q, x) <= kth(x), and the computed kth can never exceed
+                # the inflated cap — so a candidate already failing the
+                # test against its cap fails it against kth too, and never
+                # needs the search.
+                alive = dist_le_many(query_dists, occ_caps)
+            if np.any(alive):
+                a_idx = np.flatnonzero(alive)
+                # Candidates are always member points verified against
+                # S \ {candidate}, so their k-th NN distance is independent
+                # of which query asked: verify each distinct candidate once
+                # and scatter the answer back to every occurrence.
+                unique_ids, first_rows, inverse = np.unique(
+                    exclude[a_idx], return_index=True, return_inverse=True
+                )
+                caps = None
+                if occ_caps is not None:
+                    caps = np.full(unique_ids.shape[0], np.inf)
+                    np.minimum.at(caps, inverse, occ_caps[a_idx])
+                kth_unique = self.index.knn_distances(
+                    rows[a_idx][first_rows],
+                    k,
+                    exclude_indices=unique_ids,
+                    prune_caps=caps,
+                )
+                hits[a_idx] = dist_le_many(
+                    query_dists[a_idx], kth_unique[inverse]
+                )
             shared_calls = metric.num_calls - calls_before
             shared_seconds = time.perf_counter() - started
-            hits = dist_le_many(query_dists, kth_dists)
             offset = 0
             for i, count in enumerate(row_counts):
                 hits_list[i] = hits[offset : offset + count]

@@ -40,14 +40,21 @@ _INITIAL_CAPACITY = 64
 class CandidateStore:
     """Growable arrays holding the filter set ``F`` and its witness state."""
 
+    #: Optional per-candidate upper bounds on each candidate's k-th NN
+    #: distance, derived from the batched witness matrix; the refinement
+    #: seeds its tree descent with them as pruning caps.
+    dk_caps = None
+
     def __init__(self, dim: int, metric: Metric, k: int) -> None:
         self._metric = metric
         self._k = k
         self._dim = dim
         capacity = _INITIAL_CAPACITY
+        # Candidate rows and distances follow the metric's dtype policy, so
+        # a float32 pipeline stays float32 through the filter set.
         self._ids = np.empty(capacity, dtype=np.intp)
-        self._points = np.empty((capacity, dim), dtype=np.float64)
-        self._query_dists = np.empty(capacity, dtype=np.float64)
+        self._points = np.empty((capacity, dim), dtype=metric.dtype)
+        self._query_dists = np.empty(capacity, dtype=metric.dtype)
         self._witnesses = np.zeros(capacity, dtype=np.int64)
         #: accept/reject decision has been taken for the candidate
         self._decided = np.zeros(capacity, dtype=bool)
@@ -70,10 +77,10 @@ class CandidateStore:
         ids = np.empty(new_capacity, dtype=np.intp)
         ids[: self.size] = self._ids[: self.size]
         self._ids = ids
-        points = np.empty((new_capacity, self._dim), dtype=np.float64)
+        points = np.empty((new_capacity, self._dim), dtype=self._points.dtype)
         points[: self.size] = self._points[: self.size]
         self._points = points
-        query_dists = np.empty(new_capacity, dtype=np.float64)
+        query_dists = np.empty(new_capacity, dtype=self._query_dists.dtype)
         query_dists[: self.size] = self._query_dists[: self.size]
         self._query_dists = query_dists
         for name in ("_witnesses", "_decided", "_accepted"):

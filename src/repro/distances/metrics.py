@@ -21,11 +21,22 @@ Every metric implements three primitives:
 Distance evaluations performed through a metric are counted in
 :attr:`Metric.num_calls` (one "call" per scalar distance produced), which the
 evaluation harness uses as a machine-independent cost measure.
+
+**Dtype policy.**  The metric owns the numeric storage policy for every
+consumer built on it: ``Metric(dtype=...)`` selects ``float64`` (default)
+or ``float32``, every kernel coerces its operands to that dtype and
+returns it, and indexes store their point matrix in the metric's dtype.
+The comparison tolerances for each tier are documented in
+:mod:`repro.utils.tolerance` (float32 kernels agree to ~1e-4 relative);
+:func:`repro.utils.tolerance.tolerances_for` maps :attr:`Metric.dtype` to
+the matching ``(rtol, atol)``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro import kernels
 
 __all__ = [
     "Metric",
@@ -36,19 +47,43 @@ __all__ = [
     "get_metric",
 ]
 
+_SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def _check_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(np.float64 if dtype is None else dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"metric dtype must be float64 or float32, got {resolved.name!r}"
+        )
+    return resolved
+
 
 class Metric:
     """Base class for distance metrics.
 
     Subclasses implement :meth:`_dist_matrix`; the public entry points handle
     input coercion and the distance-call accounting shared by all metrics.
+
+    Parameters
+    ----------
+    dtype:
+        Numeric policy for every kernel: ``float64`` (default) or
+        ``float32``.  Inputs of any other dtype are coerced on entry, so
+        a float32 metric never silently computes in float64 and vice
+        versa.
     """
 
     #: Human-readable identifier, e.g. ``"euclidean"``.
     name: str = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, dtype=None) -> None:
         self.num_calls: int = 0
+        self.dtype: np.dtype = _check_dtype(dtype)
+
+    def _coerce(self, arr) -> np.ndarray:
+        """Coerce an operand to this metric's dtype (no copy when it matches)."""
+        return np.asarray(arr, dtype=self.dtype)
 
     # ------------------------------------------------------------------
     # Public API
@@ -61,13 +96,13 @@ class Metric:
         tolerance policy in :mod:`repro.utils.tolerance` relies on decision
         boundaries never mixing kernels gratuitously.
         """
-        y = np.asarray(y, dtype=np.float64)
-        return float(self.to_point(np.asarray(x, dtype=np.float64)[None, :], y)[0])
+        y = self._coerce(y)
+        return float(self.to_point(self._coerce(x)[None, :], y)[0])
 
     def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return distances from each row of ``X`` to the point ``y``."""
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        X = self._coerce(X)
+        y = self._coerce(y)
         if X.ndim == 1:
             X = X[None, :]
         self.num_calls += X.shape[0]
@@ -75,13 +110,13 @@ class Metric:
 
     def pairwise(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
         """Return the distance matrix between rows of ``X`` and rows of ``Y``."""
-        X = np.asarray(X, dtype=np.float64)
+        X = self._coerce(X)
         if X.ndim == 1:
             X = X[None, :]
         if Y is None:
             Y = X
         else:
-            Y = np.asarray(Y, dtype=np.float64)
+            Y = self._coerce(Y)
             if Y.ndim == 1:
                 Y = Y[None, :]
         self.num_calls += X.shape[0] * Y.shape[0]
@@ -96,8 +131,8 @@ class Metric:
         difference kernel as :meth:`to_point`, so bound values share that
         kernel's round-off behavior.
         """
-        X = np.asarray(X, dtype=np.float64)
-        Y = np.asarray(Y, dtype=np.float64)
+        X = self._coerce(X)
+        Y = self._coerce(Y)
         if X.shape != Y.shape:
             raise ValueError(
                 f"paired distances need equal shapes, got {X.shape} and {Y.shape}"
@@ -116,17 +151,33 @@ class Metric:
         sequential per-point path.  Subclasses override the generic
         column loop with an equivalent broadcast kernel.
         """
-        X = np.asarray(X, dtype=np.float64)
-        Ys = np.asarray(Ys, dtype=np.float64)
-        out = np.empty((X.shape[0], Ys.shape[0]), dtype=np.float64)
+        X = self._coerce(X)
+        Ys = self._coerce(Ys)
+        out = np.empty((X.shape[0], Ys.shape[0]), dtype=self.dtype)
         for col in range(Ys.shape[0]):
             out[:, col] = self.to_point(X, Ys[col])
         return out
 
+    def boxes_lower_bounds(
+        self, queries: np.ndarray, clipped: np.ndarray
+    ) -> np.ndarray:
+        """Distances from each query row to its clamp in a stack of boxes.
+
+        ``clipped`` has shape ``(r, E, dim)`` — each query row clamped
+        into ``E`` axis-aligned boxes.  Returns ``(r, E)`` through the
+        same difference kernel as :meth:`paired`, without materializing
+        the broadcast query copies a flattened ``paired`` call would
+        need.  This is the flat tree descent's bound kernel.
+        """
+        queries = self._coerce(queries)
+        clipped = self._coerce(clipped)
+        self.num_calls += clipped.shape[0] * clipped.shape[1]
+        return self._diff_kernel(queries[:, None, :] - clipped)
+
     def _to_point_many_via_diff(self, X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
         """Shared broadcast implementation for difference-kernel metrics."""
-        X = np.asarray(X, dtype=np.float64)
-        Ys = np.asarray(Ys, dtype=np.float64)
+        X = self._coerce(X)
+        Ys = self._coerce(Ys)
         self.num_calls += X.shape[0] * Ys.shape[0]
         return self._diff_kernel(X[:, None, :] - Ys[None, :, :])
 
@@ -144,54 +195,46 @@ class Metric:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.dtype == np.float32:
+            return f"{type(self).__name__}(dtype=float32)"
         return f"{type(self).__name__}()"
 
 
 class EuclideanMetric(Metric):
-    """The Euclidean (L2) distance, the paper's experimental metric."""
+    """The Euclidean (L2) distance, the paper's experimental metric.
+
+    The heavy kernels (pairwise expansion, broadcast to_point_many) are
+    routed through the :mod:`repro.kernels` dispatch table, so they pick
+    up the compiled implementations when Numba is available.
+    """
 
     name = "euclidean"
 
     def _dist_matrix(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against negative
-        # round-off before the square root.  Distances are translation
-        # invariant, so when the data sits far from the origin relative to
-        # its spread, both sides are centered on Y's mean first: without
-        # this, such data loses ~eps * ||x||^2 / d(x, y) absolute accuracy
-        # to cancellation in the expansion — far beyond the library's
-        # comparison tolerance.  Near-origin data is left untouched (the
-        # expansion is already accurate there, and exactly-representable
-        # inputs keep their exact distances).  The centering decision and
-        # offset depend only on Y, so results are independent of how
-        # callers chunk X.
-        yy = np.einsum("ij,ij->i", Y, Y)
-        mu = Y.mean(axis=0)
-        offset_sq = float(mu @ mu)
-        spread_sq = max(float(yy.mean()) - offset_sq, 0.0)
-        if offset_sq > 100.0 * spread_sq:
-            X = X - mu
-            Y = Y - mu
-            yy = np.einsum("ij,ij->i", Y, Y)
-        xx = np.einsum("ij,ij->i", X, X)
-        sq = xx[:, None] + yy[None, :] - 2.0 * (X @ Y.T)
-        np.maximum(sq, 0.0, out=sq)
-        return np.sqrt(sq, out=sq)
+        # Centered dot expansion; see repro.kernels.numpy_impl for the
+        # numerical rationale (centering decision depends only on Y, so
+        # results are independent of how callers chunk X).
+        return kernels.euclidean_pairwise(X, Y)
 
     def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
         # Direct subtraction is both faster and more accurate than the
         # dot-product expansion for the single-point case.
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        X = self._coerce(X)
+        y = self._coerce(y)
         if X.ndim == 1:
             X = X[None, :]
         self.num_calls += X.shape[0]
         diff = X - y[None, :]
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
-    # The 3-D einsum reduces each (i, j) row over the contiguous last axis
-    # exactly like to_point's 2-D einsum, so the columns are bit-identical
-    # to per-point calls.
-    to_point_many = Metric._to_point_many_via_diff
+    def to_point_many(self, X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
+        # The dispatched kernel reduces each (i, j) row over the contiguous
+        # last axis exactly like to_point's 2-D einsum, so the columns are
+        # bit-identical to per-point calls.
+        X = self._coerce(X)
+        Ys = self._coerce(Ys)
+        self.num_calls += X.shape[0] * Ys.shape[0]
+        return kernels.euclidean_to_point_many(X, Ys)
 
     def _diff_kernel(self, diff: np.ndarray) -> np.ndarray:
         return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
@@ -206,8 +249,8 @@ class ManhattanMetric(Metric):
         return np.abs(X[:, None, :] - Y[None, :, :]).sum(axis=2)
 
     def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        X = self._coerce(X)
+        y = self._coerce(y)
         if X.ndim == 1:
             X = X[None, :]
         self.num_calls += X.shape[0]
@@ -228,8 +271,8 @@ class ChebyshevMetric(Metric):
         return np.abs(X[:, None, :] - Y[None, :, :]).max(axis=2)
 
     def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        X = self._coerce(X)
+        y = self._coerce(y)
         if X.ndim == 1:
             X = X[None, :]
         self.num_calls += X.shape[0]
@@ -246,8 +289,8 @@ class MinkowskiMetric(Metric):
 
     name = "minkowski"
 
-    def __init__(self, p: float = 2.0) -> None:
-        super().__init__()
+    def __init__(self, p: float = 2.0, dtype=None) -> None:
+        super().__init__(dtype=dtype)
         if p < 1.0:
             raise ValueError(f"Minkowski distance requires p >= 1, got p={p}")
         self.p = float(p)
@@ -257,8 +300,8 @@ class MinkowskiMetric(Metric):
         return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
 
     def to_point(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        X = self._coerce(X)
+        y = self._coerce(y)
         if X.ndim == 1:
             X = X[None, :]
         self.num_calls += X.shape[0]
@@ -272,6 +315,8 @@ class MinkowskiMetric(Metric):
         return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.dtype == np.float32:
+            return f"MinkowskiMetric(p={self.p}, dtype=float32)"
         return f"MinkowskiMetric(p={self.p})"
 
 
@@ -286,7 +331,7 @@ _REGISTRY = {
 }
 
 
-def get_metric(metric: str | Metric | None = None, **kwargs) -> Metric:
+def get_metric(metric: str | Metric | None = None, *, dtype=None, **kwargs) -> Metric:
     """Resolve a metric name (or pass through an instance) to a :class:`Metric`.
 
     Parameters
@@ -296,18 +341,29 @@ def get_metric(metric: str | Metric | None = None, **kwargs) -> Metric:
         registered name such as ``"euclidean"`` / ``"manhattan"`` /
         ``"chebyshev"`` / ``"minkowski"``, or ``None`` for the default
         Euclidean metric.
+    dtype:
+        Numeric policy for a metric constructed here (``None`` →
+        float64).  When ``metric`` is already an instance, its own dtype
+        is authoritative: passing a *different* ``dtype`` raises rather
+        than silently rewrapping.
     kwargs:
         Extra constructor arguments, e.g. ``p=3`` for ``"minkowski"``.
     """
-    if metric is None:
-        return EuclideanMetric()
     if isinstance(metric, Metric):
+        if dtype is not None and np.dtype(dtype) != metric.dtype:
+            raise ValueError(
+                f"metric instance has dtype {metric.dtype.name!r} but "
+                f"dtype={np.dtype(dtype).name!r} was requested; construct the "
+                f"metric with the desired dtype instead"
+            )
         return metric
+    if metric is None:
+        return EuclideanMetric(dtype=dtype)
     key = metric.lower()
     if key == "minkowski":
-        return MinkowskiMetric(**kwargs)
+        return MinkowskiMetric(dtype=dtype, **kwargs)
     if key in _REGISTRY:
-        return _REGISTRY[key](**kwargs)
+        return _REGISTRY[key](dtype=dtype, **kwargs)
     raise ValueError(
         f"Unknown metric {metric!r}; known: {sorted(set(_REGISTRY))} + ['minkowski']"
     )

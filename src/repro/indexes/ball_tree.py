@@ -28,6 +28,7 @@ from repro.indexes.batch_tools import (
     mask_excluded,
 )
 from repro.indexes.build_tools import apply_partition, subtree_point_ids
+from repro.indexes.soa import FlatBallLayout, ball_flat_descent, flatten_ball
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.validation import (
     as_query_point,
@@ -58,10 +59,19 @@ class BallTreeIndex(Index):
     name = "ball-tree"
     supports_remove = True  # lazy removal
 
+    #: Use the structure-of-arrays iterative descent for batched
+    #: ``knn_distances`` (the recursive object-tree walk remains available
+    #: for comparison benchmarks and as the semantics of record).
+    use_flat_descent = True
+
     def __init__(self, data, metric=None, leaf_size: int = 16) -> None:
         super().__init__(data, metric)
         self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
         self._root = self._build(np.arange(self._points.shape[0], dtype=np.intp))
+        #: Lazily built flat node layout (repro.indexes.soa).  The ball
+        #: tree is structurally static (removal is lazy), so the layout
+        #: never goes stale once built; snapshots share it zero-copy.
+        self._layout: FlatBallLayout | None = None
 
     def _repr_knobs(self) -> str:
         return f"leaf_size={self.leaf_size}"
@@ -154,7 +164,7 @@ class BallTreeIndex(Index):
                 yield item, key
 
     def knn_distances(
-        self, query_points, k: int, exclude_indices=None
+        self, query_points, k: int, exclude_indices=None, prune_caps=None
     ) -> np.ndarray:
         """Batched k-th NN distances via a pruned block traversal.
 
@@ -169,14 +179,49 @@ class BallTreeIndex(Index):
         distance work stays in vectorized per-node blocks.
         """
         k = check_k(k)
-        queries = as_query_rows(query_points, dim=self.dim)
+        queries = as_query_rows(query_points, dim=self.dim, dtype=self._points.dtype)
         m = queries.shape[0]
         exclude = check_exclude_indices(exclude_indices, m)
-        keeper = KSmallestKeeper(m, k)
+        keeper = KSmallestKeeper(
+            m, k, dtype=self._points.dtype, caps=prune_caps
+        )
         if m and self.size:
-            rows = np.arange(m, dtype=np.intp)
-            self._batch_visit(self._root, rows, np.zeros(m), queries, exclude, keeper)
-        return keeper.kth
+            if self.use_flat_descent:
+                # Leaf lists can only be trusted when every stored id is
+                # live; a frozen snapshot's mask may postdate removals.
+                all_active = bool(self._active.all()) and not self._frozen
+                ball_flat_descent(
+                    self._flat_layout(),
+                    self.metric,
+                    self._points,
+                    None if all_active else self._active,
+                    queries,
+                    exclude,
+                    keeper,
+                )
+            else:
+                rows = np.arange(m, dtype=np.intp)
+                self._batch_visit(
+                    self._root, rows, np.zeros(m), queries, exclude, keeper
+                )
+        return keeper.result()
+
+    def _flat_layout(self) -> FlatBallLayout:
+        """The flat node arrays, built lazily (the tree is static)."""
+        if self._layout is None:
+            self._layout = flatten_ball(
+                self._root,
+                self.dim,
+                self._points.dtype,
+                points=self._points,
+                metric=self.metric,
+            )
+        return self._layout
+
+    def snapshot(self) -> "BallTreeIndex":
+        # Materialize before freezing so every snapshot shares the arrays.
+        self._flat_layout()
+        return super().snapshot()
 
     def _batch_visit(
         self,

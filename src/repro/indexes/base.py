@@ -97,8 +97,11 @@ class Index:
     _frozen: bool = False
 
     def __init__(self, data, metric: str | Metric | None = None) -> None:
-        self._points = as_dataset(data)
+        # The metric owns the storage dtype policy: resolve it first and
+        # coerce the point matrix to its dtype (float64 unless the caller
+        # opted into a float32 metric).
         self.metric = get_metric(metric)
+        self._points = as_dataset(data, dtype=self.metric.dtype)
         self._active = np.ones(self._points.shape[0], dtype=bool)
         self._version = 0
 
@@ -208,7 +211,7 @@ class Index:
         return float(dists[-1])
 
     def knn_distances(
-        self, points, k: int, exclude_indices=None
+        self, points, k: int, exclude_indices=None, prune_caps=None
     ) -> np.ndarray:
         """Batched k-th NN distances for many query rows at once.
 
@@ -225,6 +228,13 @@ class Index:
             entries exclude nothing).  This is the batched form of
             ``exclude_index`` and serves the library-wide self-exclusive
             kNN-distance convention.
+        prune_caps:
+            Optional ``(m,)`` float array of externally known *upper
+            bounds* on each row's answer (``inf`` = no bound).  A pure
+            pruning hint: backends may use it to seed their pruning radii
+            (see :class:`~repro.indexes.batch_tools.KSmallestKeeper`),
+            but the returned distances are identical with or without it.
+            The chunked default scans everything and ignores it.
 
         The default is a chunked pairwise scan over the active points —
         one vectorized kernel per chunk instead of ``m`` Python-level
@@ -242,7 +252,7 @@ class Index:
         from repro.indexes.bulk_knn import chunked_knn_distances
 
         k = check_k(k)
-        points = as_query_rows(points, dim=self.dim)
+        points = as_query_rows(points, dim=self.dim, dtype=self._points.dtype)
         active = self.active_ids()
         return chunked_knn_distances(
             points,
@@ -294,7 +304,9 @@ class Index:
     def _append_point(self, point) -> int:
         """Append a validated point row; returns the new id."""
         self._check_writable()
-        point = as_query_point(point, dim=self.dim, name="point")
+        point = as_query_point(
+            point, dim=self.dim, name="point", dtype=self._points.dtype
+        )
         self._points = np.vstack([self._points, point[None, :]])
         self._active = np.append(self._active, True)
         self._version += 1

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.distances import Metric
 
 __all__ = [
@@ -38,27 +39,57 @@ class KSmallestKeeper:
     against.  Rows that have collected fewer than ``k`` finite candidates
     keep ``inf`` entries in their buffer, so their radius is ``inf`` and
     they are never pruned (matching the fewer-than-k convention).
+
+    ``caps`` optionally seeds the pruning radii with externally known
+    upper bounds on each row's true k-th NN distance (e.g. the RDT
+    refinement's triangle bounds).  Caps only tighten *pruning*: a
+    subtree skipped because its lower bound is at least ``cap >= kth``
+    cannot contain any of the k nearest, so the final k-smallest pool is
+    exactly the pool an uncapped search collects.  The exact answer is
+    read through :meth:`result` (the pool maximum), never :attr:`kth`,
+    which stays clamped to the caps for pruning.
     """
 
-    def __init__(self, m: int, k: int) -> None:
+    def __init__(self, m: int, k: int, dtype=None, caps=None) -> None:
         self.k = int(k)
-        self._best = np.full((m, self.k), np.inf, dtype=np.float64)
-        #: Current k-th smallest distance per row (the pruning radius).
-        self.kth = np.full(m, np.inf, dtype=np.float64)
+        dtype = np.dtype(np.float64 if dtype is None else dtype)
+        self._best = np.full((m, self.k), np.inf, dtype=dtype)
+        #: Current pruning radius per row: the running k-th smallest,
+        #: clamped to the row's cap when caps were given.
+        self.kth = np.full(m, np.inf, dtype=dtype)
+        self._caps = None
+        if caps is not None:
+            self._caps = np.asarray(caps, dtype=dtype)
+            if self._caps.shape != (m,):
+                raise ValueError(
+                    f"caps must have one entry per query row, got shape "
+                    f"{self._caps.shape} for {m} rows"
+                )
+            np.minimum(self.kth, self._caps, out=self.kth)
 
     def update(self, rows: np.ndarray, cand: np.ndarray) -> None:
         """Merge candidate distances ``cand[(len(rows), c)]`` into the pool.
 
         ``cand`` may contain ``inf`` entries (masked exclusions or removed
-        points); they never displace finite candidates.
+        points); they never displace finite candidates.  The merge itself
+        is the dispatched :func:`repro.kernels.keeper_update` kernel — one
+        of the two profiled hot spots the compiled layer targets.
         """
-        if cand.shape[1] == 0 or rows.shape[0] == 0:
-            return
-        k = self.k
-        merged = np.concatenate([self._best[rows], cand], axis=1)
-        best = np.partition(merged, k - 1, axis=1)[:, :k]
-        self._best[rows] = best
-        self.kth[rows] = best.max(axis=1)
+        kernels.keeper_update(self._best, self.kth, rows, cand)
+        if self._caps is not None:
+            # The kernel rewrote kth[rows] as the pool maximum; re-clamp so
+            # the pruning radius never exceeds the known upper bound.
+            self.kth[rows] = np.minimum(self.kth[rows], self._caps[rows])
+
+    def result(self) -> np.ndarray:
+        """The exact k-th smallest distance per row (``inf`` when underfull).
+
+        With caps in play :attr:`kth` is a pruning radius, not the answer;
+        the answer is always the pool maximum.
+        """
+        if self._caps is None:
+            return self.kth
+        return self._best.max(axis=1)
 
 
 def check_exclude_indices(exclude_indices, m: int) -> np.ndarray:
@@ -103,6 +134,4 @@ def box_lower_bounds(
         clipped = np.clip(queries, lo, hi)
         return metric.paired(queries, clipped)
     clipped = np.clip(queries[:, None, :], lo[None, :, :], hi[None, :, :])
-    r, e, dim = clipped.shape
-    flat_q = np.broadcast_to(queries[:, None, :], clipped.shape).reshape(r * e, dim)
-    return metric.paired(flat_q, clipped.reshape(r * e, dim)).reshape(r, e)
+    return metric.boxes_lower_bounds(queries, clipped)

@@ -32,6 +32,19 @@ def adaptive_chunk_size(n: int) -> int:
     return max(16, BLOCK_BUDGET // max(1, n))
 
 
+def _metric_for(metric, points: np.ndarray) -> Metric:
+    """Resolve a metric for a bulk entry point, following the data's dtype.
+
+    A metric *instance* keeps its own dtype policy; a name (or ``None``)
+    resolves to a metric matching ``points`` so float32 datasets are
+    processed in float32 end to end.
+    """
+    if isinstance(metric, Metric):
+        return metric
+    dtype = points.dtype if points.dtype == np.float32 else None
+    return get_metric(metric, dtype=dtype)
+
+
 def _chunk_rows(n: int, chunk_size: int):
     for start in range(0, n, chunk_size):
         yield start, min(n, start + chunk_size)
@@ -74,11 +87,13 @@ def chunked_knn_distances(
         via :func:`adaptive_chunk_size` so every backend stays inside the
         shared memory budget regardless of dataset size.
     """
-    queries = np.asarray(queries, dtype=np.float64)
+    # The metric's dtype policy governs the block dtype; float32 queries
+    # against a float32 metric never round-trip through float64.
+    queries = np.asarray(queries, dtype=metric.dtype)
     m, n = queries.shape[0], points.shape[0]
     if chunk_size is None:
         chunk_size = adaptive_chunk_size(n)
-    out = np.full(m, np.inf, dtype=np.float64)
+    out = np.full(m, np.inf, dtype=metric.dtype)
     if n == 0 or m == 0:
         return out
     if exclude_ids is not None:
@@ -146,11 +161,11 @@ def bulk_knn(
     points = as_dataset(data)
     n = points.shape[0]
     k = check_k(k, n=n - 1, name="k")
-    metric = get_metric(metric)
+    metric = _metric_for(metric, points)
     if chunk_size is None:
         chunk_size = adaptive_chunk_size(n)
     all_ids = np.empty((n, k), dtype=np.intp)
-    all_dists = np.empty((n, k), dtype=np.float64)
+    all_dists = np.empty((n, k), dtype=metric.dtype)
     for start, stop in _chunk_rows(n, chunk_size):
         block = metric.pairwise(points[start:stop], points)
         rows = np.arange(stop - start)
@@ -183,7 +198,7 @@ def bulk_knn_distances(
     points = as_dataset(data)
     n = points.shape[0]
     k = check_k(k, n=n - 1, name="k")
-    metric = get_metric(metric)
+    metric = _metric_for(metric, points)
     ids = np.arange(n, dtype=np.intp)
     return chunked_knn_distances(
         points,

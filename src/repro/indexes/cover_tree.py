@@ -208,7 +208,7 @@ class CoverTreeIndex(Index):
                     queue.push(max(0.0, d_child - child.maxdist), ("node", child))
 
     def knn_distances(
-        self, query_points, k: int, exclude_indices=None
+        self, query_points, k: int, exclude_indices=None, prune_caps=None
     ) -> np.ndarray:
         """Batched k-th NN distances via a pruned block traversal.
 
@@ -230,10 +230,12 @@ class CoverTreeIndex(Index):
         active point.
         """
         k = check_k(k)
-        queries = as_query_rows(query_points, dim=self.dim)
+        queries = as_query_rows(query_points, dim=self.dim, dtype=self._points.dtype)
         m = queries.shape[0]
         exclude = check_exclude_indices(exclude_indices, m)
-        keeper = KSmallestKeeper(m, k)
+        keeper = KSmallestKeeper(
+            m, k, dtype=self._points.dtype, caps=prune_caps
+        )
         if m and self._root is not None:
             if self._batch_sizes is None:
                 # Cached until the next insert/remove: rebuilding this
@@ -252,7 +254,7 @@ class CoverTreeIndex(Index):
             self._batch_visit(
                 self._root, rows, d_root, queries, exclude, keeper, sizes
             )
-        return keeper.kth
+        return keeper.result()
 
     #: Subtrees with at most this many descendants are evaluated as one
     #: pairwise block instead of being descended node by node.

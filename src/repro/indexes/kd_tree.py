@@ -58,6 +58,7 @@ from repro.indexes.build_tools import (
     partition_median,
     subtree_point_ids,
 )
+from repro.indexes.soa import FlatKDLayout, flatten_kd, kd_flat_descent
 from repro.utils.priority_queue import MinPriorityQueue
 from repro.utils.validation import (
     as_query_point,
@@ -98,12 +99,20 @@ class KDTreeIndex(Index):
     #: below this threshold (see :meth:`remove`).
     compaction_threshold = 0.5
 
+    #: Use the structure-of-arrays iterative descent for batched
+    #: ``knn_distances`` (the recursive object-tree walk remains available
+    #: for comparison benchmarks and as the semantics of record).
+    use_flat_descent = True
+
     def __init__(self, data, metric=None, leaf_size: int = 16) -> None:
         super().__init__(data, metric)
         self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
         ids = np.arange(self._points.shape[0], dtype=np.intp)
         self._root = self._build(ids)
         self._tombstones = 0  # removed ids still stored in tree leaves
+        #: Lazily rebuilt flat node layout (see repro.indexes.soa);
+        #: invalidated by structural mutation, shared by snapshots.
+        self._layout: FlatKDLayout | None = None
 
     def _repr_knobs(self) -> str:
         return f"leaf_size={self.leaf_size}"
@@ -226,7 +235,7 @@ class KDTreeIndex(Index):
         return np.asarray(ids, dtype=np.intp), np.asarray(dists, dtype=np.float64)
 
     def knn_distances(
-        self, query_points, k: int, exclude_indices=None
+        self, query_points, k: int, exclude_indices=None, prune_caps=None
     ) -> np.ndarray:
         """Batched k-th NN distances via a pruned block traversal.
 
@@ -240,24 +249,59 @@ class KDTreeIndex(Index):
         pruning radii shrink before the far side is attempted.
         """
         k = check_k(k)
-        queries = as_query_rows(query_points, dim=self.dim)
+        queries = as_query_rows(query_points, dim=self.dim, dtype=self._points.dtype)
         m = queries.shape[0]
         exclude = check_exclude_indices(exclude_indices, m)
-        keeper = KSmallestKeeper(m, k)
+        keeper = KSmallestKeeper(
+            m, k, dtype=self._points.dtype, caps=prune_caps
+        )
         if m and self.size:
             # A frozen snapshot can never take the trust-the-leaf-list
             # shortcut: the shared tree may hold ids inserted after the
             # mask froze, which must read as inactive.
             all_active = bool(self._active.all()) and not self._frozen
-            self._batch_visit(
+            if self.use_flat_descent:
+                kd_flat_descent(
+                    self._flat_layout(),
+                    self.metric,
+                    self._points,
+                    None if all_active else self._active,
+                    queries,
+                    exclude,
+                    keeper,
+                )
+            else:
+                self._batch_visit(
+                    self._root,
+                    np.arange(m, dtype=np.intp),
+                    queries,
+                    exclude,
+                    keeper,
+                    all_active,
+                )
+        return keeper.result()
+
+    def _flat_layout(self) -> FlatKDLayout:
+        """The flat node arrays, rebuilt lazily after structural changes.
+
+        Removals are mask flips and never invalidate the layout; inserts
+        (in-place box growth, possible leaf splits) and compactions do.
+        :meth:`snapshot` materializes the layout first, so frozen views
+        share a current layout zero-copy and never rebuild.
+        """
+        if self._layout is None:
+            self._layout = flatten_kd(
                 self._root,
-                np.arange(m, dtype=np.intp),
-                queries,
-                exclude,
-                keeper,
-                all_active,
+                self.dim,
+                self._points.dtype,
+                points=self._points,
+                metric=self.metric,
             )
-        return keeper.kth
+        return self._layout
+
+    def snapshot(self) -> "KDTreeIndex":
+        self._flat_layout()
+        return super().snapshot()
 
     def _batch_visit(
         self,
@@ -316,6 +360,10 @@ class KDTreeIndex(Index):
     # ------------------------------------------------------------------
     def insert(self, point) -> int:
         point_id = self._append_point(point)
+        # Structural change: box growth below mutates node boxes in place
+        # (and a leaf split may attach a new subtree), so the flat layout
+        # no longer mirrors the tree.
+        self._layout = None
         point = self._points[point_id]
         parent = None
         node = self._root
@@ -379,5 +427,6 @@ class KDTreeIndex(Index):
             # row for its bounding box); queries filter the tombstones.
             return
         self._root = self._build(live)
+        self._layout = None
         self._tombstones = 0
         self._version += 1

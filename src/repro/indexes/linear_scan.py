@@ -63,7 +63,7 @@ class LinearScanIndex(Index):
         return ids[order], dists[order]
 
     def knn_distances(
-        self, query_points, k: int, exclude_indices=None
+        self, query_points, k: int, exclude_indices=None, prune_caps=None
     ) -> np.ndarray:
         """Batched k-th NN distances, tuned for the sequential scan.
 
@@ -72,7 +72,9 @@ class LinearScanIndex(Index):
         active-row gather (an ``n x dim`` copy) the generic default pays.
         """
         k = check_k(k)
-        query_points = as_query_rows(query_points, dim=self.dim)
+        query_points = as_query_rows(
+            query_points, dim=self.dim, dtype=self._points.dtype
+        )
         if self._active.all():
             points = self._points
             ids = np.arange(self._points.shape[0], dtype=np.intp)

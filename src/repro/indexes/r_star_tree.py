@@ -425,7 +425,7 @@ class RStarTreeIndex(Index):
                 yield item, key
 
     def knn_distances(
-        self, query_points, k: int, exclude_indices=None
+        self, query_points, k: int, exclude_indices=None, prune_caps=None
     ) -> np.ndarray:
         """Batched k-th NN distances via a pruned block traversal.
 
@@ -439,14 +439,16 @@ class RStarTreeIndex(Index):
         are skipped at the leaves.
         """
         k = check_k(k)
-        queries = as_query_rows(query_points, dim=self.dim)
+        queries = as_query_rows(query_points, dim=self.dim, dtype=self._points.dtype)
         m = queries.shape[0]
         exclude = check_exclude_indices(exclude_indices, m)
-        keeper = KSmallestKeeper(m, k)
+        keeper = KSmallestKeeper(
+            m, k, dtype=self._points.dtype, caps=prune_caps
+        )
         if m and self.size:
             rows = np.arange(m, dtype=np.intp)
             self._batch_visit(self._root, rows, queries, exclude, keeper)
-        return keeper.kth
+        return keeper.result()
 
     def _batch_visit(
         self,

@@ -1,0 +1,147 @@
+"""Dispatch layer for the library's top profiled numeric kernels.
+
+Profiling the Fig-8-style end-to-end workload (see
+``benchmarks/results/kernel_profile.txt``) attributes most of the numeric
+runtime to two kernels: the pairwise Euclidean distance matrix and the
+k-smallest pool update that batched tree descents merge candidate blocks
+into.  This package isolates those kernels (plus the broadcast
+``to_point_many`` block used by the vectorized RDT filter) behind a small
+dispatch table so that:
+
+* the NumPy reference implementations (:mod:`repro.kernels.numpy_impl`)
+  stay the bit-tested semantics of record,
+* an optional Numba-compiled layer (:mod:`repro.kernels.numba_impl`) can
+  take over transparently when ``numba`` is importable — the import is
+  guarded, so the package never *requires* it, and
+* ``REPRO_JIT=0`` in the environment pins the NumPy fallback even when
+  Numba is present (the escape hatch for debugging and for the CI leg
+  that keeps the fallback exercised).
+
+Call sites use the module-level wrappers (:func:`euclidean_pairwise`,
+:func:`euclidean_to_point_many`, :func:`keeper_update`), which also feed
+the per-kernel call/byte counters of
+:mod:`repro.utils.profiling` when a profile is installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.kernels import numpy_impl
+
+__all__ = [
+    "KERNEL_NAMES",
+    "active_backend",
+    "euclidean_pairwise",
+    "euclidean_pairwise_stats",
+    "euclidean_to_point_many",
+    "jit_available",
+    "jit_enabled",
+    "keeper_update",
+    "refresh",
+]
+
+#: Names of the dispatched kernels, in profile order.
+KERNEL_NAMES = ("euclidean_pairwise", "euclidean_to_point_many", "keeper_update")
+
+#: Active profile installed by :func:`repro.utils.profiling.profile_kernels`
+#: (``None`` when profiling is off).
+_PROFILE = None
+
+_ACTIVE: dict[str, Callable] = {}
+_BACKEND: str = "numpy"
+
+
+def jit_available() -> bool:
+    """True when the optional Numba layer imported successfully."""
+    from repro.kernels import numba_impl
+
+    return numba_impl.AVAILABLE
+
+
+def jit_enabled() -> bool:
+    """True when compiled kernels are both available and not disabled.
+
+    ``REPRO_JIT=0`` disables the compiled layer; any other value (or an
+    unset variable) leaves it on whenever Numba is importable.
+    """
+    return jit_available() and os.environ.get("REPRO_JIT", "1") != "0"
+
+
+def refresh() -> None:
+    """Rebuild the dispatch table from the current environment.
+
+    Called once at import; tests (and anything toggling ``REPRO_JIT`` at
+    runtime) call it again to re-resolve the active backend.
+    """
+    global _BACKEND
+    if jit_enabled():
+        from repro.kernels import numba_impl as impl
+
+        _BACKEND = "numba"
+    else:
+        impl = numpy_impl
+        _BACKEND = "numpy"
+    for name in KERNEL_NAMES:
+        _ACTIVE[name] = getattr(impl, name)
+
+
+def active_backend(name: str | None = None) -> str:
+    """Return the backend ("numpy" or "numba") serving the dispatch table."""
+    if name is not None and name not in KERNEL_NAMES:
+        raise KeyError(f"unknown kernel {name!r}; known: {KERNEL_NAMES}")
+    return _BACKEND
+
+
+def euclidean_pairwise(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Dispatched Euclidean distance matrix (see ``numpy_impl`` for semantics)."""
+    out = _ACTIVE["euclidean_pairwise"](X, Y)
+    if _PROFILE is not None:
+        _PROFILE.record(
+            "euclidean_pairwise", out.size, X.nbytes + Y.nbytes + out.nbytes
+        )
+    return out
+
+
+def euclidean_pairwise_stats(
+    X: np.ndarray, Y: np.ndarray, yy: np.ndarray, mu: np.ndarray | None
+) -> np.ndarray:
+    """Expansion pairwise against precomputed Y stats (NumPy-only variant).
+
+    Not in the dispatch table: it is a specialization of
+    ``euclidean_pairwise`` for the NumPy backend (the compiled layer's
+    fused loop needs no Y stats and should be preferred when active — use
+    :func:`active_backend` to choose).  Profiled under the
+    ``euclidean_pairwise`` counter, since it computes the same matrix.
+    """
+    out = numpy_impl.euclidean_pairwise_stats(X, Y, yy, mu)
+    if _PROFILE is not None:
+        _PROFILE.record(
+            "euclidean_pairwise", out.size, X.nbytes + Y.nbytes + out.nbytes
+        )
+    return out
+
+
+def euclidean_to_point_many(X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
+    """Dispatched to_point-consistent distance block (columns match to_point)."""
+    out = _ACTIVE["euclidean_to_point_many"](X, Ys)
+    if _PROFILE is not None:
+        _PROFILE.record(
+            "euclidean_to_point_many", out.size, X.nbytes + Ys.nbytes + out.nbytes
+        )
+    return out
+
+
+def keeper_update(
+    best: np.ndarray, kth: np.ndarray, rows: np.ndarray, cand: np.ndarray
+) -> None:
+    """Dispatched in-place k-smallest pool merge (see ``numpy_impl``)."""
+    _ACTIVE["keeper_update"](best, kth, rows, cand)
+    if _PROFILE is not None:
+        _PROFILE.record("keeper_update", cand.shape[0], cand.nbytes)
+
+
+refresh()

@@ -1,0 +1,124 @@
+"""Optional Numba-compiled implementations of the dispatched hot kernels.
+
+Importing this module never fails: when Numba is absent (or too old to
+compile the kernels) :data:`AVAILABLE` is ``False`` and the dispatch table
+in :mod:`repro.kernels` keeps the NumPy reference implementations.  The
+container images used for the fast CI tier do not ship Numba, so the
+NumPy fallback is the continuously bit-tested path; a dedicated CI leg
+installs Numba to exercise this module, and ``REPRO_JIT=0`` pins the
+fallback even when Numba is importable.
+
+Agreement contract with :mod:`repro.kernels.numpy_impl`:
+
+``keeper_update``
+    Bit-identical — it is pure selection (replace-the-max streaming
+    insertion keeps exactly the k-smallest value multiset, so the ``kth``
+    radii match the partition-based reference exactly).
+
+``euclidean_to_point_many``
+    Fused difference loop; same subtraction/square/accumulate sequence as
+    the einsum reduction, without materializing the ``(n, m, d)``
+    temporary.  Accumulation order matches the contiguous last-axis
+    reduction, so columns remain consistent with ``to_point``.
+
+``euclidean_pairwise``
+    Small blocks (``r * c * d <= _FUSED_MAX``) use the fused difference
+    loop — more accurate than the dot expansion and faster than a BLAS
+    round-trip at tree-leaf sizes.  Large blocks delegate to the NumPy
+    expansion, whose BLAS matmul a scalar loop cannot beat.  Distances may
+    therefore differ from the reference in the last ulp; every consumer
+    compares through the tolerance layer, which absorbs exactly this class
+    of cross-kernel round-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import numpy_impl
+
+__all__ = ["AVAILABLE", "euclidean_pairwise", "euclidean_to_point_many", "keeper_update"]
+
+try:  # pragma: no cover - exercised only on the numba CI leg
+    from numba import njit
+
+    AVAILABLE = True
+except Exception:  # pragma: no cover - the default local path
+    njit = None
+    AVAILABLE = False
+
+#: Block volume (rows * cols * dims) below which the fused pairwise loop
+#: beats the BLAS expansion (call overhead dominates small blocks).
+_FUSED_MAX = 32768
+
+if AVAILABLE:  # pragma: no cover - exercised only on the numba CI leg
+
+    @njit(cache=True, nogil=True)
+    def _pairwise_fused(X, Y):
+        r = X.shape[0]
+        c = Y.shape[0]
+        d = X.shape[1]
+        out = np.zeros((r, c), dtype=X.dtype)
+        if d == 0:
+            return out
+        for i in range(r):
+            for j in range(c):
+                # Zero of the input dtype, so float32 blocks accumulate in
+                # float32 like the einsum reduction they stand in for.
+                acc = X[i, 0] - X[i, 0]
+                for t in range(d):
+                    diff = X[i, t] - Y[j, t]
+                    acc += diff * diff
+                out[i, j] = np.sqrt(acc)
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _keeper_update_compiled(best, kth, rows, cand):
+        m = rows.shape[0]
+        c = cand.shape[1]
+        k = best.shape[1]
+        for i in range(m):
+            r = rows[i]
+            radius = kth[r]
+            for j in range(c):
+                v = cand[i, j]
+                if v < radius:
+                    arg = 0
+                    top = best[r, 0]
+                    for t in range(1, k):
+                        if best[r, t] > top:
+                            top = best[r, t]
+                            arg = t
+                    best[r, arg] = v
+                    top = best[r, 0]
+                    for t in range(1, k):
+                        if best[r, t] > top:
+                            top = best[r, t]
+                    radius = top
+            kth[r] = radius
+
+    def euclidean_pairwise(X, Y):
+        if X.shape[0] * Y.shape[0] * X.shape[1] <= _FUSED_MAX:
+            X = np.ascontiguousarray(X)
+            Y = np.ascontiguousarray(Y)
+            return _pairwise_fused(X, Y)
+        return numpy_impl.euclidean_pairwise(X, Y)
+
+    def euclidean_to_point_many(X, Ys):
+        X = np.ascontiguousarray(X)
+        Ys = np.ascontiguousarray(Ys)
+        return _pairwise_fused(X, Ys)
+
+    def keeper_update(best, kth, rows, cand):
+        if cand.shape[1] == 0 or rows.shape[0] == 0:
+            return
+        if cand.dtype != best.dtype:
+            cand = cand.astype(best.dtype)
+        _keeper_update_compiled(
+            best, kth, np.ascontiguousarray(rows), np.ascontiguousarray(cand)
+        )
+
+else:
+    euclidean_pairwise = numpy_impl.euclidean_pairwise
+    euclidean_to_point_many = numpy_impl.euclidean_to_point_many
+    keeper_update = numpy_impl.keeper_update

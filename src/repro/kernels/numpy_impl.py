@@ -1,0 +1,140 @@
+"""Reference NumPy implementations of the dispatched hot kernels.
+
+These are the authoritative semantics: the optional compiled layer in
+:mod:`repro.kernels.numba_impl` must agree with them (bit-for-bit for the
+pure selection kernel, to round-off for the arithmetic ones).  They are
+also the production path whenever Numba is absent or disabled, so they are
+kept identical to the historical in-line implementations they were
+extracted from (``EuclideanMetric._dist_matrix``, the broadcast
+``to_point_many`` kernel, and ``KSmallestKeeper.update``) — bit-for-bit.
+
+All three kernels are dtype-preserving: float32 inputs produce float32
+outputs with no intermediate upcast (the scalars ``2.0``/``0.0`` follow
+NumPy's weak scalar promotion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "euclidean_pairwise",
+    "euclidean_pairwise_stats",
+    "euclidean_to_point_many",
+    "euclidean_y_stats",
+    "keeper_update",
+]
+
+
+def euclidean_pairwise(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Full Euclidean distance matrix via the centered dot expansion.
+
+    ``||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y``, clipped against negative
+    round-off before the square root.  Distances are translation
+    invariant, so when the data sits far from the origin relative to its
+    spread, both sides are centered on Y's mean first: without this, such
+    data loses ``~eps * ||x||^2 / d(x, y)`` absolute accuracy to
+    cancellation in the expansion — far beyond the library's comparison
+    tolerance.  Near-origin data is left untouched (the expansion is
+    already accurate there, and exactly-representable inputs keep their
+    exact distances).  The centering decision and offset depend only on
+    ``Y``, so results are independent of how callers chunk ``X``.
+    """
+    yy = np.einsum("ij,ij->i", Y, Y)
+    mu = Y.mean(axis=0)
+    offset_sq = float(mu @ mu)
+    spread_sq = max(float(yy.mean()) - offset_sq, 0.0)
+    if offset_sq > 100.0 * spread_sq:
+        X = X - mu
+        Y = Y - mu
+        yy = np.einsum("ij,ij->i", Y, Y)
+    xx = np.einsum("ij,ij->i", X, X)
+    sq = xx[:, None] + yy[None, :] - 2.0 * (X @ Y.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq, out=sq)
+
+
+def euclidean_y_stats(
+    Y: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Hoist :func:`euclidean_pairwise`'s Y-side work out of the call.
+
+    Returns ``(Y', yy, mu)``: the Y block (centered on its mean when the
+    pairwise kernel's Y-only centering decision fires, untouched
+    otherwise), its row squared norms, and the centering offset (``None``
+    when centering did not fire).  Feeding these to
+    :func:`euclidean_pairwise_stats` reproduces ``euclidean_pairwise(X,
+    Y)`` bit-for-bit for any ``X`` — the recipe below is the pairwise
+    kernel's own, step for step.
+    """
+    yy = np.einsum("ij,ij->i", Y, Y)
+    mu = Y.mean(axis=0)
+    offset_sq = float(mu @ mu)
+    spread_sq = max(float(yy.mean()) - offset_sq, 0.0)
+    if offset_sq > 100.0 * spread_sq:
+        Y = Y - mu
+        yy = np.einsum("ij,ij->i", Y, Y)
+        return Y, yy, mu
+    return Y, yy, None
+
+
+def euclidean_pairwise_stats(
+    X: np.ndarray, Y: np.ndarray, yy: np.ndarray, mu: np.ndarray | None
+) -> np.ndarray:
+    """:func:`euclidean_pairwise` with Y's stats hoisted out of the call.
+
+    ``Y`` must already be centered on ``mu`` when ``mu`` is not ``None``
+    (then ``X`` is centered here), and ``yy`` must be the squared norms of
+    the rows as passed.  Given stats produced by the same recipe as
+    :func:`euclidean_pairwise` — including its Y-only centering decision —
+    the result is bit-identical to calling it directly.  Tree descents use
+    this against per-leaf stats frozen at flatten time, shedding the
+    per-call mean/spread work that dominates narrow leaf blocks.
+    """
+    if mu is not None:
+        X = X - mu
+    xx = np.einsum("ij,ij->i", X, X)
+    sq = xx[:, None] + yy[None, :] - 2.0 * (X @ Y.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq, out=sq)
+
+
+def euclidean_to_point_many(X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
+    """Distance matrix ``D[i, j] = ||X[i] - Ys[j]||`` via the difference kernel.
+
+    The 3-D einsum reduces each ``(i, j)`` pair over the contiguous last
+    axis exactly like the single-point kernel's 2-D einsum, so every
+    column is bit-identical to a per-point ``to_point`` call — the
+    guarantee the batched RDT filter's strict tie comparisons rely on.
+    """
+    diff = X[:, None, :] - Ys[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def keeper_update(
+    best: np.ndarray, kth: np.ndarray, rows: np.ndarray, cand: np.ndarray
+) -> None:
+    """Merge a candidate block into a k-smallest pool, in place.
+
+    ``best`` is the ``(m, k)`` unsorted pool of smallest distances seen so
+    far, ``kth`` its per-row maxima (the pruning radii), ``rows`` the pool
+    rows the ``(len(rows), c)`` block ``cand`` belongs to.  Rows whose
+    smallest candidate cannot beat their current radius are skipped before
+    the merge: a candidate ``>= kth`` can change neither the k-smallest
+    value multiset nor its maximum, so the skip is exact, and it removes
+    most of the partition work deep in a tree descent where few rows still
+    improve.
+    """
+    if cand.shape[1] == 0 or rows.shape[0] == 0:
+        return
+    k = best.shape[1]
+    useful = cand.min(axis=1) < kth[rows]
+    if not useful.any():
+        return
+    if not useful.all():
+        rows = rows[useful]
+        cand = cand[useful]
+    merged = np.concatenate([best[rows], cand], axis=1)
+    new_best = np.partition(merged, k - 1, axis=1)[:, :k]
+    best[rows] = new_best
+    kth[rows] = new_best.max(axis=1)

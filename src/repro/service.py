@@ -83,7 +83,25 @@ from repro.utils.validation import (
 __all__ = ["QuerySpec", "Service", "SERVICE_FORMAT_VERSION"]
 
 #: Bumped whenever the ``.npz`` payload layout changes incompatibly.
-SERVICE_FORMAT_VERSION = 1
+SERVICE_FORMAT_VERSION = 2
+
+#: Payload versions this build can read.  Version 1 predates the dtype
+#: knob: its payloads are always float64 and carry no storage-dtype
+#: metadata, so they load exactly as before.
+_READABLE_FORMAT_VERSIONS = (1, 2)
+
+#: Storage dtypes the service accepts (the Metric dtype policy).
+_DTYPE_NAMES = ("float32", "float64")
+
+
+def _check_dtype_name(dtype) -> str:
+    """Normalize a dtype knob to its canonical name, or raise."""
+    name = np.dtype(dtype).name
+    if name not in _DTYPE_NAMES:
+        raise ValueError(
+            f"dtype must be one of {_DTYPE_NAMES}, got {name!r}"
+        )
+    return name
 
 _FILTER_MODES = ("auto", "sequential", "vectorized")
 
@@ -128,10 +146,15 @@ class QuerySpec:
     sample_size: int | None = None
     #: table count of the LSH strategy (rebuilds the engine)
     n_tables: int | None = None
+    #: expected storage dtype ("float32"/"float64"); a spec carrying one
+    #: refuses to run against a service with a different point dtype
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "k", check_k(self.k))
         object.__setattr__(self, "t", check_scale_parameter(self.t))
+        if self.dtype is not None:
+            object.__setattr__(self, "dtype", _check_dtype_name(self.dtype))
         if self.filter_mode not in _FILTER_MODES:
             raise ValueError(
                 f"filter_mode must be one of {_FILTER_MODES}, "
@@ -238,6 +261,12 @@ class Service:
         :meth:`query_bichromatic` instead.
     metric:
         Metric name or instance (only when building from raw data).
+    dtype:
+        Storage dtype policy, ``"float32"`` or ``"float64"`` (default).
+        When building from raw data this constructs the metric with the
+        given dtype (conflicting metric instances raise); when adopting
+        a prebuilt index it is a cross-check against the index's storage.
+        The dtype survives :meth:`save`/:meth:`load`.
     defaults:
         The :class:`QuerySpec` applied when a query call does not
         override it.
@@ -260,6 +289,7 @@ class Service:
         backend: str = "kd",
         engine: str = "rdt+",
         metric=None,
+        dtype=None,
         defaults: QuerySpec | None = None,
         backend_kwargs: dict | None = None,
         engine_kwargs: dict | None = None,
@@ -288,6 +318,14 @@ class Service:
                     "metric only applies when building from raw data; the "
                     "given index already carries one"
                 )
+            if dtype is not None and _check_dtype_name(dtype) != (
+                data.points.dtype.name
+            ):
+                raise ValueError(
+                    f"dtype={_check_dtype_name(dtype)!r} conflicts with the "
+                    f"adopted index's {data.points.dtype.name!r} storage; "
+                    "build the index with the desired metric dtype instead"
+                )
             if backend_kwargs:
                 raise ValueError(
                     "backend_kwargs only apply when building from raw data"
@@ -306,6 +344,10 @@ class Service:
             }
         else:
             self.backend_name = resolve_index_name(backend)
+            if dtype is not None:
+                # The dtype knob is the metric's numeric policy;
+                # get_metric raises on a conflicting metric instance.
+                metric = get_metric(metric, dtype=_check_dtype_name(dtype))
             self.index = create_index(
                 self.backend_name, data, metric=metric, **self._backend_kwargs
             )
@@ -525,7 +567,14 @@ class Service:
         base = self.defaults if spec is None else spec
         if not isinstance(base, QuerySpec):
             raise TypeError(f"spec must be a QuerySpec, got {type(base).__name__}")
-        return base.replace(**overrides) if overrides else base
+        resolved = base.replace(**overrides) if overrides else base
+        stored = self.index.points.dtype.name
+        if resolved.dtype is not None and resolved.dtype != stored:
+            raise ValueError(
+                f"spec expects dtype {resolved.dtype!r} but this service "
+                f"stores {stored!r} points"
+            )
+        return resolved
 
     def query(
         self,
@@ -745,8 +794,10 @@ class Service:
         metric_meta = {"name": self.metric.name}
         if hasattr(self.metric, "p"):
             metric_meta["p"] = float(self.metric.p)
+        metric_meta["dtype"] = self.metric.dtype.name
         meta = {
             "format_version": SERVICE_FORMAT_VERSION,
+            "dtype": self.index.points.dtype.name,
             "library_version": __version__,
             "backend": self.backend_name,
             "engine": self.engine_name,
@@ -781,17 +832,30 @@ class Service:
         """
         path = pathlib.Path(path)
         with np.load(path, allow_pickle=False) as payload:
-            points = np.array(payload["points"], dtype=np.float64)
+            points = np.array(payload["points"])
             active = np.array(payload["active"], dtype=bool)
             meta = json.loads(str(payload["meta"][()]))
         version = meta.get("format_version")
-        if version != SERVICE_FORMAT_VERSION:
+        if version not in _READABLE_FORMAT_VERSIONS:
             raise ValueError(
                 f"cannot load Service payload {str(path)!r}: found "
-                f"format_version {version!r}, expected "
-                f"{SERVICE_FORMAT_VERSION} (this build reads only its own "
-                "format; re-save with a matching library version)"
+                f"format_version {version!r}, readable: "
+                f"{_READABLE_FORMAT_VERSIONS} (re-save with a matching "
+                "library version)"
             )
+        if version < 2:
+            # Version 1 predates the dtype knob: payloads were always
+            # written from float64 services, so coerce defensively and
+            # leave the metric's (float64) default alone.
+            points = points.astype(np.float64, copy=False)
+        else:
+            stored = _check_dtype_name(meta["dtype"])
+            if points.dtype.name != stored:
+                raise ValueError(
+                    f"corrupt Service payload {str(path)!r}: header "
+                    f"declares dtype {stored!r} but the point matrix is "
+                    f"{points.dtype.name!r}"
+                )
         metric_meta = dict(meta["metric"])
         metric = get_metric(metric_meta.pop("name"), **metric_meta)
         service = cls(

@@ -1,0 +1,94 @@
+"""Lightweight per-kernel call/byte counters for the compiled-kernel layer.
+
+The hot numeric kernels in :mod:`repro.kernels` are routed through a
+dispatch table; this module provides the observation side: a
+:class:`KernelProfile` accumulates, per kernel name, how many times it was
+invoked, how many scalar results it produced, and how many bytes it moved
+(inputs plus output).  The :func:`profile_kernels` context manager installs
+a profile for the duration of a block::
+
+    with profile_kernels() as prof:
+        service.query_all(k=10, t=4.0)
+    print(prof.summary())
+
+Profiles are intentionally cheap (a dict update per kernel call, no
+timers) so they can stay enabled around benchmark workloads without
+perturbing them.  The profile that justified the jit targets for the
+kernel layer is checked into ``benchmarks/results/kernel_profile.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["KernelCounters", "KernelProfile", "profile_kernels"]
+
+
+@dataclass
+class KernelCounters:
+    """Accumulated counters for one kernel name."""
+
+    calls: int = 0
+    #: Scalar results produced (e.g. one per distance for metric kernels).
+    results: int = 0
+    #: Bytes moved: input array bytes plus output array bytes.
+    bytes: int = 0
+
+
+@dataclass
+class KernelProfile:
+    """Per-kernel counters accumulated while the profile is installed."""
+
+    counters: dict[str, KernelCounters] = field(default_factory=dict)
+
+    def record(self, name: str, results: int, nbytes: int) -> None:
+        entry = self.counters.get(name)
+        if entry is None:
+            entry = self.counters[name] = KernelCounters()
+        entry.calls += 1
+        entry.results += int(results)
+        entry.bytes += int(nbytes)
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {
+            name: {"calls": c.calls, "results": c.results, "bytes": c.bytes}
+            for name, c in sorted(self.counters.items())
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.as_dict(), **kwargs)
+
+    def summary(self) -> str:
+        """Human-readable table, largest byte traffic first."""
+        rows = sorted(
+            self.counters.items(), key=lambda item: item[1].bytes, reverse=True
+        )
+        lines = [f"{'kernel':<28} {'calls':>10} {'results':>14} {'MiB':>10}"]
+        for name, c in rows:
+            lines.append(
+                f"{name:<28} {c.calls:>10} {c.results:>14} "
+                f"{c.bytes / 2**20:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def profile_kernels() -> Iterator[KernelProfile]:
+    """Install a :class:`KernelProfile` over the dispatched kernels.
+
+    Nested uses restore the previously installed profile on exit, so a
+    benchmark harness can profile a sub-phase without losing the outer
+    aggregate.
+    """
+    from repro import kernels
+
+    profile = KernelProfile()
+    previous = kernels._PROFILE
+    kernels._PROFILE = profile
+    try:
+        yield profile
+    finally:
+        kernels._PROFILE = previous

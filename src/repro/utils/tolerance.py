@@ -10,9 +10,28 @@ this library goes through the tolerant comparisons below.
 Boundary cases are not rare corner cases here: for every query ``q``, the
 points whose k-th nearest neighbor is exactly ``q`` sit precisely on the
 membership boundary.  The tolerances are far larger than kernel round-off
-(1e-9 relative) yet far smaller than any distance gap in continuous data,
-so tolerant and exact semantics coincide on real datasets while the
-implementation stays deterministic across kernels.
+yet far smaller than any distance gap in continuous data, so tolerant and
+exact semantics coincide on real datasets while the implementation stays
+deterministic across kernels.
+
+Two tolerance tiers exist, one per storage dtype:
+
+* **float64** (default): 1e-9 relative / 1e-12 absolute — ~4e6 ulp of
+  headroom over the 2.2e-16 machine epsilon, the historical policy.
+* **float32** (opt-in via the :class:`repro.distances.Metric` dtype
+  policy): 1e-4 relative / 1e-7 absolute.  float32 epsilon is 1.2e-7 and
+  the dot-expansion pairwise kernel can lose a few hundred ulp to
+  cancellation and accumulation across dimensions, so the same ~1e3 ulp
+  safety factor lands at 1e-4.  This is the *documented float32
+  contract*: distances produced by any two float32 kernels agree within
+  ``1e-4 * d + 1e-7``, and the conformance oracle checks that every
+  float32/float64 membership disagreement sits within this band of the
+  float64 boundary.
+
+The vectorized comparisons infer the tier from their operands' dtypes
+(``float32`` operands get the float32 slack); the scalar helpers accept an
+optional ``dtype`` for callers comparing Python floats that originated in
+float32 kernels.
 """
 
 from __future__ import annotations
@@ -22,44 +41,78 @@ import numpy as np
 __all__ = [
     "DIST_RTOL",
     "DIST_ATOL",
+    "FLOAT32_DIST_RTOL",
+    "FLOAT32_DIST_ATOL",
     "dist_le",
     "dist_le_many",
     "dist_lt",
     "inflate",
+    "tolerances_for",
 ]
 
-#: Relative tolerance for distance comparisons.
+#: Relative tolerance for float64 distance comparisons.
 DIST_RTOL = 1e-9
-#: Absolute tolerance, for comparisons against (near-)zero distances.
+#: Absolute tolerance, for comparisons against (near-)zero float64 distances.
 DIST_ATOL = 1e-12
 
+#: Relative tolerance for float32 distance comparisons.
+FLOAT32_DIST_RTOL = 1e-4
+#: Absolute tolerance for (near-)zero float32 distances.
+FLOAT32_DIST_ATOL = 1e-7
 
-def _slack(reference):
+
+def tolerances_for(dtype) -> tuple[float, float]:
+    """Return ``(rtol, atol)`` for distances stored in ``dtype``.
+
+    float32 gets the wide tier; every other float dtype (including
+    float16, which the storage layer upcasts anyway) uses the float64
+    policy.
+    """
+    if np.dtype(dtype) == np.float32:
+        return FLOAT32_DIST_RTOL, FLOAT32_DIST_ATOL
+    return DIST_RTOL, DIST_ATOL
+
+
+def _slack(reference, rtol: float = DIST_RTOL, atol: float = DIST_ATOL):
     # abs() keeps this scalar/array polymorphic for dist_le_many.
-    return DIST_RTOL * abs(reference) + DIST_ATOL
+    return rtol * abs(reference) + atol
 
 
-def dist_le(a: float, b: float) -> bool:
+def dist_le(a: float, b: float, *, dtype=None) -> bool:
     """Tolerant ``a <= b`` for distances: true if ``a <= b + slack``."""
-    return a <= b + _slack(b)
+    rtol, atol = tolerances_for(dtype) if dtype is not None else (DIST_RTOL, DIST_ATOL)
+    return a <= b + _slack(b, rtol, atol)
 
 
 def dist_le_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Vectorized :func:`dist_le`: elementwise tolerant ``a <= b``.
 
     ``inf`` entries in ``b`` (the fewer-than-k kNN-distance convention)
-    compare as expected: any finite ``a`` passes against them.
+    compare as expected: any finite ``a`` passes against them.  The
+    tolerance tier follows the operands: if either side carries float32
+    values, the comparison uses the float32 slack (the comparison itself
+    runs in float64 so the slack term never rounds away).
     """
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    return a <= b + _slack(b)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    # Mixed float32/float64 operands get the wide tier: the float32 side
+    # carries float32 round-off no matter what it is compared against.
+    if a.dtype == np.float32 or b.dtype == np.float32:
+        rtol, atol = FLOAT32_DIST_RTOL, FLOAT32_DIST_ATOL
+    else:
+        rtol, atol = tolerances_for(np.result_type(a, b))
+    a = a.astype(np.float64, copy=False)
+    b = b.astype(np.float64, copy=False)
+    return a <= b + _slack(b, rtol, atol)
 
 
-def dist_lt(a: float, b: float) -> bool:
+def dist_lt(a: float, b: float, *, dtype=None) -> bool:
     """Tolerant strict ``a < b``: true only if ``a`` is below ``b - slack``."""
-    return a < b - _slack(b)
+    rtol, atol = tolerances_for(dtype) if dtype is not None else (DIST_RTOL, DIST_ATOL)
+    return a < b - _slack(b, rtol, atol)
 
 
-def inflate(radius: float) -> float:
+def inflate(radius: float, *, dtype=None) -> float:
     """Radius inflated by the tolerance, for boundary-inclusive range queries."""
-    return radius + _slack(radius)
+    rtol, atol = tolerances_for(dtype) if dtype is not None else (DIST_RTOL, DIST_ATOL)
+    return radius + _slack(radius, rtol, atol)

@@ -21,13 +21,30 @@ __all__ = [
 ]
 
 
-def as_dataset(data, *, name: str = "data") -> np.ndarray:
-    """Coerce ``data`` to a 2-D float64 array of shape ``(n, dim)``.
+def _resolve_dtype(arr, dtype) -> np.dtype:
+    """Resolve the target float dtype for a coercion helper.
 
-    Raises ``ValueError`` for empty input, wrong dimensionality, or
-    non-finite entries.
+    ``dtype=None`` preserves float32 input (the dtype-policy opt-in) and
+    maps everything else — float64, integers, Python lists — to float64.
+    Input is never *silently* upcast: float32 arrays stay float32 unless
+    the caller explicitly asks for another dtype.
     """
-    arr = np.asarray(data, dtype=np.float64)
+    if dtype is not None:
+        return np.dtype(dtype)
+    if getattr(arr, "dtype", None) == np.float32:
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def as_dataset(data, *, name: str = "data", dtype=None) -> np.ndarray:
+    """Coerce ``data`` to a 2-D float array of shape ``(n, dim)``.
+
+    ``dtype=None`` preserves float32 input and coerces anything else to
+    float64; pass an explicit ``dtype`` to pin the storage policy (the
+    indexes pass their metric's dtype).  Raises ``ValueError`` for empty
+    input, wrong dimensionality, or non-finite entries.
+    """
+    arr = np.asarray(data, dtype=_resolve_dtype(data, dtype))
     if arr.ndim == 1:
         arr = arr[:, None]
     if arr.ndim != 2:
@@ -41,9 +58,13 @@ def as_dataset(data, *, name: str = "data") -> np.ndarray:
     return arr
 
 
-def as_query_point(point, *, dim: int, name: str = "query") -> np.ndarray:
-    """Coerce ``point`` to a 1-D float64 array of length ``dim``."""
-    arr = np.asarray(point, dtype=np.float64)
+def as_query_point(point, *, dim: int, name: str = "query", dtype=None) -> np.ndarray:
+    """Coerce ``point`` to a 1-D float array of length ``dim``.
+
+    ``dtype=None`` preserves float32 input and coerces anything else to
+    float64 (see :func:`as_dataset`).
+    """
+    arr = np.asarray(point, dtype=_resolve_dtype(point, dtype))
     if arr.ndim == 2 and arr.shape[0] == 1:
         arr = arr[0]
     if arr.ndim != 1:
@@ -58,13 +79,15 @@ def as_query_point(point, *, dim: int, name: str = "query") -> np.ndarray:
     return arr
 
 
-def as_query_rows(points, *, dim: int, name: str = "points") -> np.ndarray:
-    """Coerce ``points`` to a 2-D float64 array of shape ``(m, dim)``.
+def as_query_rows(points, *, dim: int, name: str = "points", dtype=None) -> np.ndarray:
+    """Coerce ``points`` to a 2-D float array of shape ``(m, dim)``.
 
     A single 1-D point is promoted to one row.  The batched query entry
     points (``Index.knn_distances``, ``RDT.query_batch``) share this check.
+    ``dtype=None`` preserves float32 input and coerces anything else to
+    float64 (see :func:`as_dataset`).
     """
-    arr = np.asarray(points, dtype=np.float64)
+    arr = np.asarray(points, dtype=_resolve_dtype(points, dtype))
     if arr.ndim == 1:
         arr = arr[None, :]
     if arr.ndim != 2 or arr.shape[1] != dim:
@@ -106,7 +129,7 @@ def resolve_batch_queries(
                 f"{indices_name} must be 1-D, got shape {query_indices.shape}"
             )
         if query_indices.shape[0] == 0:
-            return np.empty((0, index.dim), dtype=np.float64), np.empty(
+            return np.empty((0, index.dim), dtype=index.points.dtype), np.empty(
                 0, dtype=np.intp
             )
         # Vectorized equivalent of get_point per id: validate the whole
@@ -124,7 +147,12 @@ def resolve_batch_queries(
                 f"point id {int(query_indices[inactive[0]])} has been removed"
             )
         return index.points[query_indices], query_indices
-    query_points = as_query_rows(queries, dim=index.dim, name=queries_name)
+    # Raw query points follow the index's storage dtype: float32 queries
+    # against a float64 index upcast exactly, float64 queries against a
+    # float32 index round once here instead of per kernel call.
+    query_points = as_query_rows(
+        queries, dim=index.dim, name=queries_name, dtype=index.points.dtype
+    )
     exclude = np.full(query_points.shape[0], -1, dtype=np.intp)
     return query_points, exclude
 

@@ -1,0 +1,222 @@
+"""Mixed-dtype handling across engines and the Service dtype knob.
+
+The metric owns the numeric policy: every operand is coerced to the
+storage dtype on entry, so a float32 query against a float64 index (and
+vice versa) answers exactly as the pre-cast query would.  The Service
+carries the knob through construction, spec validation, and the
+format-version-2 save/load payload.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.rdt import RDT
+from repro.distances import EuclideanMetric
+from repro.indexes import create_index
+from repro.service import (
+    SERVICE_FORMAT_VERSION,
+    QuerySpec,
+    Service,
+)
+
+BACKENDS = ("linear-scan", "kd-tree", "ball-tree")
+
+
+def _engine(backend, points, dtype):
+    metric = EuclideanMetric(dtype=dtype)
+    return RDT(create_index(backend, points.astype(dtype), metric=metric))
+
+
+def _same_results(a, b):
+    assert list(a.ids) == list(b.ids)
+    assert a.stats.num_retrieved == b.stats.num_retrieved
+    assert a.stats.terminated_by == b.stats.terminated_by
+
+
+# ----------------------------------------------------------------------
+# Engine layer: queries are coerced to the index's storage dtype
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("storage", [np.float64, np.float32])
+def test_query_coerces_foreign_dtype(backend, storage, rng):
+    points = rng.normal(size=(300, 4))
+    engine = _engine(backend, points, storage)
+    foreign = np.float32 if storage == np.float64 else np.float64
+    q = rng.normal(size=4).astype(foreign)
+    got = engine.query(q, k=4, t=4.0)
+    want = engine.query(q.astype(storage), k=4, t=4.0)
+    _same_results(got, want)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("storage", [np.float64, np.float32])
+def test_query_batch_coerces_foreign_dtype(backend, storage, rng):
+    points = rng.normal(size=(300, 4))
+    engine = _engine(backend, points, storage)
+    foreign = np.float32 if storage == np.float64 else np.float64
+    qs = rng.normal(size=(12, 4)).astype(foreign)
+    got = engine.query_batch(qs, k=4, t=4.0)
+    want = engine.query_batch(qs.astype(storage), k=4, t=4.0)
+    for a, b in zip(got, want):
+        _same_results(a, b)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_query_all_matches_across_storage_dtypes_on_exact_data(backend):
+    # Float32-native coordinates are exactly representable at both storage
+    # dtypes, so with this seed's comfortable decision margins the
+    # self-join answers agree id-for-id.
+    rng = np.random.default_rng(21)
+    points = rng.normal(size=(200, 3)).astype(np.float32).astype(np.float64)
+    f64 = _engine(backend, points, np.float64)
+    f32 = _engine(backend, points, np.float32)
+    a = f64.query_all(k=3, t=4.0)
+    b = f32.query_all(k=3, t=4.0)
+    assert sorted(a) == sorted(b)
+    for key in a:
+        assert sorted(a[key].ids) == sorted(b[key].ids), key
+
+
+def test_metric_dtype_governs_storage(rng):
+    points = rng.normal(size=(50, 3))  # float64 input
+    index = create_index(
+        "kd-tree", points, metric=EuclideanMetric(dtype=np.float32)
+    )
+    assert index.points.dtype == np.float32
+    assert index.metric.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# Service dtype knob
+# ----------------------------------------------------------------------
+def test_service_dtype_knob_builds_float32(rng):
+    points = rng.normal(size=(200, 4)).astype(np.float32)
+    svc = Service(points, dtype="float32")
+    assert svc.index.points.dtype == np.float32
+    assert svc.metric.dtype == np.float32
+    result = svc.query(rng.normal(size=4).astype(np.float32), k=3)
+    assert result.k == 3
+    assert all(0 <= i < 200 for i in result.ids)
+
+
+def test_service_default_dtype_stays_float64(rng):
+    svc = Service(rng.normal(size=(100, 3)))
+    assert svc.index.points.dtype == np.float64
+    assert svc.metric.dtype == np.float64
+
+
+def test_service_dtype_conflicts_with_metric_instance(rng):
+    with pytest.raises(ValueError):
+        Service(
+            rng.normal(size=(50, 3)),
+            metric=EuclideanMetric(dtype=np.float64),
+            dtype="float32",
+        )
+
+
+def test_service_adopted_index_dtype_cross_check(rng):
+    points = rng.normal(size=(80, 3))
+    index = create_index(
+        "kd-tree", points, metric=EuclideanMetric(dtype=np.float32)
+    )
+    svc = Service(index, dtype="float32")  # matching: fine
+    assert svc.index is index
+    with pytest.raises(ValueError, match="conflicts with the adopted"):
+        Service(index, dtype="float64")
+
+
+def test_query_spec_validates_dtype_name():
+    assert QuerySpec(dtype="float32").dtype == "float32"
+    assert QuerySpec(dtype=None).dtype is None
+    with pytest.raises(ValueError, match="dtype"):
+        QuerySpec(dtype="int32")
+
+
+def test_spec_dtype_mismatch_raises(rng):
+    points = rng.normal(size=(120, 3)).astype(np.float32)
+    svc = Service(points, dtype="float32")
+    q = rng.normal(size=3).astype(np.float32)
+    svc.query(q, k=3, spec=QuerySpec(dtype="float32"))  # matching: fine
+    with pytest.raises(ValueError, match="stores 'float32' points"):
+        svc.query(q, k=3, spec=QuerySpec(dtype="float64"))
+
+
+def test_float32_service_save_load_round_trip(tmp_path, rng):
+    points = rng.normal(size=(250, 4)).astype(np.float32)
+    svc = Service(points, dtype="float32")
+    svc.remove(7)
+    path = svc.save(tmp_path / "svc32.npz")
+    back = Service.load(path)
+    assert back.index.points.dtype == np.float32
+    assert back.metric.dtype == np.float32
+    a = svc.query_all(k=3)
+    b = back.query_all(k=3)
+    assert sorted(a) == sorted(b)
+    for key in a:
+        assert list(a[key].ids) == list(b[key].ids), key
+
+
+def test_save_header_records_dtype(tmp_path, rng):
+    svc = Service(rng.normal(size=(60, 3)).astype(np.float32), dtype="float32")
+    path = svc.save(tmp_path / "svc.npz")
+    with np.load(path, allow_pickle=False) as payload:
+        meta = json.loads(str(payload["meta"][()]))
+    assert meta["format_version"] == SERVICE_FORMAT_VERSION == 2
+    assert meta["dtype"] == "float32"
+    assert meta["metric"]["dtype"] == "float32"
+
+
+def _rewrite_payload(src, dst, mutate):
+    with np.load(src, allow_pickle=False) as payload:
+        arrays = {name: np.array(payload[name]) for name in payload.files}
+    meta = json.loads(str(arrays["meta"][()]))
+    mutate(arrays, meta)
+    arrays["meta"] = np.asarray(json.dumps(meta, sort_keys=True))
+    with open(dst, "wb") as fh:
+        np.savez(fh, **arrays)
+    return dst
+
+
+def test_version1_payload_loads_as_float64(tmp_path, rng):
+    svc = Service(rng.normal(size=(90, 3)))
+    path = svc.save(tmp_path / "v2.npz")
+
+    def make_v1(arrays, meta):
+        # Version-1 payloads predate the dtype knob entirely.
+        meta["format_version"] = 1
+        del meta["dtype"]
+        del meta["metric"]["dtype"]
+        arrays["points"] = arrays["points"].astype(np.float32)
+
+    legacy = _rewrite_payload(path, tmp_path / "v1.npz", make_v1)
+    back = Service.load(legacy)
+    assert back.index.points.dtype == np.float64
+    assert back.metric.dtype == np.float64
+
+
+def test_corrupt_dtype_header_rejected(tmp_path, rng):
+    svc = Service(rng.normal(size=(40, 3)))
+    path = svc.save(tmp_path / "ok.npz")
+
+    def corrupt(arrays, meta):
+        meta["dtype"] = "float32"  # header no longer matches the matrix
+
+    bad = _rewrite_payload(path, tmp_path / "bad.npz", corrupt)
+    with pytest.raises(ValueError, match="corrupt Service payload"):
+        Service.load(bad)
+
+
+def test_unknown_format_version_rejected(tmp_path, rng):
+    svc = Service(rng.normal(size=(40, 3)))
+    path = svc.save(tmp_path / "ok.npz")
+
+    def bump(arrays, meta):
+        meta["format_version"] = 99
+
+    bad = _rewrite_payload(path, tmp_path / "future.npz", bump)
+    with pytest.raises(ValueError, match="format_version"):
+        Service.load(bad)

@@ -1,0 +1,124 @@
+"""Exact parity between the optimized and legacy RDT code paths.
+
+``vectorized_filter``, ``use_refine_caps``, and the flat SoA descent are
+pure reformulations of the scalar pipeline: every accept/reject decision
+is made on bit-identical distances, so result ids *and* every decision
+counter must match the legacy path exactly — on adversarial workloads
+(tie grids, duplicates, catastrophic offsets, 1-d) and at float32, where
+the batched witness tensor repairs boundary entries back to exact
+arithmetic before deciding.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.core.rdt import RDT
+from repro.distances import EuclideanMetric
+from repro.indexes import create_index
+
+
+def _workloads():
+    rng = np.random.default_rng(7)
+    yield "gauss", rng.normal(size=(1200, 6)), rng.normal(size=(25, 6))
+    pts = np.round(rng.normal(size=(1000, 4)), 1)
+    yield "ties", pts, np.round(rng.normal(size=(20, 4)), 1)
+    base = rng.normal(size=(300, 5))
+    dup = np.concatenate([base, base[:150], rng.normal(size=(400, 5))])
+    yield "dups", dup, rng.normal(size=(15, 5))
+    yield "offset", rng.normal(size=(1000, 6)) + 1e6, (
+        rng.normal(size=(12, 6)) + 1e6
+    )
+    yield "d1", rng.normal(size=(800, 1)), rng.normal(size=(10, 1))
+
+
+WORKLOADS = {name: (pts, qs) for name, pts, qs in _workloads()}
+
+
+@contextlib.contextmanager
+def _toggles(vectorized, caps):
+    saved = RDT.vectorized_filter, RDT.use_refine_caps
+    RDT.vectorized_filter = vectorized
+    RDT.use_refine_caps = caps
+    try:
+        yield
+    finally:
+        RDT.vectorized_filter, RDT.use_refine_caps = saved
+
+
+def _decisions(points, queries, backend, *, optimized, dtype=None):
+    metric = EuclideanMetric(dtype=dtype) if dtype is not None else None
+    index = create_index(backend, points, metric=metric)
+    if hasattr(index, "use_flat_descent"):
+        index.use_flat_descent = optimized
+    out = []
+    with _toggles(optimized, optimized):
+        engine = RDT(index)
+        for q in queries.astype(index.points.dtype):
+            result = engine.query(q, k=4, t=4.0)
+            stats = result.stats
+            out.append(
+                (
+                    sorted(result.ids),
+                    stats.num_retrieved,
+                    stats.terminated_by,
+                    stats.num_lazy_accepts,
+                    stats.num_lazy_rejects,
+                    stats.num_verified,
+                )
+            )
+    return out
+
+
+@pytest.mark.parametrize("backend", ["kd-tree", "linear-scan"])
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_optimized_path_matches_legacy_decisions(workload, backend):
+    points, queries = WORKLOADS[workload]
+    fast = _decisions(points, queries, backend, optimized=True)
+    slow = _decisions(points, queries, backend, optimized=False)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("backend", ["kd-tree", "linear-scan", "ball-tree"])
+def test_float32_optimized_path_matches_legacy_decisions(backend):
+    # The float32 witness tensor flags near-threshold entries and repairs
+    # them with exact arithmetic, so parity holds at reduced precision too.
+    rng = np.random.default_rng(11)
+    points = rng.normal(size=(1100, 6))
+    queries = rng.normal(size=(18, 6))
+    fast = _decisions(points, queries, backend, optimized=True,
+                      dtype=np.float32)
+    slow = _decisions(points, queries, backend, optimized=False,
+                      dtype=np.float32)
+    assert fast == slow
+
+
+def test_float32_ties_parity():
+    rng = np.random.default_rng(13)
+    points = np.round(rng.normal(size=(900, 3)), 1)
+    queries = np.round(rng.normal(size=(12, 3)), 1)
+    fast = _decisions(points, queries, "kd-tree", optimized=True,
+                      dtype=np.float32)
+    slow = _decisions(points, queries, "kd-tree", optimized=False,
+                      dtype=np.float32)
+    assert fast == slow
+
+
+def test_batch_matches_sequential_scalar_filter():
+    points, queries = WORKLOADS["gauss"]
+    engine = RDT(create_index("kd-tree", points))
+    batched = engine.query_batch(queries, k=4, t=4.0,
+                                 filter_mode="vectorized")
+    sequential = engine.query_batch(
+        queries, k=4, t=4.0, filter_mode="sequential"
+    )
+    for a, b in zip(batched, sequential):
+        assert sorted(a.ids) == sorted(b.ids)
+
+
+def test_toggles_default_on():
+    assert RDT.vectorized_filter is True
+    assert RDT.use_refine_caps is True

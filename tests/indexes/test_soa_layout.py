@@ -1,0 +1,210 @@
+"""The structure-of-arrays flat layouts and their descent parity.
+
+The flat int-cursor descent is an optimization of the recursive
+object-tree block traversal: prune decisions, visit order, and per-leaf
+kernel blocks match node for node, so ``knn_distances`` must agree with
+the object walk bit-for-bit — including under exclusions, pruning caps,
+removals (active-mask path), and float32 storage.  Snapshots share the
+frozen arrays zero-copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import EuclideanMetric
+from repro.indexes import create_index
+from repro.indexes.soa import FlatBallLayout, FlatKDLayout, flatten_kd
+
+BACKENDS = ("kd-tree", "ball-tree")
+
+
+def _make(backend, points, dtype=None):
+    metric = EuclideanMetric(dtype=dtype) if dtype is not None else None
+    return create_index(backend, points, metric=metric)
+
+
+def _knn_both_paths(index, queries, k, **kwargs):
+    flat = index.knn_distances(queries, k, **kwargs)
+    index.use_flat_descent = False
+    try:
+        obj = index.knn_distances(queries, k, **kwargs)
+    finally:
+        index.use_flat_descent = True
+    return flat, obj
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", [None, np.float32])
+def test_flat_descent_matches_object_walk(backend, dtype, rng):
+    points = rng.normal(size=(700, 5))
+    queries = rng.normal(size=(40, 5))
+    index = _make(backend, points, dtype=dtype)
+    flat, obj = _knn_both_paths(index, queries.astype(
+        index.points.dtype), k=4)
+    assert np.array_equal(flat, obj)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_flat_descent_matches_on_ties(backend):
+    rng = np.random.default_rng(41)
+    points = np.round(rng.normal(size=(500, 3)), 1)
+    queries = np.round(rng.normal(size=(25, 3)), 1)
+    index = _make(backend, points)
+    flat, obj = _knn_both_paths(index, queries, k=5)
+    assert np.array_equal(flat, obj)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_flat_descent_respects_exclusions(backend, rng):
+    points = rng.normal(size=(400, 4))
+    m = 30
+    queries = points[:m] + 1e-3
+    exclude = np.arange(m)
+    index = _make(backend, points)
+    flat, obj = _knn_both_paths(index, queries, k=3, exclude_indices=exclude)
+    assert np.array_equal(flat, obj)
+    # Excluding a point's nearest copy must change its 1-NN distance.
+    none = index.knn_distances(queries, 1)
+    some = index.knn_distances(queries, 1, exclude_indices=exclude)
+    assert (some >= none).all() and (some > none).any()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_flat_descent_after_removals_uses_active_mask(backend, rng):
+    points = rng.normal(size=(300, 4))
+    index = _make(backend, points)
+    for point_id in (3, 77, 150, 299):
+        index.remove(point_id)
+    queries = rng.normal(size=(20, 4))
+    flat, obj = _knn_both_paths(index, queries, k=4)
+    assert np.array_equal(flat, obj)
+    # Removed ids never appear: distances match a filtered linear scan.
+    keep = np.ones(300, dtype=bool)
+    keep[[3, 77, 150, 299]] = False
+    lin = create_index("linear-scan", points[keep])
+    np.testing.assert_allclose(flat, lin.knn_distances(queries, 4),
+                               rtol=1e-12, atol=1e-12)
+
+
+def test_flat_descent_with_prune_caps_matches(rng):
+    points = rng.normal(size=(600, 5))
+    queries = rng.normal(size=(30, 5))
+    index = _make("kd-tree", points)
+    caps = np.asarray(index.knn_distances(queries, 3), dtype=float)
+    flat, obj = _knn_both_paths(index, queries, k=3, prune_caps=caps * 1.5)
+    assert np.array_equal(flat, obj)
+
+
+def test_snapshot_shares_layout_zero_copy(rng):
+    points = rng.normal(size=(350, 4))
+    index = _make("kd-tree", points)
+    layout = index._flat_layout()
+    snap = index.snapshot()
+    assert snap._flat_layout() is layout
+    queries = rng.normal(size=(10, 4))
+    assert np.array_equal(
+        snap.knn_distances(queries, 3), index.knn_distances(queries, 3)
+    )
+
+
+def test_insert_invalidates_layout(rng):
+    points = rng.normal(size=(200, 3))
+    index = _make("kd-tree", points)
+    first = index._flat_layout()
+    index.insert(rng.normal(size=3))
+    second = index._flat_layout()
+    assert second is not first
+    queries = rng.normal(size=(8, 3))
+    flat, obj = _knn_both_paths(index, queries, k=2)
+    assert np.array_equal(flat, obj)
+
+
+def test_layout_invariants(rng):
+    points = rng.normal(size=(300, 4))
+    index = _make("kd-tree", points)
+    lay = index._flat_layout()
+    assert isinstance(lay, FlatKDLayout)
+    n = lay.left.shape[0]
+    leaves = lay.left < 0
+    assert np.array_equal(leaves, lay.right < 0)
+    # Every point id is stored in exactly one leaf slot.
+    assert np.array_equal(np.sort(lay.leaf_ids), np.arange(300))
+    # id_slot inverts leaf_ids.
+    assert np.array_equal(lay.leaf_ids[lay.id_slot], np.arange(300))
+    # Pre-stacked child boxes equal the children's own boxes.
+    internal = np.flatnonzero(~leaves)
+    assert np.array_equal(lay.child_lo[internal, 0], lay.lo[lay.left[internal]])
+    assert np.array_equal(lay.child_hi[internal, 1], lay.hi[lay.right[internal]])
+    assert lay.nbytes > 0
+    assert n == lay.lo.shape[0]
+
+
+def test_leaf_stats_replicate_pairwise_bits(rng):
+    points = rng.normal(size=(400, 5)) + 1e6  # forces per-leaf centering
+    index = _make("kd-tree", points)
+    lay = index._flat_layout()
+    assert lay.leaf_pts is not None
+    assert bool(lay.leaf_centered.any())
+    from repro.kernels import numpy_impl
+
+    queries = (rng.normal(size=(12, 5)) + 1e6).astype(points.dtype)
+    for idx in np.flatnonzero(lay.left < 0)[:10]:
+        s, e = lay.leaf_start[idx], lay.leaf_end[idx]
+        if e <= s:
+            continue
+        ids = lay.leaf_ids[s:e]
+        direct = numpy_impl.euclidean_pairwise(queries, points[ids])
+        via = numpy_impl.euclidean_pairwise_stats(
+            queries,
+            lay.leaf_pts[s:e],
+            lay.leaf_yy[s:e],
+            lay.leaf_mu[idx] if lay.leaf_centered[idx] else None,
+        )
+        assert np.array_equal(direct, via)
+
+
+def test_leaf_stats_absent_for_non_euclidean():
+    from repro.distances import get_metric
+
+    rng = np.random.default_rng(77)
+    points = rng.normal(size=(150, 3))
+    index = create_index("kd-tree", points, metric=get_metric("manhattan"))
+    lay = index._flat_layout()
+    assert lay.leaf_pts is None
+    queries = rng.normal(size=(6, 3))
+    flat, obj = _knn_both_paths(index, queries, k=2)
+    assert np.array_equal(flat, obj)
+
+
+def test_flatten_without_points_still_descends(rng):
+    points = rng.normal(size=(120, 3))
+    index = _make("kd-tree", points)
+    lay = flatten_kd(index._root, index.dim, points.dtype)
+    assert lay.leaf_pts is None and lay.id_slot is not None
+    index._layout = lay
+    queries = rng.normal(size=(5, 3))
+    flat, obj = _knn_both_paths(index, queries, k=2)
+    assert np.array_equal(flat, obj)
+
+
+def test_ball_layout_types(rng):
+    points = rng.normal(size=(200, 4))
+    index = _make("ball-tree", points)
+    lay = index._flat_layout()
+    assert isinstance(lay, FlatBallLayout)
+    assert np.array_equal(lay.leaf_ids[lay.id_slot], np.arange(200))
+    assert lay.nbytes > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_float32_layout_keeps_storage_dtype(backend, rng):
+    points = rng.normal(size=(250, 4))
+    index = _make(backend, points, dtype=np.float32)
+    lay = index._flat_layout()
+    coords = lay.lo if hasattr(lay, "lo") else lay.centroids
+    assert coords.dtype == np.float32
+    if lay.leaf_pts is not None:
+        assert lay.leaf_pts.dtype == np.float32
+        assert lay.leaf_yy.dtype == np.float32

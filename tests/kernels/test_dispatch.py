@@ -1,0 +1,238 @@
+"""The kernel dispatch layer: backend resolution and the bit contracts.
+
+The NumPy implementations are the semantics of record; these tests pin
+both the reference semantics and the dispatch rules (``REPRO_JIT=0``
+forces the fallback, a missing Numba means the fallback, ``refresh()``
+re-resolves).  They run identically whether or not Numba is installed —
+backend-specific assertions are conditioned on :func:`jit_available`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import numpy_impl
+
+
+@pytest.fixture
+def restore_dispatch():
+    """Restore the dispatch table and REPRO_JIT after a test fiddles them."""
+    saved = os.environ.get("REPRO_JIT")
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_JIT", None)
+        else:
+            os.environ["REPRO_JIT"] = saved
+        kernels.refresh()
+
+
+def test_backend_matches_jit_enabled():
+    assert kernels.active_backend() == (
+        "numba" if kernels.jit_enabled() else "numpy"
+    )
+
+
+def test_jit_enabled_requires_availability():
+    if not kernels.jit_available():
+        assert not kernels.jit_enabled()
+
+
+def test_repro_jit_zero_pins_numpy(restore_dispatch):
+    os.environ["REPRO_JIT"] = "0"
+    kernels.refresh()
+    assert not kernels.jit_enabled()
+    assert kernels.active_backend() == "numpy"
+
+
+def test_refresh_restores_environment_backend(restore_dispatch):
+    os.environ["REPRO_JIT"] = "0"
+    kernels.refresh()
+    assert kernels.active_backend() == "numpy"
+    os.environ.pop("REPRO_JIT")
+    kernels.refresh()
+    assert kernels.active_backend() == (
+        "numba" if kernels.jit_available() else "numpy"
+    )
+
+
+def test_active_backend_rejects_unknown_kernel():
+    with pytest.raises(KeyError):
+        kernels.active_backend("no_such_kernel")
+
+
+def test_kernel_names_cover_dispatch_table():
+    for name in kernels.KERNEL_NAMES:
+        assert kernels.active_backend(name) in ("numpy", "numba")
+
+
+# ----------------------------------------------------------------------
+# Reference semantics (numpy_impl is the record)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_pairwise_matches_brute_force(dtype):
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(40, 6)).astype(dtype)
+    Y = rng.normal(size=(70, 6)).astype(dtype)
+    out = numpy_impl.euclidean_pairwise(X, Y)
+    assert out.dtype == dtype
+    expect = np.sqrt(((X[:, None, :] - Y[None, :, :]) ** 2).sum(axis=2))
+    tol = 50 * np.finfo(dtype).eps
+    np.testing.assert_allclose(out, expect, rtol=tol, atol=tol)
+
+
+def test_pairwise_centers_offset_data():
+    rng = np.random.default_rng(6)
+    X = rng.normal(size=(30, 5)) + 1e6
+    Y = rng.normal(size=(50, 5)) + 1e6
+    out = numpy_impl.euclidean_pairwise(X, Y)
+    expect = np.sqrt(((X[:, None, :] - Y[None, :, :]) ** 2).sum(axis=2))
+    # Without centering the expansion would lose ~eps * 1e12 / d(x, y)
+    # absolute accuracy (catastrophically more than this tolerance).
+    np.testing.assert_allclose(out, expect, rtol=1e-9, atol=1e-9)
+
+
+def test_pairwise_is_chunk_independent():
+    # The centering decision depends only on Y, so chunked calls take the
+    # same arithmetic path; BLAS may still differ in the last ulp between
+    # block heights (consumers compare through the tolerance layer).
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(64, 4)) + 37.0
+    Y = rng.normal(size=(90, 4)) + 37.0
+    whole = numpy_impl.euclidean_pairwise(X, Y)
+    parts = np.concatenate(
+        [numpy_impl.euclidean_pairwise(X[i : i + 7], Y) for i in range(0, 64, 7)]
+    )
+    np.testing.assert_allclose(whole, parts, rtol=1e-13, atol=1e-13)
+
+
+@pytest.mark.parametrize("offset", [0.0, 1e6])
+def test_pairwise_stats_bit_identical(offset):
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(25, 5)) + offset
+    Y = rng.normal(size=(60, 5)) + offset
+    direct = numpy_impl.euclidean_pairwise(X, Y)
+    via_stats = numpy_impl.euclidean_pairwise_stats(
+        X, *numpy_impl.euclidean_y_stats(Y)
+    )
+    assert np.array_equal(direct, via_stats)
+
+
+def test_y_stats_centering_decision():
+    rng = np.random.default_rng(9)
+    near = rng.normal(size=(40, 4))
+    _, _, mu = numpy_impl.euclidean_y_stats(near)
+    assert mu is None
+    far = near + 1e6
+    Yc, yy, mu = numpy_impl.euclidean_y_stats(far)
+    assert mu is not None
+    assert np.array_equal(yy, np.einsum("ij,ij->i", Yc, Yc))
+
+
+def test_to_point_many_columns_match_to_point_bits():
+    from repro.distances import EuclideanMetric
+
+    rng = np.random.default_rng(10)
+    X = rng.normal(size=(80, 6))
+    Ys = rng.normal(size=(9, 6))
+    metric = EuclideanMetric()
+    block = numpy_impl.euclidean_to_point_many(X, Ys)
+    for j in range(Ys.shape[0]):
+        assert np.array_equal(block[:, j], metric.to_point(X, Ys[j]))
+
+
+def test_keeper_update_reference_semantics():
+    rng = np.random.default_rng(11)
+    m, k = 12, 4
+    best = rng.uniform(1.0, 2.0, size=(m, k))
+    kth = best.max(axis=1)
+    rows = np.arange(m, dtype=np.intp)
+    cand = rng.uniform(0.0, 3.0, size=(m, 7))
+    expect = np.partition(np.concatenate([best, cand], axis=1), k - 1, axis=1)[
+        :, :k
+    ]
+    numpy_impl.keeper_update(best, kth, rows, cand)
+    assert np.array_equal(np.sort(best, axis=1), np.sort(expect, axis=1))
+    assert np.array_equal(kth, best.max(axis=1))
+
+
+def test_keeper_update_skips_useless_rows():
+    best = np.array([[1.0, 2.0], [1.0, 2.0]])
+    kth = best.max(axis=1)
+    before = best.copy()
+    # Row 0's candidates cannot beat its radius; row 1's can.
+    cand = np.array([[5.0, 6.0], [0.5, 9.0]])
+    numpy_impl.keeper_update(best, kth, np.arange(2, dtype=np.intp), cand)
+    assert np.array_equal(best[0], before[0])
+    assert np.sort(best[1]).tolist() == [0.5, 1.0]
+
+
+def test_keeper_update_empty_blocks_are_noops():
+    best = np.ones((3, 2))
+    kth = best.max(axis=1)
+    numpy_impl.keeper_update(best, kth, np.arange(3, dtype=np.intp),
+                             np.empty((3, 0)))
+    numpy_impl.keeper_update(best, kth, np.empty(0, dtype=np.intp),
+                             np.empty((0, 4)))
+    assert np.array_equal(best, np.ones((3, 2)))
+
+
+# ----------------------------------------------------------------------
+# Dispatch contracts (hold for whichever backend is active)
+# ----------------------------------------------------------------------
+def test_dispatched_keeper_update_bit_identical_to_reference():
+    rng = np.random.default_rng(12)
+    m, k = 20, 5
+    best_a = rng.uniform(1.0, 2.0, size=(m, k))
+    best_b = best_a.copy()
+    kth_a = best_a.max(axis=1)
+    kth_b = kth_a.copy()
+    rows = np.arange(m, dtype=np.intp)
+    cand = rng.uniform(0.0, 3.0, size=(m, 9))
+    kernels.keeper_update(best_a, kth_a, rows, cand.copy())
+    numpy_impl.keeper_update(best_b, kth_b, rows, cand.copy())
+    # The selection kernel is pure comparison/permutation work, so the
+    # compiled layer must agree bit-for-bit, not just to round-off.
+    assert np.array_equal(best_a, best_b)
+    assert np.array_equal(kth_a, kth_b)
+
+
+def test_dispatched_to_point_many_columns_are_to_point_bits():
+    from repro.distances import EuclideanMetric
+
+    rng = np.random.default_rng(13)
+    X = rng.normal(size=(64, 5))
+    Ys = rng.normal(size=(6, 5))
+    metric = EuclideanMetric()
+    block = kernels.euclidean_to_point_many(X, Ys)
+    for j in range(Ys.shape[0]):
+        assert np.array_equal(block[:, j], metric.to_point(X, Ys[j]))
+
+
+def test_dispatched_pairwise_within_tolerance_of_reference():
+    rng = np.random.default_rng(14)
+    X = rng.normal(size=(48, 6))
+    Y = rng.normal(size=(72, 6))
+    out = kernels.euclidean_pairwise(X, Y)
+    ref = numpy_impl.euclidean_pairwise(X, Y)
+    if kernels.active_backend() == "numpy":
+        assert np.array_equal(out, ref)
+    else:
+        # The compiled fused loop may differ in the last ulp; consumers
+        # compare through the tolerance layer.
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+
+def test_dispatched_pairwise_stats_matches_pairwise_bits():
+    rng = np.random.default_rng(15)
+    X = rng.normal(size=(16, 4))
+    Y = rng.normal(size=(40, 4))
+    via = kernels.euclidean_pairwise_stats(
+        X, *numpy_impl.euclidean_y_stats(Y)
+    )
+    assert np.array_equal(via, numpy_impl.euclidean_pairwise(X, Y))

@@ -1,0 +1,82 @@
+"""The per-kernel counters of :mod:`repro.utils.profiling`."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import kernels
+from repro.utils.profiling import profile_kernels
+
+
+def test_profile_counts_calls_results_and_bytes():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(10, 4))
+    Y = rng.normal(size=(20, 4))
+    with profile_kernels() as prof:
+        out = kernels.euclidean_pairwise(X, Y)
+        kernels.euclidean_pairwise(X, Y)
+    counters = prof.counters["euclidean_pairwise"]
+    assert counters.calls == 2
+    assert counters.results == 2 * out.size
+    assert counters.bytes == 2 * (X.nbytes + Y.nbytes + out.nbytes)
+
+
+def test_profile_off_by_default():
+    rng = np.random.default_rng(2)
+    with profile_kernels() as prof:
+        pass
+    kernels.euclidean_pairwise(
+        rng.normal(size=(4, 3)), rng.normal(size=(5, 3))
+    )
+    assert "euclidean_pairwise" not in prof.counters
+
+
+def test_nested_profiles_restore_outer():
+    rng = np.random.default_rng(3)
+    X, Y = rng.normal(size=(6, 3)), rng.normal(size=(7, 3))
+    with profile_kernels() as outer:
+        kernels.euclidean_pairwise(X, Y)
+        with profile_kernels() as inner:
+            kernels.euclidean_pairwise(X, Y)
+        kernels.euclidean_pairwise(X, Y)
+    assert inner.counters["euclidean_pairwise"].calls == 1
+    assert outer.counters["euclidean_pairwise"].calls == 2
+
+
+def test_stats_variant_records_under_pairwise():
+    from repro.kernels import numpy_impl
+
+    rng = np.random.default_rng(4)
+    X, Y = rng.normal(size=(5, 3)), rng.normal(size=(9, 3))
+    with profile_kernels() as prof:
+        kernels.euclidean_pairwise_stats(
+            X, *numpy_impl.euclidean_y_stats(Y)
+        )
+    assert prof.counters["euclidean_pairwise"].calls == 1
+
+
+def test_profile_captures_end_to_end_query_kernels():
+    from repro.core.rdt import RDT
+    from repro.indexes import create_index
+
+    rng = np.random.default_rng(5)
+    pts = rng.normal(size=(400, 5))
+    engine = RDT(create_index("kd-tree", pts))
+    with profile_kernels() as prof:
+        engine.query_batch(query_indices=np.arange(20), k=4, t=4.0)
+    # The RDT pipeline must exercise both profiled hot kernels.
+    assert prof.counters["euclidean_pairwise"].calls > 0
+    assert prof.counters["keeper_update"].calls > 0
+
+
+def test_json_and_summary_shapes():
+    rng = np.random.default_rng(6)
+    with profile_kernels() as prof:
+        kernels.euclidean_pairwise(
+            rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        )
+    data = json.loads(prof.to_json())
+    assert set(data["euclidean_pairwise"]) == {"calls", "results", "bytes"}
+    assert "euclidean_pairwise" in prof.summary()

@@ -1,0 +1,175 @@
+"""Float32 conformance against the float64 brute-force boundary.
+
+Float32 storage quantizes coordinates at build time, so the reference
+truth is the float64 brute force over the *quantized* dataset.  The
+library's stated float32 contract (``repro.utils.tolerance``) is that
+distance decisions are exact outside the wide tolerance band
+``FLOAT32_DIST_RTOL * d + FLOAT32_DIST_ATOL``; inside it, reduced
+precision may legitimately flip a membership.  The sweep therefore
+asserts that every disagreement with the float64 truth lies within the
+band — on the same adversarial shapes as the float64 oracle (ties,
+duplicates, catastrophic offsets, 1-d, removal churn).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRkNN
+from repro.core import RDT
+from repro.distances import EuclideanMetric
+from repro.indexes import create_index
+from repro.utils.tolerance import FLOAT32_DIST_ATOL, FLOAT32_DIST_RTOL
+
+#: Exhaustive regime: the filter retrieves everything, refinement decides
+#: (same argument as the float64 oracle's module docstring).
+T_EXACT = 1e30
+K = 5
+
+BACKENDS = ("linear-scan", "kd-tree", "ball-tree")
+
+
+def _gaussian(rng):
+    return rng.normal(size=(120, 4)), []
+
+
+def _tie_rich(rng):
+    return rng.integers(0, 3, size=(110, 3)).astype(np.float64), []
+
+
+def _exact_duplicates(rng):
+    base = rng.normal(size=(40, 3))
+    reps = rng.integers(2, 5, size=40)
+    return np.repeat(base, reps, axis=0), []
+
+
+def _post_removal_churn(rng):
+    base = rng.normal(size=(50, 3))
+    data = np.repeat(base, 3, axis=0)
+    remove = rng.choice(data.shape[0], size=45, replace=False)
+    return data, remove.tolist()
+
+
+def _offset_1e6(rng):
+    return rng.normal(size=(120, 4)) + 1e6, []
+
+
+def _d1(rng):
+    values = rng.normal(size=(90, 1))
+    values[::7] = values[0]
+    return values, []
+
+
+WORKLOADS = {
+    "gaussian": _gaussian,
+    "tie-rich": _tie_rich,
+    "exact-duplicates": _exact_duplicates,
+    "post-removal-churn": _post_removal_churn,
+    "offset-1e6": _offset_1e6,
+    "d1": _d1,
+}
+
+_cache: dict[str, tuple] = {}
+
+
+def _workload(name):
+    """Quantized data, removals, and float64 truth + margins per query."""
+    if name not in _cache:
+        rng = np.random.default_rng(
+            np.frombuffer(name.encode().ljust(8, b"x")[:8], dtype=np.uint32)
+        )
+        raw, remove_ids = WORKLOADS[name](rng)
+        # Quantize exactly as float32 storage will, then reason in float64.
+        data = raw.astype(np.float32).astype(np.float64)
+        mask = np.ones(data.shape[0], dtype=bool)
+        mask[np.asarray(remove_ids, dtype=np.intp)] = False
+        active = np.flatnonzero(mask)
+        live = data[active]
+        naive = NaiveRkNN(live, k=K)
+        truth = {
+            int(active[local]): set(
+                active[naive.query_ids(query_index=local)].tolist()
+            )
+            for local in range(active.shape[0])
+        }
+        # Exact float64 geometry for the band check: d(q, x) and d_k(x).
+        diff = live[:, None, :] - live[None, :, :]
+        dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        np.fill_diagonal(dists, np.inf)  # self never witnesses
+        dk = np.partition(dists, K - 1, axis=1)[:, K - 1]
+        _cache[name] = (data, remove_ids, active, truth, dists, dk)
+    return _cache[name]
+
+
+def _margin_ok(name, query_id, point_id):
+    """Whether (query, point) lies inside the float32 tolerance band."""
+    data, remove_ids, active, truth, dists, dk = _workload(name)
+    lookup = {int(g): i for i, g in enumerate(active)}
+    qi, xi = lookup[query_id], lookup[point_id]
+    d, bound = dists[xi, qi], dk[xi]
+    band = 2.0 * (FLOAT32_DIST_RTOL * max(d, bound) + FLOAT32_DIST_ATOL)
+    return abs(d - bound) <= band
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_float32_engine_matches_truth_outside_the_band(
+    backend, workload_name
+):
+    data, remove_ids, active, truth, dists, dk = _workload(workload_name)
+    index = create_index(
+        backend, data, metric=EuclideanMetric(dtype=np.float32)
+    )
+    if remove_ids and not index.supports_remove:
+        pytest.skip(f"{backend} does not support remove")
+    for point_id in remove_ids:
+        index.remove(int(point_id))
+    rdt = RDT(index)
+
+    results = rdt.query_all(k=K, t=T_EXACT)
+    assert set(results) == {int(i) for i in active}
+    for query_id, result in results.items():
+        got = set(result.ids.tolist())
+        for point_id in got ^ truth[query_id]:
+            assert _margin_ok(workload_name, query_id, point_id), (
+                f"float32 {backend} differs from the float64 boundary "
+                f"outside the tolerance band on {workload_name!r}: "
+                f"query {query_id}, point {point_id}"
+            )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_float32_matches_truth_exactly_on_comfortable_margins(backend):
+    """Queries whose every membership margin clears the band must
+    reproduce the float64 answer id-for-id (most of the gaussian sweep)."""
+    name = "gaussian"
+    data, remove_ids, active, truth, dists, dk = _workload(name)
+    band = FLOAT32_DIST_RTOL * np.maximum(dists, dk[:, None]) + (
+        FLOAT32_DIST_ATOL
+    )
+    tight = np.isfinite(dists) & (
+        np.abs(dists - dk[:, None]) <= 2.0 * band
+    )  # (point, query); the inf diagonal is a self-pair, never a member
+    comfortable = {
+        int(active[qi])
+        for qi in range(active.shape[0])
+        if not tight[:, qi].any()
+    }
+    assert len(comfortable) > active.shape[0] // 4, (
+        "seed leaves too few band-free queries to be a meaningful check"
+    )
+    index = create_index(
+        backend, data, metric=EuclideanMetric(dtype=np.float32)
+    )
+    results = RDT(index).query_all(k=K, t=T_EXACT)
+    for query_id in comfortable:
+        assert set(results[query_id].ids.tolist()) == truth[query_id]
+
+
+def test_float32_storage_halves_the_matrix():
+    rng = np.random.default_rng(3)
+    pts = rng.normal(size=(512, 8))
+    f64 = create_index("kd-tree", pts)
+    f32 = create_index(
+        "kd-tree", pts, metric=EuclideanMetric(dtype=np.float32)
+    )
+    assert f32.points.nbytes * 2 == f64.points.nbytes
