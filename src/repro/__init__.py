@@ -20,7 +20,13 @@ The top-level namespace re-exports the public API:
 * the concurrent serving layer (:mod:`repro.serving`): a micro-batching
   :class:`~repro.serving.QueryCoalescer`, an epoch-keyed
   :class:`~repro.serving.ResultCache`, and the open-loop load generator
-  :func:`~repro.serving.run_open_loop`.
+  :func:`~repro.serving.run_open_loop`;
+* the multi-core execution layer (:mod:`repro.parallel`): a
+  query-parallel :class:`~repro.parallel.ParallelExecutor` over
+  shared-memory point matrices (also reachable as
+  ``Service(..., parallel=N)``) and a data-parallel
+  :class:`~repro.parallel.ShardedService` with d_k-bound cross-shard
+  pruning.
 
 Quickstart::
 
@@ -112,6 +118,7 @@ from repro.evaluation import (
     run_tradeoff_batched,
 )
 from repro.serving import QueryCoalescer, ResultCache, run_open_loop
+from repro.parallel import ParallelExecutor, ShardedService
 from repro.mining import (
     hubness_counts,
     hubness_skewness,
@@ -205,6 +212,9 @@ __all__ = [
     "QueryCoalescer",
     "ResultCache",
     "run_open_loop",
+    # parallel execution
+    "ParallelExecutor",
+    "ShardedService",
     # mining applications
     "rknn_self_join",
     "odin_scores",

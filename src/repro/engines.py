@@ -270,6 +270,7 @@ def create_engine(
     metric=None,
     backend: str | None = None,
     backend_kwargs: dict | None = None,
+    parallel=None,
     **kwargs,
 ):
     """Construct a registered RkNN engine by name (the front door).
@@ -294,6 +295,12 @@ def create_engine(
         their own specialized trees).
     backend_kwargs:
         Forwarded to the backend constructor (``leaf_size``, ...).
+    parallel:
+        When set (``True``, an int worker count, or a dict of
+        :class:`repro.parallel.ParallelExecutor` knobs), returns a
+        :class:`~repro.parallel.ParallelExecutor` fanning
+        ``query_batch``/``query_all`` across a worker-process pool
+        instead of the bare engine.  Index-family engines only.
     kwargs:
         Engine-specific knobs: ``k`` (``naive``/``rdnn``), ``k_max``
         (``mrknncop``), ``sample_size``/``margin``/``n_tables``/``seed``
@@ -308,6 +315,29 @@ def create_engine(
         raise ValueError(
             f"unknown engine {name!r}; known: {sorted(ENGINE_REGISTRY)}"
         ) from None
+    if parallel is not None and parallel is not False:
+        from repro.parallel import ParallelExecutor
+
+        if parallel is True:
+            pool_kwargs = {}
+        elif isinstance(parallel, int):
+            pool_kwargs = {"workers": parallel}
+        elif isinstance(parallel, dict):
+            pool_kwargs = dict(parallel)
+        else:
+            raise TypeError(
+                "parallel must be None, True, an int worker count, or a "
+                f"dict of executor options, got {type(parallel).__name__}"
+            )
+        return ParallelExecutor(
+            data,
+            spec.name,
+            metric=metric,
+            backend=backend or DEFAULT_BACKEND,
+            backend_kwargs=backend_kwargs,
+            engine_kwargs=kwargs,
+            **pool_kwargs,
+        )
     engine = spec.factory(
         data,
         metric=metric,

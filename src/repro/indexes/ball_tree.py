@@ -218,6 +218,20 @@ class BallTreeIndex(Index):
             )
         return self._layout
 
+    def adopt_flat_layout(self, layout: FlatBallLayout) -> None:
+        """Adopt a prebuilt flat layout (see ``KDTreeIndex.adopt_flat_layout``)."""
+        if self.version != 0:
+            raise ValueError(
+                "can only adopt a layout into a pristine (version-0) tree; "
+                "this one has been mutated"
+            )
+        if layout.leaf_ids.shape[0] != self._points.shape[0]:
+            raise ValueError(
+                f"layout indexes {layout.leaf_ids.shape[0]} points but this "
+                f"tree stores {self._points.shape[0]}"
+            )
+        self._layout = layout
+
     def snapshot(self) -> "BallTreeIndex":
         # Materialize before freezing so every snapshot shares the arrays.
         self._flat_layout()

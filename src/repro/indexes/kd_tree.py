@@ -299,6 +299,27 @@ class KDTreeIndex(Index):
             )
         return self._layout
 
+    def adopt_flat_layout(self, layout: FlatKDLayout) -> None:
+        """Adopt a prebuilt flat layout instead of flattening this tree.
+
+        For replica trees (parallel workers): a version-0 tree is a pure
+        deterministic bulk build, so a layout flattened from the original
+        is node-for-node valid here — adopting it shares one physical
+        copy of the node arrays (e.g. shared-memory views) across every
+        worker instead of re-flattening per process.
+        """
+        if self.version != 0:
+            raise ValueError(
+                "can only adopt a layout into a pristine (version-0) tree; "
+                "this one has been mutated"
+            )
+        if layout.leaf_ids.shape[0] != self._points.shape[0]:
+            raise ValueError(
+                f"layout indexes {layout.leaf_ids.shape[0]} points but this "
+                f"tree stores {self._points.shape[0]}"
+            )
+        self._layout = layout
+
     def snapshot(self) -> "KDTreeIndex":
         self._flat_layout()
         return super().snapshot()

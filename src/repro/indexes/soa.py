@@ -27,7 +27,7 @@ without the Python frame per node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -43,6 +43,8 @@ __all__ = [
     "flatten_ball",
     "flatten_kd",
     "kd_flat_descent",
+    "layout_from_arrays",
+    "layout_to_arrays",
 ]
 
 
@@ -158,6 +160,52 @@ class FlatBallLayout:
             )
             if (arr := getattr(self, f)) is not None
         )
+
+
+#: kind tag -> layout dataclass, for :func:`layout_from_arrays`.
+_LAYOUT_CLASSES = {"kd": FlatKDLayout, "ball": FlatBallLayout}
+
+#: boolean layout fields, re-cast on reconstruction (array transports
+#: that round-trip through raw buffers carry them as uint8-compatible)
+_BOOL_FIELDS = ("leaf_centered",)
+
+
+def layout_to_arrays(layout) -> dict:
+    """A layout's populated fields as one flat ``{name: ndarray}`` dict.
+
+    The inverse of :func:`layout_from_arrays`; used to publish a layout
+    through array transports (``.npz`` files, shared-memory packs) that
+    carry named arrays but not dataclasses.  ``None`` fields are simply
+    absent from the dict.
+    """
+    return {
+        f.name: arr
+        for f in fields(layout)
+        if (arr := getattr(layout, f.name)) is not None
+    }
+
+
+def layout_from_arrays(kind: str, arrays: dict):
+    """Rebuild a :class:`FlatKDLayout`/:class:`FlatBallLayout` from arrays.
+
+    ``kind`` is ``"kd"`` or ``"ball"``; ``arrays`` maps field names to
+    ndarrays (extra keys are ignored, optional fields may be missing).
+    The arrays are adopted as-is — read-only views (e.g. shared-memory
+    attachments) stay zero-copy, which is the point: every worker
+    process descends one physical copy of the node arrays.
+    """
+    try:
+        cls = _LAYOUT_CLASSES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout kind {kind!r}; known: {sorted(_LAYOUT_CLASSES)}"
+        ) from None
+    known = {f.name for f in cls.__dataclass_fields__.values()}
+    kwargs = {name: arr for name, arr in arrays.items() if name in known}
+    for name in _BOOL_FIELDS:
+        if kwargs.get(name) is not None and kwargs[name].dtype != np.bool_:
+            kwargs[name] = kwargs[name].astype(bool)
+    return cls(**kwargs)
 
 
 def _leaf_arrays(nodes: list) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -1,0 +1,35 @@
+"""Multi-core execution: query-parallel fan-out and data-parallel shards.
+
+Two tiers over one shared-memory substrate (DESIGN.md "Parallel
+execution & sharding"):
+
+* :class:`ParallelExecutor` — tier 1, query-parallel: one full engine
+  replica per worker process over the zero-copy shared point matrix,
+  query blocks fanned across the pool.  Bit-identical to the in-process
+  Service per pinned epoch.
+* :class:`ShardedService` — tier 2, data-parallel: disjoint member
+  partitions with per-shard engines, d_k-bound cross-shard pruning, and
+  one exact global verification merge.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_start_method
+from repro.parallel.shared import (
+    SharedArrayPack,
+    SharedAttachment,
+    attach_arrays,
+    publish_arrays,
+    shared_memory_available,
+)
+from repro.parallel.sharded import SHARD_STRATEGIES, ShardedService
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "ParallelExecutor",
+    "ShardedService",
+    "SharedArrayPack",
+    "SharedAttachment",
+    "attach_arrays",
+    "publish_arrays",
+    "resolve_start_method",
+    "shared_memory_available",
+]

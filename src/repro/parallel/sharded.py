@@ -1,0 +1,452 @@
+"""Data-parallel execution: a Service partitioned across shard processes.
+
+:class:`ShardedService` splits the member set into ``shards`` disjoint
+partitions, builds a per-shard engine in the worker pool (over the
+shard's rows of the shared point matrix — no copies cross the process
+boundary), and answers queries by broadcasting to the shards that could
+possibly contribute, merging with one exact global verification pass.
+
+**Why per-shard answers are a safe superset.**  A member ``x`` is a
+reverse neighbor of ``q`` iff ``d(q, x) <= d_k(x)`` with ``d_k`` over
+``S \\ {x}``.  A shard engine computes the same test with ``d_k`` over
+``shard \\ {x}`` — a subset — so its k-th NN distance can only be
+*larger*: every true member in the shard passes the shard-local test,
+possibly joined by false positives.  The parent then recomputes the
+global test once per unique candidate (one deduplicated
+``knn_distances`` pass over the pinned snapshot, the same dedup-and-
+verify shape as the RDT refinement), restoring exactness: merged ids
+equal brute-force membership, and therefore bit-match any
+exact-guarantee single-process engine (``rdt`` at ``t >= max GED``).
+Note the merge *tightens* engines that carry precision slack — ``rdt+``
+is ``scale-recall`` (its Section 4.3 lazy accepts may keep provable-
+cheap false positives unverified), so the sharded answer is the exact
+subset of what a single-process ``rdt+`` would return.
+
+**d_k cross-shard pruning.**  The sampled strategy's per-k tables
+(:class:`repro.approx.SampledKNNEstimator`) give every member a
+*provable* upper bound ``u_k(x) >= d_k(x)``.  With shard centroid ``c``,
+shard radius ``R = max d(x, c)`` and ``r_k = max u_k(x)`` over the
+shard, the triangle inequality gives ``d(q, x) >= d(q, c) - R``; if
+``d(q, c) - R > r_k`` then no shard member can count ``q`` among its k
+nearest, so the shard is skipped without being asked (recall-safe — the
+bound only ever *over*-estimates reach).  Shards are assigned
+round-robin or d_k-balanced (members snake-dealt by descending
+``u_k``, spreading the widest-reach points evenly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.approx.sampled import SampledKNNEstimator
+from repro.core.result import QueryStats, RkNNResult
+from repro.parallel.executor import ParallelExecutor
+from repro.service import QuerySpec, Service
+from repro.utils.tolerance import dist_le_many, tolerances_for
+
+__all__ = ["SHARD_STRATEGIES", "ShardedService"]
+
+#: Partitioning strategies: round-robin over active ids, or snake-dealt
+#: by descending sampled d_k upper bound (balances pruning reach).
+SHARD_STRATEGIES = ("round-robin", "dk-balanced")
+
+
+class ShardedService(ParallelExecutor):
+    """Shard a Service's members across worker processes.
+
+    Parameters
+    ----------
+    source:
+        Raw ``(n, dim)`` data (an internal :class:`repro.Service` is
+        built and owned) or a Service to adopt.
+    shards:
+        Number of disjoint partitions (``>= 1``).
+    strategy:
+        ``"round-robin"`` or ``"dk-balanced"`` (see module docstring).
+    prune:
+        Apply the d_k cross-shard bound before broadcasting (default
+        on); ``False`` broadcasts every query to every non-empty shard.
+    sample_size:
+        Subsample size of the :class:`SampledKNNEstimator` backing the
+        pruning bounds and the d_k-balanced assignment.
+    workers / start_method / engine / backend / ... :
+        As for :class:`~repro.parallel.executor.ParallelExecutor`;
+        ``workers`` defaults to ``min(shards, os.cpu_count())``.
+
+    Queries mirror the Service surface (``query``/``query_batch``/
+    ``query_all`` + ``_versioned``); writes (:meth:`insert`/
+    :meth:`remove`/:meth:`compact`) delegate to the inner Service, and
+    the next dispatch re-partitions against the new epoch.
+    """
+
+    #: sharded workers build per-shard trees, never full replicas, so the
+    #: parent's full-tree SoA layout is not worth publishing
+    _publish_layout = False
+
+    def __init__(
+        self,
+        source,
+        engine: str | None = None,
+        *,
+        shards: int = 2,
+        strategy: str = "round-robin",
+        prune: bool = True,
+        sample_size: int = 256,
+        workers: int | None = None,
+        start_method: str | None = None,
+        backend: str = "kd",
+        metric=None,
+        dtype=None,
+        defaults: QuerySpec | None = None,
+        backend_kwargs: dict | None = None,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {SHARD_STRATEGIES}, got {strategy!r}"
+            )
+        self.shards = shards
+        self.strategy = strategy
+        self.prune = bool(prune)
+        self.sample_size = int(sample_size)
+        if workers is None:
+            workers = max(1, min(shards, os.cpu_count() or 1))
+        super().__init__(
+            source,
+            engine,
+            workers=workers,
+            start_method=start_method,
+            backend=backend,
+            metric=metric,
+            dtype=dtype,
+            defaults=defaults,
+            backend_kwargs=backend_kwargs,
+            engine_kwargs=engine_kwargs,
+        )
+        self._snap = None
+        self._members: list[np.ndarray] = []
+        self._centroids: np.ndarray | None = None
+        self._reach: np.ndarray | None = None
+        self._est: SampledKNNEstimator | None = None
+        self._rk: dict[int, np.ndarray] = {}
+
+    # -- publication (called under the dispatch lock) ------------------
+    def _augment_arrays(self, arrays: dict, state, spec: QuerySpec) -> None:
+        """Partition the pinned epoch and ship the assignment with it."""
+        snap = state.snapshot
+        active_ids = snap.active_ids()
+        est = SampledKNNEstimator(
+            snap, sample_size=max(1, self.sample_size)
+        )
+        if self.strategy == "dk-balanced" and active_ids.shape[0]:
+            # Snake-deal by descending reach: the widest-reach members
+            # (largest u_k, hardest to prune) spread evenly instead of
+            # clustering in one shard.
+            _, upper = est.kth_upper_bounds(spec.k)
+            order = np.argsort(-upper, kind="stable")
+            block, pos = divmod(
+                np.arange(order.shape[0], dtype=np.intp), self.shards
+            )
+            shard_of = np.where(block % 2 == 0, pos, self.shards - 1 - pos)
+            assign = np.empty(order.shape[0], dtype=np.intp)
+            assign[order] = shard_of
+        else:
+            assign = np.arange(active_ids.shape[0], dtype=np.intp) % self.shards
+        members = [
+            np.sort(active_ids[assign == s]) for s in range(self.shards)
+        ]
+        offsets = np.zeros(self.shards + 1, dtype=np.int64)
+        np.cumsum([ids.shape[0] for ids in members], out=offsets[1:])
+        arrays["shard_ids"] = (
+            np.concatenate(members) if active_ids.shape[0]
+            else np.empty(0, dtype=np.intp)
+        )
+        arrays["shard_offsets"] = offsets
+        points = snap.points
+        metric = snap.metric
+        dim = points.shape[1]
+        centroids = np.zeros((self.shards, dim), dtype=points.dtype)
+        reach = np.zeros(self.shards, dtype=np.float64)
+        for s, ids in enumerate(members):
+            if ids.shape[0] == 0:
+                continue
+            rows = points[ids]
+            centroids[s] = rows.mean(axis=0)
+            reach[s] = float(metric.to_point(rows, centroids[s]).max())
+        self._snap = snap
+        self._members = members
+        self._centroids = centroids
+        self._reach = reach
+        self._est = est
+        self._rk = {}
+
+    def _shard_rk(self, k: int) -> np.ndarray:
+        """Per-shard ``max u_k`` (the shard's d_k pruning radius)."""
+        radii = self._rk.get(k)
+        if radii is None:
+            ids_a, upper = self._est.kth_upper_bounds(k)
+            radii = np.full(self.shards, -np.inf)
+            for s, ids in enumerate(self._members):
+                if ids.shape[0]:
+                    radii[s] = float(upper[np.searchsorted(ids_a, ids)].max())
+            self._rk[k] = radii
+        return radii
+
+    def _keep_mask(self, query_points: np.ndarray, k: int) -> np.ndarray:
+        """``(m, shards)`` broadcast mask; empty shards are never asked."""
+        non_empty = np.array(
+            [ids.shape[0] > 0 for ids in self._members], dtype=bool
+        )
+        if not self.prune:
+            return np.broadcast_to(
+                non_empty, (query_points.shape[0], self.shards)
+            ).copy()
+        bound = self._reach + self._shard_rk(k)
+        to_centroid = self._snap.metric.to_point_many(
+            query_points, self._centroids
+        ).astype(np.float64)
+        # Generous slack: the bound is a reachability cutoff, not a
+        # membership compare — over-keeping costs a little work,
+        # under-keeping costs exactness.  Empty shards carry a -inf
+        # radius (slack would be nan); they are excluded below anyway.
+        rtol, atol = tolerances_for(query_points.dtype)
+        cutoff = np.full(self.shards, -np.inf)
+        finite = np.isfinite(bound)
+        cutoff[finite] = bound[finite] + 16.0 * (
+            rtol * np.abs(bound[finite]) + atol
+        )
+        keep = to_centroid <= cutoff[None, :]
+        return keep & non_empty[None, :]
+
+    # -- dispatch + merge ---------------------------------------------
+    def _dispatch_sharded(
+        self, query_points: np.ndarray | None,
+        member_ids: np.ndarray | None, spec: QuerySpec,
+    ) -> tuple[int, list[RkNNResult]]:
+        """One sharded dispatch against one pinned epoch.
+
+        Everything epoch-dependent — the context pin, member-liveness
+        checks, the member rows, the keep mask — resolves under a single
+        lock acquisition, so a writer landing mid-call can never mix two
+        epochs into one answer.
+        """
+        with self._lock:
+            self._check_open()
+            ctx = self._ensure_context(spec)
+            snap = self._snap
+            if member_ids is not None:
+                for qid in member_ids:
+                    if not snap.is_active(int(qid)):
+                        raise KeyError(
+                            f"point id {int(qid)} has been removed"
+                        )
+                query_points = snap.points[member_ids]
+            m = query_points.shape[0]
+            knobs = self._knobs(spec)
+            keep = self._keep_mask(query_points, spec.k)
+            tasks, slots = [], []
+            for s in range(self.shards):
+                rows = np.flatnonzero(keep[:, s])
+                if rows.shape[0] == 0:
+                    continue
+                if member_ids is not None:
+                    tasks.append(
+                        ("shard-member", ctx, s, member_ids[rows], spec.k, knobs)
+                    )
+                else:
+                    tasks.append(
+                        ("shard-raw", ctx, s, query_points[rows], spec.k, knobs)
+                    )
+                slots.append(rows)
+            chunks = self._map(tasks)
+        candidates: list[list[np.ndarray]] = [[] for _ in range(m)]
+        for rows, chunk in zip(slots, chunks):
+            for row, ids in zip(rows, chunk):
+                ids = np.asarray(ids, dtype=np.intp)
+                if ids.shape[0]:
+                    candidates[int(row)].append(ids)
+        return ctx.epoch, self._merge(snap, query_points, candidates, spec)
+
+    def _merge(
+        self, snap, query_points: np.ndarray,
+        candidates: list[list[np.ndarray]], spec: QuerySpec,
+    ) -> list[RkNNResult]:
+        """Exact global verification of the shard candidates.
+
+        Shards are disjoint, so per-query candidate lists concatenate
+        without duplicates; candidates are deduplicated *across* queries
+        for one global ``knn_distances`` pass (the ``d_k`` of each
+        unique candidate), then membership is the tolerant
+        ``d(q, x) <= d_k(x)`` compare — the same policy the engines'
+        verification phase uses.
+        """
+        counts = np.array(
+            [sum(ids.shape[0] for ids in lists) for lists in candidates],
+            dtype=np.int64,
+        )
+        total = int(counts.sum())
+        empty = np.empty(0, dtype=np.intp)
+        if total == 0:
+            return [
+                RkNNResult(
+                    ids=empty, k=spec.k, t=spec.t,
+                    stats=QueryStats(terminated_by="sharded-merge"),
+                )
+                for _ in candidates
+            ]
+        flat = np.concatenate(
+            [ids for lists in candidates for ids in lists]
+        ).astype(np.intp)
+        rows = np.repeat(np.arange(len(candidates), dtype=np.intp), counts)
+        unique, inverse = np.unique(flat, return_inverse=True)
+        kth = snap.knn_distances(
+            snap.points[unique], spec.k, exclude_indices=unique
+        )
+        dq = snap.metric.paired(query_points[rows], snap.points[flat])
+        member = dist_le_many(np.asarray(dq), kth[inverse])
+        ends = np.cumsum(counts)
+        results = []
+        for i in range(len(candidates)):
+            lo = int(ends[i - 1]) if i else 0
+            hi = int(ends[i])
+            hits = flat[lo:hi][member[lo:hi]]
+            results.append(
+                RkNNResult(
+                    ids=np.sort(hits).astype(np.intp),
+                    k=spec.k,
+                    t=spec.t,
+                    stats=QueryStats(
+                        num_candidates=hi - lo,
+                        num_verified=hi - lo,
+                        num_verified_hits=int(hits.shape[0]),
+                        terminated_by="sharded-merge",
+                    ),
+                )
+            )
+        return results
+
+    # -- queries -------------------------------------------------------
+    def query_versioned(
+        self, query=None, *, query_index=None, spec=None, **overrides
+    ):
+        if (query is None) == (query_index is None):
+            raise ValueError("provide exactly one of `query` or `query_index`")
+        if query_index is not None:
+            epoch, results = self.query_batch_versioned(
+                query_indices=[int(query_index)], spec=spec, **overrides
+            )
+        else:
+            epoch, results = self.query_batch_versioned(
+                np.asarray(query)[None, :], spec=spec, **overrides
+            )
+        return epoch, results[0]
+
+    def query_batch_versioned(
+        self, queries=None, *, query_indices=None, spec=None, **overrides
+    ):
+        if (queries is None) == (query_indices is None):
+            raise ValueError(
+                "provide exactly one of `queries` or `query_indices`"
+            )
+        spec = self.service.resolve_spec(spec, **overrides)
+        if query_indices is not None:
+            member_ids = np.asarray(query_indices, dtype=np.intp)
+            query_points = None
+        else:
+            member_ids = None
+            query_points = np.asarray(queries)
+            if query_points.ndim == 1:
+                query_points = query_points[None, :]
+        return self._dispatch_sharded(query_points, member_ids, spec)
+
+    def query_all_versioned(self, *, spec=None, **overrides):
+        spec = self.service.resolve_spec(spec, **overrides)
+        with self._lock:
+            # The RLock makes the inner dispatch's pin this same epoch:
+            # the member list and the shard assignment cannot diverge.
+            self._check_open()
+            self._ensure_context(spec)
+            qids = self._active_ids
+            epoch, results = self._dispatch_sharded(None, qids, spec)
+        return epoch, {
+            int(qid): result for qid, result in zip(qids, results)
+        }
+
+    # -- writes (delegate to the inner Service) ------------------------
+    def insert(self, point) -> int:
+        return self.service.insert(point)
+
+    def remove(self, point_id: int) -> None:
+        self.service.remove(point_id)
+
+    def compact(self) -> bool:
+        return self.service.compact()
+
+    def active_ids(self) -> np.ndarray:
+        return self.service.active_ids()
+
+    @property
+    def size(self) -> int:
+        return self.service.size
+
+    @property
+    def dim(self) -> int:
+        return self.service.dim
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path) -> pathlib.Path:
+        """Persist as a Service payload plus the sharding configuration."""
+        return self.service.save(
+            path,
+            extra_meta={
+                "sharded": {
+                    "shards": self.shards,
+                    "strategy": self.strategy,
+                    "prune": self.prune,
+                    "sample_size": self.sample_size,
+                }
+            },
+        )
+
+    @classmethod
+    def load(
+        cls, path, *, workers: int | None = None,
+        start_method: str | None = None,
+    ) -> "ShardedService":
+        """Rebuild a :meth:`save` payload (inner Service + sharding meta)."""
+        with np.load(pathlib.Path(path), allow_pickle=False) as payload:
+            meta = json.loads(str(payload["meta"][()]))
+        sharding = meta.get("extra", {}).get("sharded")
+        if sharding is None:
+            raise ValueError(
+                f"{str(path)!r} is a plain Service payload (no sharding "
+                "meta); load it with repro.Service.load"
+            )
+        service = Service.load(path)
+        sharded = cls(
+            service,
+            shards=sharding["shards"],
+            strategy=sharding["strategy"],
+            prune=sharding["prune"],
+            sample_size=sharding["sample_size"],
+            workers=workers,
+            start_method=start_method,
+        )
+        # The loaded inner Service has no other owner: tear it down with
+        # this wrapper.
+        sharded._owns_service = True
+        return sharded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedService(engine={self.service.engine_name!r}, "
+            f"shards={self.shards}, strategy={self.strategy!r}, "
+            f"workers={self.workers}, n={self.service.size})"
+        )

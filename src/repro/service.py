@@ -293,6 +293,7 @@ class Service:
         defaults: QuerySpec | None = None,
         backend_kwargs: dict | None = None,
         engine_kwargs: dict | None = None,
+        parallel=None,
     ) -> None:
         engine = str(engine).lower()
         if engine not in ENGINE_REGISTRY:
@@ -361,6 +362,98 @@ class Service:
         self._gate = None if self.index.snapshot_stable else ReadWriteLock()
         self._published: _ReadState | None = None
         self._head = _Head(self.index.version, self.index.snapshot())
+        # --- attached resources (closed by close()) ---
+        self._parallel_config = self._normalize_parallel(parallel)
+        self._parallel = None
+        self._closeables: list = []
+        self._closed = False
+
+    def _normalize_parallel(self, parallel) -> dict | None:
+        """Validate the ``parallel=`` knob into executor kwargs (or None).
+
+        Accepts ``None`` (in-process, the default), ``True`` (one worker
+        per core), an int worker count, or a dict of
+        :class:`repro.parallel.ParallelExecutor` knobs (``workers``,
+        ``start_method``, ``block_size``).
+        """
+        if parallel is None or parallel is False:
+            return None
+        if parallel is True:
+            config = {}
+        elif isinstance(parallel, int):
+            config = {"workers": parallel}
+        elif isinstance(parallel, dict):
+            allowed = {"workers", "start_method", "block_size"}
+            unknown = set(parallel) - allowed
+            if unknown:
+                raise ValueError(
+                    f"unknown parallel option(s) {sorted(unknown)}; "
+                    f"allowed: {sorted(allowed)}"
+                )
+            config = dict(parallel)
+        else:
+            raise TypeError(
+                "parallel must be None, True, an int worker count, or a "
+                f"dict of executor options, got {type(parallel).__name__}"
+            )
+        if ENGINE_REGISTRY[self.engine_name].needs != "index":
+            raise ValueError(
+                "parallel execution supports index-family engines only; "
+                f"{self.engine_name!r} needs "
+                f"{ENGINE_REGISTRY[self.engine_name].needs!r}"
+            )
+        return config
+
+    def _parallel_executor(self):
+        """The lazily built executor behind the ``parallel=`` knob."""
+        if self._closed:
+            raise RuntimeError("cannot query a closed Service in parallel")
+        if self._parallel is None:
+            from repro.parallel import ParallelExecutor
+
+            self._parallel = ParallelExecutor(self, **self._parallel_config)
+        return self._parallel
+
+    # ------------------------------------------------------------------
+    # Lifecycle: attached resources
+    # ------------------------------------------------------------------
+    def register_closeable(self, resource) -> None:
+        """Attach a resource whose ``close()`` composes with :meth:`close`.
+
+        The serving layer uses this (a :class:`repro.serving.QueryCoalescer`
+        registers itself on construction) so one ``service.close()`` —
+        or leaving the ``with`` block — tears down dispatcher threads,
+        the parallel worker pool, and every shared-memory segment.
+        """
+        self._closeables.append(resource)
+
+    def close(self) -> None:
+        """Tear down attached resources (idempotent).
+
+        Closes registered closeables (coalescers first, so no dispatcher
+        keeps querying a dead pool), then the parallel executor — worker
+        pool joined, shared-memory segments unlinked.  In-process
+        queries keep working on a closed service; parallel-routed ones
+        raise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for resource in self._closeables:
+            try:
+                resource.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._closeables = []
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -645,6 +738,10 @@ class Service:
     ) -> tuple[int, list[RkNNResult]]:
         """Like :meth:`query_batch`, returning ``(epoch, results)``."""
         spec = self.resolve_spec(spec, **overrides)
+        if self._parallel_config is not None:
+            return self._parallel_executor().query_batch_versioned(
+                queries, query_indices=query_indices, spec=spec
+            )
         with self._read_guard():
             state = self._pin_state(spec)
             engine = state.engine
@@ -664,7 +761,20 @@ class Service:
         self, *, spec: QuerySpec | None = None, **overrides
     ) -> dict[int, RkNNResult]:
         """The RkNN self-join: ``{point_id: result}`` over all members."""
+        return self.query_all_versioned(spec=spec, **overrides)[1]
+
+    def query_all_versioned(
+        self, *, spec: QuerySpec | None = None, **overrides
+    ) -> tuple[int, dict[int, RkNNResult]]:
+        """Like :meth:`query_all`, returning ``(epoch, results)``.
+
+        With the ``parallel=`` knob set, the join fans out across the
+        worker pool (:class:`repro.parallel.ParallelExecutor`) — same
+        per-epoch answers, computed on every core.
+        """
         spec = self.resolve_spec(spec, **overrides)
+        if self._parallel_config is not None:
+            return self._parallel_executor().query_all_versioned(spec=spec)
         with self._read_guard():
             state = self._pin_state(spec)
             engine = state.engine
@@ -672,8 +782,8 @@ class Service:
                 k=spec.k, **spec.knobs_for(engine, batch=True)
             )
         if state.id_map is None:
-            return results
-        return {
+            return state.epoch, results
+        return state.epoch, {
             int(state.id_map[local]): state.map_result(result)
             for local, result in results.items()
         }
@@ -779,7 +889,7 @@ class Service:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> pathlib.Path:
+    def save(self, path, *, extra_meta: dict | None = None) -> pathlib.Path:
         """Persist the service to one ``.npz`` payload.
 
         Stores the full point matrix (removed rows included, so ids
@@ -788,6 +898,11 @@ class Service:
         tree itself is *not* serialized — :meth:`load` rebuilds it with
         the deterministic bulk build and replays the removals, which
         round-trips ``query_all`` bit-identically.
+
+        ``extra_meta`` rides along under the header's ``"extra"`` key for
+        wrappers that persist additional configuration (e.g.
+        :meth:`repro.parallel.ShardedService.save`); :meth:`load` ignores
+        it, so every payload stays loadable as a plain Service.
         """
         from repro import __version__
 
@@ -806,6 +921,8 @@ class Service:
             "backend_kwargs": self._backend_kwargs,
             "engine_kwargs": self._engine_kwargs,
         }
+        if extra_meta is not None:
+            meta["extra"] = extra_meta
         try:
             header = json.dumps(meta, sort_keys=True)
         except TypeError as exc:

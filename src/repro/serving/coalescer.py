@@ -91,6 +91,12 @@ class QueryCoalescer:
         self.max_wait = float(max_wait)
         self.max_batch = int(max_batch)
         self.cache = cache
+        # Compose teardown with the service's: service.close() (or its
+        # context manager) drains this coalescer before tearing down any
+        # parallel worker pool the dispatches may be routed through.
+        register = getattr(service, "register_closeable", None)
+        if callable(register):
+            register(self)
         self._lock = threading.Lock()
         self._pending: list[_Pending] = []
         self._wake = threading.Event()

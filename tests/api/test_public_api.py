@@ -98,6 +98,9 @@ DOCUMENTED_SURFACE = [
     "QueryCoalescer",
     "ResultCache",
     "run_open_loop",
+    # parallel execution
+    "ParallelExecutor",
+    "ShardedService",
     # mining applications
     "rknn_self_join",
     "odin_scores",

@@ -312,3 +312,79 @@ def test_lsh_strategy_has_exact_precision(workload_name):
     results = engine.query_all(k=K)
     for point_id, result in results.items():
         assert precision_metric(truth[point_id], result.ids) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Multi-core execution conformance (repro.parallel)
+# ----------------------------------------------------------------------
+# Cross-process answers go through worker-side index rebuilds over
+# shared-memory arrays; these sweeps pin that no adversarial shape and
+# no worker/shard configuration can change a single id.
+
+from repro.parallel import SHARD_STRATEGIES, ParallelExecutor, ShardedService  # noqa: E402
+
+#: The adversarial subset of the workloads the parallel sweeps run
+#: (the full matrix × pool setups would dominate the tier's runtime;
+#: these four cover ties, duplicates, churn and kernel cancellation).
+PARALLEL_WORKLOADS = (
+    "tie-rich", "exact-duplicates", "post-removal-churn", "offset-1e6"
+)
+
+
+def _parallel_service(workload_name, engine_name):
+    data, remove_ids, active, truth = _workload(workload_name)
+    service = Service(
+        data, backend="kd", engine=engine_name,
+        defaults=QuerySpec(k=K, t=T_EXACT),
+    )
+    for point_id in remove_ids:
+        service.remove(int(point_id))
+    return service, active, truth
+
+
+@pytest.mark.parametrize("workers", (1, 2, 4))
+@pytest.mark.parametrize("workload_name", PARALLEL_WORKLOADS)
+def test_parallel_executor_bit_matches_service(workload_name, workers):
+    """Tier 1 (query-parallel): worker answers are the *same engine's*
+    answers — fan-out must be invisible, bit for bit."""
+    service, active, truth = _parallel_service(workload_name, "rdt+")
+    expected = service.query_all()
+    with ParallelExecutor(service, workers=workers) as executor:
+        _, results = executor.query_all_versioned()
+    assert set(results) == set(expected)
+    for point_id, want in expected.items():
+        assert np.array_equal(want.ids, results[point_id].ids), (
+            f"workload {workload_name!r}, workers={workers}, "
+            f"query {point_id}"
+        )
+
+
+@pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+@pytest.mark.parametrize("workload_name", PARALLEL_WORKLOADS)
+def test_sharded_service_matches_brute_force(workload_name, strategy):
+    """Tier 2 (data-parallel): the global verification merge makes the
+    sharded answer exactly the brute-force membership on every shape."""
+    service, active, truth = _parallel_service(workload_name, "rdt")
+    with ShardedService(service, shards=3, strategy=strategy) as sharded:
+        _, results = sharded.query_all_versioned()
+    assert set(results) == {int(i) for i in active}
+    for point_id, result in results.items():
+        assert set(result.ids.tolist()) == truth[point_id], (
+            f"workload {workload_name!r}, strategy {strategy!r}, "
+            f"query {point_id}"
+        )
+
+
+@pytest.mark.parametrize("workload_name", PARALLEL_WORKLOADS)
+def test_sharded_service_bit_matches_single_process(workload_name):
+    """The acceptance pin: sharded query_all ids equal the single-process
+    Service's on every oracle workload (exact-guarantee engine, so the
+    single-process answer *is* the brute-force membership)."""
+    service, active, truth = _parallel_service(workload_name, "rdt")
+    expected = service.query_all()
+    with ShardedService(service, shards=2) as sharded:
+        _, results = sharded.query_all_versioned()
+    for point_id, want in expected.items():
+        assert np.array_equal(want.ids, results[point_id].ids), (
+            f"workload {workload_name!r}, query {point_id}"
+        )

@@ -1,0 +1,42 @@
+"""Shared fixtures for the parallel tier, plus the /dev/shm leak gate.
+
+Every test in this package runs under an autouse teardown that asserts
+no ``repro-*`` shared-memory segment outlived the test: the executor's
+close path (pool joined, packs unlinked) is a correctness requirement —
+a leaked segment is host memory pinned until reboot.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.parallel import shared_memory_available
+
+SHM_DIR = pathlib.Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable (no usable /dev/shm)",
+)
+
+
+def _repro_segments() -> set:
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux shm layout
+        return set()
+    return {p.name for p in SHM_DIR.glob("repro-*")}
+
+
+@pytest.fixture(autouse=True)
+def assert_no_leaked_segments():
+    """Fail any test that leaves a published repro-* segment behind."""
+    before = _repro_segments()
+    yield
+    leaked = _repro_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """A small gaussian member set shared by the module's tests."""
+    return np.random.default_rng(7).normal(size=(160, 6))

@@ -1,0 +1,104 @@
+"""ParallelExecutor: cross-process answers bit-match in-process ones."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.parallel import ParallelExecutor
+from repro.service import QuerySpec, Service
+
+SPEC = QuerySpec(k=4, t=8.0)
+
+
+def _assert_same_results(expected, got):
+    assert set(expected) == set(got)
+    for qid in expected:
+        np.testing.assert_array_equal(expected[qid].ids, got[qid].ids)
+
+
+@pytest.fixture(scope="module")
+def service(dataset):
+    return Service(dataset, backend="kd", engine="rdt+", defaults=SPEC)
+
+
+def test_query_all_bit_matches_service(service):
+    epoch_in, expected = service.query_all_versioned()
+    with ParallelExecutor(service, workers=2) as executor:
+        epoch_out, got = executor.query_all_versioned()
+    assert epoch_out == epoch_in
+    _assert_same_results(expected, got)
+
+
+def test_query_batch_member_and_raw_paths(service, dataset):
+    qids = np.arange(0, 160, 13)
+    _, expected = service.query_batch_versioned(query_indices=qids)
+    with ParallelExecutor(service, workers=2, block_size=5) as executor:
+        _, got_member = executor.query_batch_versioned(query_indices=qids)
+        _, got_raw = executor.query_batch_versioned(dataset[qids] + 0.01)
+    _, expected_raw = service.query_batch_versioned(dataset[qids] + 0.01)
+    for want, got in zip(expected, got_member):
+        np.testing.assert_array_equal(want.ids, got.ids)
+    for want, got in zip(expected_raw, got_raw):
+        np.testing.assert_array_equal(want.ids, got.ids)
+
+
+def test_owned_service_from_raw_data(dataset):
+    with ParallelExecutor(
+        dataset, "rdt", workers=2, defaults=SPEC
+    ) as executor:
+        _, got = executor.query_all_versioned()
+        expected = executor.service.query_all()
+    _assert_same_results(expected, got)
+
+
+def test_single_query_stays_in_process(service, dataset):
+    with ParallelExecutor(service, workers=1) as executor:
+        result = executor.query(query_index=3)
+    np.testing.assert_array_equal(
+        result.ids, service.query(query_index=3).ids
+    )
+
+
+def test_non_index_engines_are_rejected(dataset):
+    with pytest.raises(ValueError, match="index-family"):
+        ParallelExecutor(dataset, "naive", workers=1)
+
+
+def test_closed_executor_refuses_dispatch(dataset):
+    executor = ParallelExecutor(dataset, "rdt+", workers=1, defaults=SPEC)
+    executor.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        executor.query_all_versioned()
+    executor.close()  # idempotent
+
+
+def test_service_parallel_knob_routes_batches(dataset):
+    reference = Service(dataset, backend="kd", engine="rdt+", defaults=SPEC)
+    expected = reference.query_all()
+    with Service(
+        dataset, backend="kd", engine="rdt+", defaults=SPEC,
+        parallel={"workers": 2},
+    ) as svc:
+        _assert_same_results(expected, svc.query_all())
+        # single queries stay on the in-process path even with the knob
+        np.testing.assert_array_equal(
+            svc.query(query_index=5).ids,
+            reference.query(query_index=5).ids,
+        )
+    with pytest.raises(RuntimeError, match="closed"):
+        svc.query_all()
+
+
+def test_create_engine_parallel_passthrough(dataset):
+    expected = repro.create_engine("rdt+", dataset).query_all(k=4, t=8.0)
+    with repro.create_engine("rdt+", dataset, parallel=2) as executor:
+        assert isinstance(executor, ParallelExecutor)
+        _, got = executor.query_all_versioned(k=4, t=8.0)
+    _assert_same_results(expected, got)
+
+
+def test_invalid_worker_and_block_counts(dataset):
+    with pytest.raises(ValueError, match="workers"):
+        ParallelExecutor(dataset, "rdt+", workers=0)
+    with pytest.raises(ValueError, match="block_size"):
+        ParallelExecutor(dataset, "rdt+", workers=1, block_size=0)

@@ -1,0 +1,144 @@
+"""ShardedService: partitioned answers are exact after the global merge."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveRkNN
+from repro.parallel import SHARD_STRATEGIES, ShardedService
+from repro.service import QuerySpec, Service
+
+#: Exhaustive-regime spec (see the oracle's T_EXACT argument): the inner
+#: rdt engine is exact here, so sharded answers must bit-match it.
+SPEC = QuerySpec(k=4, t=1e30)
+
+
+@pytest.fixture(scope="module")
+def truth(dataset):
+    naive = NaiveRkNN(dataset, k=SPEC.k)
+    return {
+        qid: naive.query_ids(query_index=qid)
+        for qid in range(dataset.shape[0])
+    }
+
+
+@pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+def test_query_all_is_exact(dataset, truth, strategy):
+    with ShardedService(
+        dataset, "rdt", shards=3, strategy=strategy, defaults=SPEC
+    ) as sharded:
+        _, results = sharded.query_all_versioned()
+    assert set(results) == set(truth)
+    for qid, expected in truth.items():
+        np.testing.assert_array_equal(expected, results[qid].ids)
+
+
+def test_bit_matches_single_process_service(dataset):
+    service = Service(dataset, backend="kd", engine="rdt", defaults=SPEC)
+    expected = service.query_all()
+    with ShardedService(
+        dataset, "rdt", shards=3, defaults=SPEC
+    ) as sharded:
+        _, results = sharded.query_all_versioned()
+    for qid in expected:
+        np.testing.assert_array_equal(expected[qid].ids, results[qid].ids)
+
+
+def test_merge_tightens_recall_engines_to_exact(dataset, truth):
+    """rdt+ may lazy-accept false positives in-process; the sharded
+    merge's global verification strips them, leaving brute-force ids."""
+    with ShardedService(
+        dataset, "rdt+", shards=3, defaults=SPEC
+    ) as sharded:
+        _, results = sharded.query_all_versioned()
+    for qid, expected in truth.items():
+        np.testing.assert_array_equal(expected, results[qid].ids)
+
+
+def test_pruning_never_changes_answers(dataset):
+    kept = {}
+    for prune in (False, True):
+        with ShardedService(
+            dataset, "rdt", shards=4, prune=prune, defaults=SPEC
+        ) as sharded:
+            _, kept[prune] = sharded.query_all_versioned()
+    for qid in kept[True]:
+        np.testing.assert_array_equal(
+            kept[False][qid].ids, kept[True][qid].ids
+        )
+
+
+def test_raw_and_member_query_paths(dataset, truth):
+    with ShardedService(
+        dataset, "rdt", shards=3, defaults=SPEC
+    ) as sharded:
+        member = sharded.query(query_index=11)
+        raw = sharded.query(dataset[11] + 1e-3)
+    np.testing.assert_array_equal(truth[11], member.ids)
+    assert raw.ids.dtype == np.intp
+
+
+def test_more_shards_than_points():
+    data = np.random.default_rng(0).normal(size=(5, 3))
+    with ShardedService(
+        data, "rdt", shards=8, defaults=QuerySpec(k=2, t=1e30)
+    ) as sharded:
+        _, results = sharded.query_all_versioned()
+    naive = NaiveRkNN(data, k=2)
+    for qid in range(5):
+        np.testing.assert_array_equal(
+            naive.query_ids(query_index=qid), results[qid].ids
+        )
+
+
+def test_writes_repartition_next_epoch(dataset):
+    with ShardedService(
+        dataset, "rdt", shards=3, defaults=SPEC
+    ) as sharded:
+        epoch0, _ = sharded.query_all_versioned()
+        new_id = sharded.insert(dataset[0] + 1e-9)
+        epoch1, results = sharded.query_all_versioned()
+        assert epoch1 > epoch0
+        assert new_id in results
+        sharded.remove(new_id)
+        with pytest.raises(KeyError):
+            sharded.query_versioned(query_index=new_id)
+
+
+def test_save_load_round_trip(dataset, tmp_path):
+    path = tmp_path / "sharded.npz"
+    with ShardedService(
+        dataset, "rdt", shards=3, strategy="dk-balanced",
+        prune=False, sample_size=64, defaults=SPEC,
+    ) as sharded:
+        _, expected = sharded.query_all_versioned()
+        sharded.save(path)
+    loaded = ShardedService.load(path)
+    try:
+        assert loaded.shards == 3
+        assert loaded.strategy == "dk-balanced"
+        assert loaded.prune is False
+        assert loaded.sample_size == 64
+        _, results = loaded.query_all_versioned()
+        for qid in expected:
+            np.testing.assert_array_equal(
+                expected[qid].ids, results[qid].ids
+            )
+    finally:
+        loaded.close()
+    # the payload stays loadable as a plain Service
+    service = Service.load(path)
+    assert service.size == dataset.shape[0]
+
+
+def test_plain_service_payload_rejected_by_sharded_load(dataset, tmp_path):
+    path = tmp_path / "plain.npz"
+    Service(dataset, defaults=SPEC).save(path)
+    with pytest.raises(ValueError, match="plain Service payload"):
+        ShardedService.load(path)
+
+
+def test_invalid_configuration_rejected(dataset):
+    with pytest.raises(ValueError, match="shards"):
+        ShardedService(dataset, shards=0)
+    with pytest.raises(ValueError, match="strategy"):
+        ShardedService(dataset, strategy="hash")

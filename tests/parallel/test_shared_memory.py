@@ -1,0 +1,81 @@
+"""Publication/attachment lifecycle of the shared-memory array packs."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import attach_arrays, publish_arrays
+from repro.parallel.shared import ArrayMeta, PackMeta
+
+from .conftest import _repro_segments
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(3)
+    return {
+        "points": rng.normal(size=(50, 4)),
+        "active": np.ones(50, dtype=bool),
+        "empty": np.empty((0, 4)),
+    }
+
+
+def test_round_trip_preserves_values_and_dtypes(arrays):
+    pack = publish_arrays(arrays, tag="t")
+    try:
+        attachment = attach_arrays(pack.meta)
+        for name, arr in arrays.items():
+            got = attachment.arrays[name]
+            assert got.shape == arr.shape
+            assert got.dtype == arr.dtype
+            np.testing.assert_array_equal(got, arr)
+        attachment.close()
+    finally:
+        pack.close()
+
+
+def test_attached_views_are_read_only(arrays):
+    pack = publish_arrays(arrays, tag="t")
+    try:
+        attachment = attach_arrays(pack.meta)
+        with pytest.raises((ValueError, RuntimeError)):
+            attachment.arrays["points"][0, 0] = 1.0
+        attachment.close()
+    finally:
+        pack.close()
+
+
+def test_zero_size_arrays_travel_in_metadata_only(arrays):
+    pack = publish_arrays(arrays, tag="t")
+    try:
+        assert pack.meta.arrays["empty"].segment == ""
+        assert len(pack.segment_names) == 2  # points + active only
+    finally:
+        pack.close()
+
+
+def test_owner_close_unlinks_and_is_idempotent(arrays):
+    before = _repro_segments()
+    pack = publish_arrays(arrays, tag="t")
+    assert _repro_segments() - before, "publication should create segments"
+    pack.close()
+    assert _repro_segments() == before
+    pack.close()  # second close is a no-op
+
+
+def test_attachment_survives_owner_unlink(arrays):
+    """POSIX: an unlinked-but-mapped segment stays readable (the epoch-
+    retirement contract — workers may straddle a republish)."""
+    pack = publish_arrays(arrays, tag="t")
+    attachment = attach_arrays(pack.meta)
+    pack.close()  # unlink while the attachment still maps the segments
+    np.testing.assert_array_equal(attachment.arrays["points"], arrays["points"])
+    attachment.close()
+
+
+def test_attach_unknown_segment_raises():
+    meta = PackMeta(
+        "repro-missing-feedbeef",
+        {"points": ArrayMeta("repro-missing-feedbeef-0", (1, 1), "<f8")},
+    )
+    with pytest.raises(FileNotFoundError):
+        attach_arrays(meta)

@@ -1,0 +1,81 @@
+"""Worker kernel-dispatch hygiene under both start methods.
+
+``repro.kernels`` resolves Numba availability once at import.  A forked
+worker inherits the parent's resolved table (stale if the environment
+moved); a spawned worker re-imports against whatever environment it was
+handed.  The pool initializer re-applies the parent's ``REPRO_JIT``
+decision and calls ``kernels.refresh()`` in every worker, so both start
+methods land on the dispatch table the parent runs — asserted here
+through the executor's :meth:`probe`.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.parallel import ParallelExecutor
+from repro.service import QuerySpec
+
+START_METHODS = [
+    method
+    for method in ("fork", "spawn")
+    if method in multiprocessing.get_all_start_methods()
+]
+
+
+@pytest.fixture
+def tiny():
+    return np.random.default_rng(1).normal(size=(30, 3))
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_workers_resolve_parent_dispatch_table(tiny, start_method):
+    with ParallelExecutor(
+        tiny, "rdt", workers=2, start_method=start_method,
+        defaults=QuerySpec(k=3, t=8.0),
+    ) as executor:
+        assert executor.start_method == start_method
+        reports = executor.probe()
+    assert len(reports) == 2
+    for report in reports:
+        assert report["backend"] == kernels.active_backend()
+        assert report["jit_enabled"] == kernels.jit_enabled()
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_workers_honor_repro_jit_override(tiny, start_method, monkeypatch):
+    """REPRO_JIT=0 in the parent pins the NumPy fallback in every worker."""
+    monkeypatch.setenv("REPRO_JIT", "0")
+    kernels.refresh()
+    try:
+        with ParallelExecutor(
+            tiny, "rdt", workers=2, start_method=start_method,
+            defaults=QuerySpec(k=3, t=8.0),
+        ) as executor:
+            for report in executor.probe():
+                assert report["repro_jit"] == "0"
+                assert report["jit_enabled"] is False
+                assert report["backend"] == "numpy"
+    finally:
+        monkeypatch.delenv("REPRO_JIT")
+        kernels.refresh()
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_answers_match_across_start_methods(tiny, start_method):
+    expected = None
+    with ParallelExecutor(
+        tiny, "rdt", workers=2, start_method=start_method,
+        defaults=QuerySpec(k=3, t=1e30),
+    ) as executor:
+        _, results = executor.query_all_versioned()
+        expected = executor.service.query_all()
+    for qid in expected:
+        np.testing.assert_array_equal(expected[qid].ids, results[qid].ids)
+
+
+def test_unknown_start_method_rejected(tiny):
+    with pytest.raises(ValueError, match="not available"):
+        ParallelExecutor(tiny, "rdt", workers=1, start_method="fibers")
