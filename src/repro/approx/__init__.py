@@ -18,6 +18,14 @@ same queries as :class:`repro.core.RDT` through an interchangeable
     estimate skip verification.  Recall 1, precision is the knob
     (``margin``).
 
+``"graph"`` (:class:`~repro.approx.graph.GraphRkNNStrategy`)
+    An HRNN-style layered forward/reverse kNN graph: member queries
+    read their reverse adjacency directly (with the exact d_k cache the
+    build produced as a by-product), raw points navigate by greedy
+    descent plus beam search.  Precision 1, recall is the knob
+    (``ef``/``graph_m``) — the strategy built for the d >= 64 regime
+    where tree pruning collapses.
+
 The evaluation harness measures both against the brute-force oracle with
 :func:`repro.evaluation.run_approx_tradeoff`; `benchmarks/test_approx_engine.py`
 records the recall/speedup trajectory to ``BENCH_approx.json``.
@@ -25,6 +33,7 @@ records the recall/speedup trajectory to ``BENCH_approx.json``.
 
 from repro.approx.base import ApproxStrategy, StrategyDecision
 from repro.approx.engine import ApproxRkNN
+from repro.approx.graph import GraphRkNNStrategy
 from repro.approx.lsh import LSHFilter
 from repro.approx.sampled import SampledKNNEstimator
 
@@ -32,6 +41,7 @@ __all__ = [
     "ApproxRkNN",
     "ApproxStrategy",
     "StrategyDecision",
+    "GraphRkNNStrategy",
     "LSHFilter",
     "SampledKNNEstimator",
     "APPROX_STRATEGIES",
@@ -39,6 +49,7 @@ __all__ = [
 ]
 
 APPROX_STRATEGIES = {
+    "graph": GraphRkNNStrategy,
     "lsh": LSHFilter,
     "sampled": SampledKNNEstimator,
 }

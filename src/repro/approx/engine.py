@@ -39,7 +39,11 @@ from repro.core.protocol import EngineBase
 from repro.core.result import QueryStats, RkNNResult
 from repro.indexes.base import Index
 from repro.utils.tolerance import dist_le_many
-from repro.utils.validation import check_k, resolve_batch_queries
+from repro.utils.validation import (
+    as_query_point,
+    check_k,
+    resolve_batch_queries,
+)
 
 __all__ = ["ApproxRkNN"]
 
@@ -52,12 +56,12 @@ class ApproxRkNN(EngineBase):
     index:
         Any :class:`repro.indexes.Index` over the member set.
     strategy:
-        A registry name (``"lsh"`` or ``"sampled"``, see
+        A registry name (``"lsh"``, ``"sampled"``, or ``"graph"``, see
         :data:`repro.approx.APPROX_STRATEGIES`) or a ready
         :class:`~repro.approx.base.ApproxStrategy` instance.
     strategy_kwargs:
         Forwarded to the strategy constructor when ``strategy`` is a
-        name (e.g. ``sample_size=1024``, ``n_tables=16``).
+        name (e.g. ``sample_size=1024``, ``n_tables=16``, ``ef=64``).
     """
 
     supports_batch = True
@@ -86,9 +90,11 @@ class ApproxRkNN(EngineBase):
         # upper-bound shortlist never loses a member, the LSH filter's
         # verify-everything design never reports a false one.
         self.engine_name = f"approx-{self.strategy.name}"
-        self.guarantee = {"sampled": "recall", "lsh": "precision"}.get(
-            self.strategy.name, "heuristic"
-        )
+        self.guarantee = {
+            "sampled": "recall",
+            "lsh": "precision",
+            "graph": "precision",
+        }.get(self.strategy.name, "heuristic")
 
     # ------------------------------------------------------------------
     # Public API (RDT parity)
@@ -107,9 +113,13 @@ class ApproxRkNN(EngineBase):
         if query_index is not None:
             results = self.query_batch(query_indices=[query_index], k=k)
         else:
-            results = self.query_batch(
-                np.asarray(query, dtype=np.float64)[None, :], k=k
+            # The shared single-point validation (scalars, wrong
+            # dimension, non-finite entries fail exactly like the exact
+            # engines) before the batch promotion.
+            point = as_query_point(
+                query, dim=self.index.dim, dtype=self.index.points.dtype
             )
+            results = self.query_batch(point[None, :], k=k)
         return results[0]
 
     def query_batch(

@@ -174,6 +174,21 @@ class Metric:
         self.num_calls += clipped.shape[0] * clipped.shape[1]
         return self._diff_kernel(queries[:, None, :] - clipped)
 
+    def to_point_sets(self, X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
+        """Row-wise candidate distances ``D[i, j] = d(X[i], Ys[i, j])``.
+
+        ``Ys`` has shape ``(r, E, dim)`` — one private candidate set of
+        ``E`` points per query row, the access pattern of graph-based
+        beam search (each query expands its own frontier's neighbor
+        lists).  Same difference kernel as :meth:`paired` /
+        :meth:`boxes_lower_bounds`, so decision boundaries stay within
+        one kernel family.
+        """
+        X = self._coerce(X)
+        Ys = self._coerce(Ys)
+        self.num_calls += Ys.shape[0] * Ys.shape[1]
+        return self._diff_kernel(X[:, None, :] - Ys)
+
     def _to_point_many_via_diff(self, X: np.ndarray, Ys: np.ndarray) -> np.ndarray:
         """Shared broadcast implementation for difference-kernel metrics."""
         X = self._coerce(X)

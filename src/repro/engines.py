@@ -219,6 +219,11 @@ ENGINE_REGISTRY: dict[str, EngineSpec] = {
             _make_approx("lsh"),
         ),
         EngineSpec(
+            "approx-graph", ApproxRkNN, "index",
+            "HRNN-style navigable graph shortlist, verified (precision 1)",
+            _make_approx("graph"),
+        ),
+        EngineSpec(
             "naive", NaiveRkNN, "data",
             "brute force over a precomputed kNN-distance table (reference)",
             _build_naive,
@@ -280,7 +285,8 @@ def create_engine(
     name:
         A registry name: ``"rdt"``, ``"rdt+"``, ``"adaptive"``,
         ``"bichromatic"``, ``"approx-sampled"``, ``"approx-lsh"``,
-        ``"naive"``, ``"sft"``, ``"mrknncop"``, ``"rdnn"``, ``"tpl"``.
+        ``"approx-graph"``, ``"naive"``, ``"sft"``, ``"mrknncop"``,
+        ``"rdnn"``, ``"tpl"``.
     data:
         The member points — an ``(n, dim)`` array or a prebuilt
         :class:`~repro.indexes.Index` (for the bichromatic engine these
@@ -303,9 +309,9 @@ def create_engine(
         instead of the bare engine.  Index-family engines only.
     kwargs:
         Engine-specific knobs: ``k`` (``naive``/``rdnn``), ``k_max``
-        (``mrknncop``), ``sample_size``/``margin``/``n_tables``/``seed``
-        (approx strategies), ``trim_size`` (TPL), ``clients`` (the
-        bichromatic engine's second color), ...
+        (``mrknncop``), ``sample_size``/``margin``/``n_tables``/
+        ``ef``/``graph_m``/``seed`` (approx strategies), ``trim_size``
+        (TPL), ``clients`` (the bichromatic engine's second color), ...
 
     Returns an object implementing :class:`repro.RkNNEngine`.
     """

@@ -21,7 +21,8 @@ The facade owns three responsibilities the call sites used to duplicate:
 and forwards only the knobs the active engine understands
 (:attr:`~repro.core.protocol.EngineBase.query_knobs`); ``t`` reaches RDT
 but not the approximate engines, ``alpha`` reaches SFT, strategy knobs
-(``margin``/``sample_size``/``n_tables``) trigger an engine rebuild.
+(``margin``/``sample_size``/``n_tables``/``ef``/``graph_m``) trigger an
+engine rebuild.  Unknown knob names fail fast with the valid list.
 
 **Lifecycle** — the backend index is built once (bulk path); engines are
 built lazily from the registry (:func:`repro.create_engine`) and rebuilt
@@ -53,18 +54,20 @@ the epoch each answer was computed against.
 
 **Persistence** — :meth:`Service.save` writes a single ``.npz`` payload
 (point matrix including removed rows, the active mask, metric, backend +
-engine names and kwargs, default spec) and :meth:`Service.load` rebuilds
-the tree via the backends' deterministic bulk builds and replays the
+engine names and kwargs, default spec, and — for ``approx-graph`` — the
+strategy's base-layer adjacency) and :meth:`Service.load` rebuilds the
+tree via the backends' deterministic bulk builds and replays the
 removals, so a round trip reproduces ``query_all`` bit-identically.
 """
 
 from __future__ import annotations
 
+import difflib
 import json
 import pathlib
 import threading
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 import numpy as np
 
@@ -83,12 +86,23 @@ from repro.utils.validation import (
 __all__ = ["QuerySpec", "Service", "SERVICE_FORMAT_VERSION"]
 
 #: Bumped whenever the ``.npz`` payload layout changes incompatibly.
-SERVICE_FORMAT_VERSION = 2
+SERVICE_FORMAT_VERSION = 3
 
 #: Payload versions this build can read.  Version 1 predates the dtype
 #: knob: its payloads are always float64 and carry no storage-dtype
-#: metadata, so they load exactly as before.
-_READABLE_FORMAT_VERSIONS = (1, 2)
+#: metadata, so they load exactly as before.  Version 3 adds optional
+#: graph-adjacency arrays for the ``approx-graph`` engine; version <= 2
+#: payloads simply fall back to the strategy's deterministic rebuild.
+_READABLE_FORMAT_VERSIONS = (1, 2, 3)
+
+#: The npz keys that carry the serialized approx-graph base layer
+#: (format version 3; optional — absent for every other engine).
+_GRAPH_PAYLOAD_KEYS = (
+    "graph_node_ids",
+    "graph_levels",
+    "graph_neighbors",
+    "graph_neighbor_dists",
+)
 
 #: Storage dtypes the service accepts (the Metric dtype policy).
 _DTYPE_NAMES = ("float32", "float64")
@@ -107,7 +121,7 @@ _FILTER_MODES = ("auto", "sequential", "vectorized")
 
 #: QuerySpec fields that configure an approximate *strategy* rather than a
 #: single query; changing one rebuilds the engine.
-_STRATEGY_KNOBS = ("margin", "sample_size", "n_tables")
+_STRATEGY_KNOBS = ("margin", "sample_size", "n_tables", "ef", "graph_m")
 
 #: Which strategy knobs each engine family's constructor understands —
 #: the construction-time analogue of `query_knobs` (knobs an engine does
@@ -115,7 +129,15 @@ _STRATEGY_KNOBS = ("margin", "sample_size", "n_tables")
 _ENGINE_STRATEGY_KNOBS = {
     "approx-sampled": ("margin", "sample_size"),
     "approx-lsh": ("n_tables",),
+    "approx-graph": ("ef", "graph_m"),
 }
+
+#: Kwarg names people reach for when they mean ``query_index`` — the
+#: member-id argument of query()/query_batch(), which is not a spec knob.
+_QUERY_INDEX_ALIASES = frozenset(
+    {"member", "member_id", "query_id", "point_id", "index", "id", "qid",
+     "query_index"}
+)
 
 #: Constructor knobs recoverable from a prebuilt index adopted by a
 #: Service, so save()/load() can rebuild an equivalent tree.
@@ -146,6 +168,10 @@ class QuerySpec:
     sample_size: int | None = None
     #: table count of the LSH strategy (rebuilds the engine)
     n_tables: int | None = None
+    #: beam width of the graph strategy (rebuilds the engine)
+    ef: int | None = None
+    #: forward-edge degree of the graph strategy (rebuilds the engine)
+    graph_m: int | None = None
     #: expected storage dtype ("float32"/"float64"); a spec carrying one
     #: refuses to run against a service with a different point dtype
     dtype: str | None = None
@@ -164,7 +190,7 @@ class QuerySpec:
             raise ValueError(f"alpha must be >= 1, got {self.alpha}")
         if self.margin is not None and not 0.0 <= self.margin <= 1.0:
             raise ValueError(f"margin must lie in [0, 1], got {self.margin}")
-        for name in ("sample_size", "n_tables"):
+        for name in ("sample_size", "n_tables", "ef", "graph_m"):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(
@@ -172,7 +198,29 @@ class QuerySpec:
                 )
 
     def replace(self, **overrides) -> "QuerySpec":
-        """A new spec with the given fields overridden (re-validated)."""
+        """A new spec with the given fields overridden (re-validated).
+
+        Unknown names fail here, up front, with the valid knob list —
+        instead of surfacing as a bare ``dataclasses.replace`` TypeError
+        three frames deep in the query path (``sv.query(kk=3)``,
+        ``sv.query(member=3)``).
+        """
+        valid = tuple(f.name for f in fields(self))
+        unknown = sorted(set(overrides) - set(valid))
+        if unknown:
+            bad = unknown[0]
+            if bad.lower() in _QUERY_INDEX_ALIASES:
+                hint = (
+                    " (to query a member point, pass query_index=... to "
+                    "query()/query_batch(), not a spec knob)"
+                )
+            else:
+                close = difflib.get_close_matches(bad, valid, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise TypeError(
+                f"unknown query knob {bad!r}{hint}; valid knobs: "
+                f"{', '.join(sorted(valid))}"
+            )
         return replace(self, **overrides)
 
     def knobs_for(self, engine, batch: bool = False) -> dict:
@@ -903,6 +951,12 @@ class Service:
         wrappers that persist additional configuration (e.g.
         :meth:`repro.parallel.ShardedService.save`); :meth:`load` ignores
         it, so every payload stays loadable as a plain Service.
+
+        An ``approx-graph`` service additionally stores the strategy's
+        base-layer adjacency (format version 3): rebuilding the graph is
+        the expensive part of that engine, so :meth:`load` adopts the
+        stored arrays instead of re-deriving them when the knobs match,
+        and falls back to the deterministic rebuild otherwise.
         """
         from repro import __version__
 
@@ -923,6 +977,15 @@ class Service:
         }
         if extra_meta is not None:
             meta["extra"] = extra_meta
+        graph_arrays: dict[str, np.ndarray] = {}
+        if self.engine_name == "approx-graph":
+            strategy = self.engine().strategy
+            strategy.ensure_current()
+            graph_arrays = strategy.serialized_graph()
+            meta["graph"] = {
+                "graph_m": int(strategy.graph_m),
+                "seed": int(strategy.seed),
+            }
         try:
             header = json.dumps(meta, sort_keys=True)
         except TypeError as exc:
@@ -937,6 +1000,7 @@ class Service:
                 points=self.index.points,
                 active=self._active_mask(),
                 meta=np.asarray(header),
+                **graph_arrays,
             )
         return path
 
@@ -948,10 +1012,15 @@ class Service:
         when the payload contains inactive points.
         """
         path = pathlib.Path(path)
+        graph_arrays: dict[str, np.ndarray] = {}
         with np.load(path, allow_pickle=False) as payload:
             points = np.array(payload["points"])
             active = np.array(payload["active"], dtype=bool)
             meta = json.loads(str(payload["meta"][()]))
+            if all(key in payload.files for key in _GRAPH_PAYLOAD_KEYS):
+                graph_arrays = {
+                    key: np.array(payload[key]) for key in _GRAPH_PAYLOAD_KEYS
+                }
         version = meta.get("format_version")
         if version not in _READABLE_FORMAT_VERSIONS:
             raise ValueError(
@@ -986,4 +1055,21 @@ class Service:
         )
         for point_id in np.flatnonzero(~active):
             service.remove(int(point_id))
+        if graph_arrays and service.engine_name == "approx-graph":
+            # Adopt the stored adjacency only when the payload was built
+            # with the same knobs the loaded engine will use; any mismatch
+            # (including a missing/legacy header) keeps the deterministic
+            # rebuild path, which is always correct, just slower.
+            strategy = service.engine().strategy
+            stored = meta.get("graph", {})
+            if (
+                stored.get("graph_m") == strategy.graph_m
+                and stored.get("seed") == strategy.seed
+            ):
+                strategy.adopt_graph(
+                    graph_arrays["graph_node_ids"],
+                    graph_arrays["graph_levels"],
+                    graph_arrays["graph_neighbors"],
+                    graph_arrays["graph_neighbor_dists"],
+                )
         return service

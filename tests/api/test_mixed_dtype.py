@@ -165,7 +165,7 @@ def test_save_header_records_dtype(tmp_path, rng):
     path = svc.save(tmp_path / "svc.npz")
     with np.load(path, allow_pickle=False) as payload:
         meta = json.loads(str(payload["meta"][()]))
-    assert meta["format_version"] == SERVICE_FORMAT_VERSION == 2
+    assert meta["format_version"] == SERVICE_FORMAT_VERSION == 3
     assert meta["dtype"] == "float32"
     assert meta["metric"]["dtype"] == "float32"
 

@@ -115,7 +115,7 @@ DOCUMENTED_SURFACE = [
 #: registry carries all eleven engine families).
 REQUIRED_ENGINE_NAMES = {
     "rdt", "rdt+", "adaptive", "bichromatic", "approx-sampled", "approx-lsh",
-    "naive", "sft", "mrknncop", "rdnn", "tpl",
+    "approx-graph", "naive", "sft", "mrknncop", "rdnn", "tpl",
 }
 
 

@@ -33,6 +33,8 @@ class TestQuerySpec:
             {"margin": 1.5},
             {"sample_size": 0},
             {"n_tables": -1},
+            {"ef": 0},
+            {"graph_m": -2},
         ],
     )
     def test_invalid_fields_raise(self, kwargs):
@@ -44,6 +46,15 @@ class TestQuerySpec:
         assert spec.replace(t=2.0).t == 2.0
         with pytest.raises(ValueError):
             spec.replace(k=-1)
+
+    def test_replace_rejects_unknown_knobs(self):
+        # Regression: unknown overrides used to surface as a raw
+        # dataclasses.replace TypeError naming QuerySpec.__init__.
+        spec = QuerySpec(k=5)
+        with pytest.raises(TypeError, match="unknown query knob 'kk'"):
+            spec.replace(kk=3)
+        with pytest.raises(TypeError, match="pass query_index"):
+            spec.replace(member=3)
 
     def test_knobs_route_by_engine_capability(self, points):
         spec = QuerySpec(k=5, t=4.0, alpha=2.0, filter_mode="sequential")
@@ -315,6 +326,72 @@ class TestPersistence:
         svc_kd = Service(kd, engine="rdt", defaults=QuerySpec(k=4))
         loaded_kd = Service.load(svc_kd.save(tmp_path / "kd.npz"))
         assert loaded_kd.index.leaf_size == 4
+
+    def test_graph_round_trip_adopts_stored_adjacency(self, points, tmp_path):
+        svc = Service(points, backend="kd", engine="approx-graph",
+                      defaults=QuerySpec(k=5, ef=32, graph_m=10))
+        svc.remove(7)
+        before = svc.query_all()
+        path = svc.save(tmp_path / "graph.npz")
+        with np.load(path, allow_pickle=False) as payload:
+            assert {"graph_node_ids", "graph_levels", "graph_neighbors",
+                    "graph_neighbor_dists"} <= set(payload.files)
+        loaded = Service.load(path)
+        strategy = loaded.engine().strategy
+        # Adoption happened at load time: the graph is already current,
+        # with no lazy rebuild pending.
+        assert strategy._built_version == loaded.index.version
+        after = loaded.query_all()
+        assert before.keys() == after.keys()
+        for pid in before:
+            assert np.array_equal(before[pid].ids, after[pid].ids)
+
+    def test_graph_legacy_payload_falls_back_to_rebuild(
+        self, points, tmp_path
+    ):
+        import json
+
+        svc = Service(points, backend="kd", engine="approx-graph",
+                      defaults=QuerySpec(k=5, ef=32, graph_m=10))
+        before = svc.query_all()
+        path = svc.save(tmp_path / "graph.npz")
+        # Rewrite as a version-2 payload without the adjacency arrays —
+        # what a pre-graph library version would have produced.
+        with np.load(path, allow_pickle=False) as payload:
+            meta = json.loads(str(payload["meta"][()]))
+            pts = np.array(payload["points"])
+            active = np.array(payload["active"])
+        meta["format_version"] = 2
+        meta.pop("graph")
+        with open(path, "wb") as fh:
+            np.savez(fh, points=pts, active=active,
+                     meta=np.asarray(json.dumps(meta, sort_keys=True)))
+        loaded = Service.load(path)
+        after = loaded.query_all()
+        for pid in before:
+            assert np.array_equal(before[pid].ids, after[pid].ids)
+
+    def test_graph_knob_mismatch_skips_adoption(self, points, tmp_path):
+        import json
+
+        svc = Service(points, backend="kd", engine="approx-graph",
+                      defaults=QuerySpec(k=5, graph_m=10))
+        before = svc.query_all()
+        path = svc.save(tmp_path / "graph.npz")
+        # Corrupt the stored knob header: adoption must be refused and
+        # the deterministic rebuild must still answer identically.
+        with np.load(path, allow_pickle=False) as payload:
+            meta = json.loads(str(payload["meta"][()]))
+            arrays = {k: np.array(payload[k])
+                      for k in payload.files if k != "meta"}
+        meta["graph"]["seed"] = 999
+        with open(path, "wb") as fh:
+            np.savez(fh, meta=np.asarray(json.dumps(meta, sort_keys=True)),
+                     **arrays)
+        loaded = Service.load(path)
+        after = loaded.query_all()
+        for pid in before:
+            assert np.array_equal(before[pid].ids, after[pid].ids)
 
 
 class TestShims:

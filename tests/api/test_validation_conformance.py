@@ -1,0 +1,138 @@
+"""Input-validation parity across every engine in the registry.
+
+Every engine sits behind the same Service facade, so malformed input
+must fail the same way no matter which engine is active: one error type,
+one message, raised before any engine-specific machinery runs.  These
+tests sweep the whole :data:`repro.engines.ENGINE_REGISTRY` (bichromatic
+excluded — it is not a primary engine) and assert the *exact* parity,
+which is what keeps callers' error handling engine-agnostic.
+
+Two of the cases are regressions:
+
+* scalar queries (``sv.query(np.float64(3.0))``) used to crash the
+  approximate engines with a bare ``IndexError`` from the batch
+  promotion instead of the shared ``ValueError``;
+* unknown :class:`~repro.service.QuerySpec` override kwargs
+  (``sv.query(query_index=0, kk=3)``) used to surface as a raw
+  ``dataclasses.replace`` TypeError naming ``QuerySpec.__init__``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engines import ENGINE_REGISTRY
+from repro.service import QuerySpec, Service
+
+DIM = 3
+K = 3
+
+ENGINES = sorted(name for name in ENGINE_REGISTRY if name != "bichromatic")
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(42).normal(size=(60, DIM))
+
+
+@pytest.fixture(scope="module", params=ENGINES)
+def svc(request, points):
+    return Service(
+        points,
+        backend="kd",
+        engine=request.param,
+        defaults=QuerySpec(k=K, t=1e30),
+    )
+
+
+class TestQueryPointValidation:
+    def test_scalar_query_rejected_identically(self, svc):
+        with pytest.raises(
+            ValueError, match=r"query must be a single point, got shape \(\)"
+        ) as exc:
+            svc.query(np.float64(3.0))
+        assert type(exc.value) is ValueError
+
+    def test_wrong_dimension_rejected_identically(self, svc):
+        with pytest.raises(ValueError, match="dimension") as exc:
+            svc.query(np.zeros(DIM + 2))
+        assert type(exc.value) is ValueError
+
+    def test_non_finite_query_rejected(self, svc):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            svc.query(np.full(DIM, np.nan))
+
+    def test_three_dim_array_rejected(self, svc):
+        with pytest.raises(ValueError, match="single point"):
+            svc.query(np.zeros((2, 2, DIM)))
+
+
+class TestKValidation:
+    def test_k_zero_rejected(self, svc):
+        with pytest.raises(ValueError, match=">= 1"):
+            svc.query(query_index=0, k=0)
+
+    def test_k_negative_rejected(self, svc):
+        with pytest.raises(ValueError, match=">= 1"):
+            svc.query(query_index=0, k=-2)
+
+    def test_k_non_integer_rejected(self, svc):
+        with pytest.raises(TypeError, match="integer"):
+            svc.query(query_index=0, k=2.5)
+
+
+class TestBatchValidation:
+    def test_empty_index_batch_returns_empty_list(self, svc):
+        assert svc.query_batch(query_indices=[]) == []
+
+    def test_empty_raw_batch_returns_empty_list(self, svc):
+        assert svc.query_batch(np.empty((0, DIM))) == []
+
+    def test_both_queries_and_indices_rejected(self, svc):
+        with pytest.raises(ValueError, match="exactly one"):
+            svc.query_batch(np.zeros((1, DIM)), query_indices=[0])
+
+
+class TestSpecKnobValidation:
+    def test_unknown_knob_named_in_error(self, svc):
+        with pytest.raises(TypeError, match="unknown query knob 'kk'"):
+            svc.query(query_index=0, kk=3)
+
+    def test_unknown_knob_suggests_closest(self, svc):
+        with pytest.raises(TypeError, match=r"did you mean 'k'\?"):
+            svc.query(query_index=0, kk=3)
+
+    def test_member_alias_points_at_query_index(self, svc):
+        with pytest.raises(TypeError, match="pass query_index"):
+            svc.query(query_index=0, member=3)
+
+    def test_query_id_alias_points_at_query_index(self, svc):
+        with pytest.raises(TypeError, match="pass query_index"):
+            svc.query_batch(query_indices=[0], query_id=3)
+
+    def test_error_lists_valid_knobs(self, svc):
+        with pytest.raises(TypeError, match="valid knobs:.*margin.*t"):
+            svc.query(query_index=0, bogus=1)
+
+    def test_known_knobs_still_validate(self, svc):
+        with pytest.raises(ValueError, match=">= 1"):
+            svc.query(query_index=0, sample_size=0)
+
+
+def test_sweep_covers_whole_registry():
+    # The parametrized fixture above must not silently shrink when
+    # engines are added: everything except bichromatic is swept.
+    assert set(ENGINES) == set(ENGINE_REGISTRY) - {"bichromatic"}
+    assert "approx-graph" in ENGINES
+
+
+def test_scalar_message_identical_across_engines(points):
+    """The cross-engine parity check proper: one message, verbatim."""
+    messages = set()
+    for name in ENGINES:
+        svc = Service(
+            points, backend="kd", engine=name, defaults=QuerySpec(k=K, t=1e30)
+        )
+        with pytest.raises(ValueError) as exc:
+            svc.query(np.float64(3.0))
+        messages.add(str(exc.value))
+    assert messages == {"query must be a single point, got shape ()"}

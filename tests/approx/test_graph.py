@@ -1,0 +1,271 @@
+"""Unit tests for the HRNN-style graph strategy.
+
+The graph's deterministic contracts are asserted exactly: the base-layer
+edge distances are the exact self-excluded kNN distances (the d_k cache),
+the reverse adjacency is the transpose of the forward edges, member
+queries with ``k <= graph_m`` recover the *exact* RkNN answer (the
+reverse list is a complete shortlist up to k-th-distance ties), and every
+reported id — member or navigated — survives the exact membership test
+(precision 1, like the LSH filter).  Statistical recall of the navigated
+path is measured in the oracle harness and ``BENCH_approx.json``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx import ApproxRkNN, GraphRkNNStrategy, build_strategy
+from repro.baselines import NaiveRkNN
+from repro.indexes import LinearScanIndex
+
+K = 7
+
+
+@pytest.fixture(scope="module")
+def index(medium_mixture):
+    return LinearScanIndex(medium_mixture)
+
+
+@pytest.fixture(scope="module")
+def naive(medium_mixture):
+    return NaiveRkNN(medium_mixture, k=K)
+
+
+@pytest.fixture(scope="module")
+def built(index):
+    strategy = GraphRkNNStrategy(index, graph_m=12, ef=48, seed=5)
+    strategy.ensure_current()
+    return strategy
+
+
+class TestConstruction:
+    def test_build_by_name(self, index):
+        assert isinstance(build_strategy("graph", index), GraphRkNNStrategy)
+
+    def test_knob_validation(self, index):
+        with pytest.raises(ValueError, match="graph_m"):
+            GraphRkNNStrategy(index, graph_m=0)
+        with pytest.raises(ValueError, match="ef"):
+            GraphRkNNStrategy(index, ef=-3)
+        with pytest.raises(TypeError, match="ef"):
+            GraphRkNNStrategy(index, ef=2.5)
+
+    def test_deterministic_given_seed(self, medium_mixture):
+        a = GraphRkNNStrategy(LinearScanIndex(medium_mixture), seed=9)
+        b = GraphRkNNStrategy(LinearScanIndex(medium_mixture), seed=9)
+        a.ensure_current()
+        b.ensure_current()
+        assert np.array_equal(a._nbr, b._nbr)
+        assert np.array_equal(a._levels, b._levels)
+        assert a._entry == b._entry
+
+    def test_seed_changes_levels_not_edges(self, medium_mixture):
+        a = GraphRkNNStrategy(LinearScanIndex(medium_mixture), seed=1)
+        b = GraphRkNNStrategy(LinearScanIndex(medium_mixture), seed=2)
+        a.ensure_current()
+        b.ensure_current()
+        # The base layer is exact kNN — seed-independent; only the layer
+        # hierarchy is randomized.
+        assert np.array_equal(a._nbr, b._nbr)
+        assert not np.array_equal(a._levels, b._levels)
+
+
+class TestGraphInvariants:
+    def test_edge_distances_are_exact_knn(self, built, index, medium_mixture):
+        """The sorted neighbor distances ARE the exact d_k cache."""
+        n = len(medium_mixture)
+        for k in (1, 5, built.degree):
+            exact = index.knn_distances(
+                medium_mixture, k, exclude_indices=np.arange(n)
+            )
+            np.testing.assert_allclose(built._nbr_dist[:, k - 1], exact)
+
+    def test_reverse_adjacency_is_edge_transpose(self, built):
+        n = built._active.shape[0]
+        for q in range(0, n, 53):
+            lo, hi = built._rev_indptr[q], built._rev_indptr[q + 1]
+            from_csr = set(built._rev_indices[lo:hi].tolist())
+            from_edges = set(np.flatnonzero((built._nbr == q).any(axis=1)))
+            assert from_csr == from_edges
+
+    def test_layers_nest(self, built):
+        prev = np.arange(built._active.shape[0])
+        for members, nbrs in built._layers:
+            assert np.isin(members, prev).all()
+            assert members.shape[0] < prev.shape[0]
+            assert nbrs.shape[0] == members.shape[0]
+            prev = members
+        assert built._levels[built._entry] == built._levels.max()
+
+    def test_no_self_edges(self, built):
+        n = built._active.shape[0]
+        own = np.arange(n)[:, None]
+        assert not (built._nbr == own).any()
+
+
+class TestMemberQueries:
+    def test_join_matches_naive_exactly(self, index, naive, medium_mixture):
+        """k <= graph_m: the reverse list is a complete shortlist, so the
+        verified answer is the exact RkNN result."""
+        engine = ApproxRkNN(index, "graph", graph_m=12, ef=48, seed=5)
+        results = engine.query_all(k=K)
+        for qi in range(len(medium_mixture)):
+            expected = naive.query_ids(query_index=qi)
+            assert np.array_equal(results[qi].ids, expected), qi
+
+    def test_join_needs_no_knn_distance_calls(self, medium_mixture, monkeypatch):
+        """query_kth reuse: the self-join verifies entirely from the d_k
+        cache the build produced — zero knn_distances calls."""
+        index = LinearScanIndex(medium_mixture)
+        engine = ApproxRkNN(index, "graph", graph_m=12, seed=5)
+        engine.strategy.ensure_current()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("query_all must not call knn_distances")
+
+        monkeypatch.setattr(index, "knn_distances", boom)
+        results = engine.query_all(k=K)
+        assert len(results) == len(medium_mixture)
+
+    def test_large_k_still_subset_of_truth(self, index, medium_mixture):
+        """k > graph_m falls back to beam search; precision stays 1."""
+        k = 20
+        truth = NaiveRkNN(medium_mixture, k=k)
+        engine = ApproxRkNN(index, "graph", graph_m=12, ef=64, seed=5)
+        for qi in range(0, len(medium_mixture), 61):
+            got = set(engine.query(query_index=qi, k=k).ids.tolist())
+            assert got <= set(truth.query_ids(query_index=qi).tolist())
+
+    def test_never_accepts_unverified(self, index):
+        engine = ApproxRkNN(index, "graph", seed=2)
+        results = engine.query_batch(query_indices=np.arange(50), k=K)
+        for result in results:
+            assert result.stats.num_lazy_accepts == 0
+            assert result.stats.num_verified == result.stats.num_candidates
+
+
+class TestRawQueries:
+    def test_results_subset_of_truth(self, index, naive, medium_mixture):
+        """Raw (navigated) queries: precision 1 by construction."""
+        engine = ApproxRkNN(index, "graph", graph_m=12, ef=48, seed=5)
+        rng = np.random.default_rng(11)
+        queries = medium_mixture[rng.integers(0, 800, 25)] + 0.05
+        results = engine.query_batch(queries, k=K)
+        for query, result in zip(queries, results):
+            truth = naive.query_ids(query)
+            assert set(result.ids.tolist()) <= set(truth.tolist())
+
+    def test_wider_ef_recovers_truth(self, small_gaussian):
+        """ef = n on a connected graph (single Gaussian) degenerates the
+        beam into an exhaustive scan: the navigated shortlist covers every
+        reachable node and the answer is exact.  (On multi-cluster data
+        the kNN graph can disconnect — recall is then bounded by the
+        query's component, which is the documented approximation.)"""
+        index = LinearScanIndex(small_gaussian)
+        naive = NaiveRkNN(small_gaussian, k=K)
+        engine = ApproxRkNN(
+            index, "graph", graph_m=12, ef=len(small_gaussian), seed=5
+        )
+        rng = np.random.default_rng(12)
+        queries = small_gaussian[rng.integers(0, 300, 10)] * 0.97
+        results = engine.query_batch(queries, k=K)
+        for query, result in zip(queries, results):
+            truth = naive.query_ids(query)
+            assert np.array_equal(result.ids, np.sort(truth))
+
+
+class TestDynamics:
+    def test_rebuild_after_churn_matches_naive(self, small_gaussian):
+        index = LinearScanIndex(small_gaussian[:120])
+        engine = ApproxRkNN(index, "graph", graph_m=10, seed=3)
+        engine.query(query_index=0, k=4)  # build once
+        index.insert(small_gaussian[200])
+        index.remove(1)
+        index.remove(60)
+        active = index.active_ids()
+        truth = NaiveRkNN(index.points[active], k=4)
+        results = engine.query_batch(query_indices=active, k=4)
+        for row, (pid, result) in enumerate(zip(active, results)):
+            expected = active[truth.query_ids(query_index=row)]
+            assert np.array_equal(result.ids, expected), pid
+
+    def test_duplicate_heavy_data(self, duplicated_points):
+        """Tie-rich integer-grid data: precision stays exactly 1, and
+        every member *strictly* inside its d_k is found.  (Members tied
+        exactly at the k-th distance can be lost to argpartition tie
+        breaks during the edge build — the documented recall caveat.)"""
+        k = 3
+        index = LinearScanIndex(duplicated_points)
+        truth = NaiveRkNN(duplicated_points, k=k)
+        table = truth.knn_distances  # exact self-excluded d_k per member
+        engine = ApproxRkNN(index, "graph", graph_m=8, seed=0)
+        results = engine.query_all(k=k)
+        for qi in range(len(duplicated_points)):
+            expected = truth.query_ids(query_index=qi)
+            got = results[qi].ids
+            assert set(got.tolist()) <= set(expected.tolist()), qi
+            dists = np.linalg.norm(
+                duplicated_points - duplicated_points[qi], axis=1
+            )
+            strict = np.flatnonzero(dists < table - 1e-9)
+            strict = strict[strict != qi]
+            assert set(strict.tolist()) <= set(got.tolist()), qi
+
+
+class TestTinyInputs:
+    def test_two_points(self):
+        index = LinearScanIndex(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        engine = ApproxRkNN(index, "graph", seed=0)
+        result = engine.query(query_index=0, k=1)
+        assert result.ids.tolist() == [1]
+
+    def test_k_exceeds_eligible_set(self):
+        """k > n - 1: every member's d_k is inf, so everyone matches."""
+        points = np.random.default_rng(0).normal(size=(5, 3))
+        index = LinearScanIndex(points)
+        engine = ApproxRkNN(index, "graph", seed=0)
+        result = engine.query(query_index=2, k=10)
+        assert result.ids.tolist() == [0, 1, 3, 4]
+
+
+class TestPersistenceHooks:
+    def test_serialized_round_trip(self, medium_mixture, built):
+        payload = built.serialized_graph()
+        fresh = GraphRkNNStrategy(
+            LinearScanIndex(medium_mixture), graph_m=12, ef=48, seed=5
+        )
+        assert fresh.adopt_graph(
+            payload["graph_node_ids"],
+            payload["graph_levels"],
+            payload["graph_neighbors"],
+            payload["graph_neighbor_dists"],
+        )
+        # Adoption recomputes layers/CSR deterministically: identical state.
+        assert fresh._built_version == fresh.index.version
+        assert np.array_equal(fresh._nbr, built._nbr)
+        assert np.array_equal(fresh._rev_indices, built._rev_indices)
+        assert fresh._entry == built._entry
+
+    def test_adopt_rejects_stale_active_set(self, medium_mixture, built):
+        payload = built.serialized_graph()
+        other = LinearScanIndex(medium_mixture)
+        other.remove(3)
+        fresh = GraphRkNNStrategy(other, graph_m=12, seed=5)
+        assert not fresh.adopt_graph(
+            payload["graph_node_ids"],
+            payload["graph_levels"],
+            payload["graph_neighbors"],
+            payload["graph_neighbor_dists"],
+        )
+        assert fresh._built_version is None  # lazy rebuild still pending
+
+    def test_adopt_rejects_degree_mismatch(self, medium_mixture, built):
+        payload = built.serialized_graph()
+        fresh = GraphRkNNStrategy(
+            LinearScanIndex(medium_mixture), graph_m=20, seed=5
+        )
+        assert not fresh.adopt_graph(
+            payload["graph_node_ids"],
+            payload["graph_levels"],
+            payload["graph_neighbors"],
+            payload["graph_neighbor_dists"],
+        )

@@ -151,6 +151,25 @@ class TestKernelConsistency:
         d = metric.pairwise(X)
         assert np.allclose(np.diag(d), 0.0, atol=1e-7)
 
+    def test_to_point_sets_matches_scalar_kernel(self, metric):
+        # Row-wise candidate stacks: D[i, j] == distance(X[i], Ys[i, j]).
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(6, 4))
+        Ys = rng.normal(size=(6, 9, 4))
+        D = metric.to_point_sets(X, Ys)
+        assert D.shape == (6, 9)
+        for i in range(6):
+            for j in range(9):
+                assert D[i, j] == pytest.approx(
+                    metric.distance(X[i], Ys[i, j]), rel=1e-12
+                )
+
+    def test_to_point_sets_counts_calls(self, metric):
+        rng = np.random.default_rng(4)
+        metric.reset_counter()
+        metric.to_point_sets(rng.normal(size=(3, 2)), rng.normal(size=(3, 5, 2)))
+        assert metric.num_calls == 15
+
 
 class TestCallCounter:
     def test_counts_scalar_distances(self):

@@ -314,6 +314,22 @@ def test_lsh_strategy_has_exact_precision(workload_name):
         assert precision_metric(truth[point_id], result.ids) == 1.0
 
 
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_graph_strategy_has_exact_precision(workload_name):
+    """The graph strategy also verifies every shortlisted candidate —
+    precision is exactly 1 on every workload shape.  For k <= graph_m the
+    reverse adjacency is additionally a *complete* shortlist up to
+    k-th-distance ties, so on the tie-free workloads recall is 1 too."""
+    index, active, truth = _build("linear-scan", {}, workload_name)
+    engine = ApproxRkNN(index, "graph", graph_m=8, ef=32, seed=7)
+    results = engine.query_all(k=K)
+    for point_id, result in results.items():
+        assert precision_metric(truth[point_id], result.ids) == 1.0
+    if workload_name in ("gaussian", "offset-1e6", "near-degenerate"):
+        for point_id, result in results.items():
+            assert recall_metric(truth[point_id], result.ids) == 1.0
+
+
 # ----------------------------------------------------------------------
 # Multi-core execution conformance (repro.parallel)
 # ----------------------------------------------------------------------
